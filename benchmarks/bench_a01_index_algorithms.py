@@ -1,0 +1,35 @@
+"""Ablation A1 — the two Gittins-index algorithms.
+
+DESIGN.md calls out the choice between the VWB largest-index-first
+recursion (O(n^4) worst case, one pass) and the Katehakis–Veinott
+restart-in-state formulation (n value-iteration solves). They must agree to
+numerical precision; VWB is the production default because it is
+deterministic-time, while restart's iteration count depends on beta.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bandits import gittins_indices_restart, gittins_indices_vwb, random_project
+
+
+@pytest.mark.parametrize("n_states", [5, 20, 50])
+def test_a01_gittins_algorithms_agree(benchmark, report, n_states):
+    beta = 0.9
+    proj = random_project(n_states, np.random.default_rng(n_states))
+    g_vwb = gittins_indices_vwb(proj, beta)
+    g_restart = gittins_indices_restart(proj, beta, tol=1e-11)
+    diff = float(np.max(np.abs(g_vwb - g_restart)))
+
+    benchmark(lambda: gittins_indices_vwb(proj, beta))
+
+    report(
+        f"A1: Gittins algorithms, {n_states} states",
+        [
+            ("max |VWB - restart|", diff, 0.0),
+            ("top index", float(np.max(g_vwb)), float(np.max(proj.R))),
+        ],
+        header=("check", "value", "reference"),
+    )
+    assert diff < 1e-6
+    assert np.max(g_vwb) == pytest.approx(np.max(proj.R), abs=1e-9)

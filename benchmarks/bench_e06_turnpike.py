@@ -1,0 +1,36 @@
+"""E6 — Weiss's turnpike [46]: the absolute suboptimality gap of WSEPT on
+parallel machines is bounded independent of n, so the relative gap
+vanishes as the batch grows.
+
+Measured exactly against the exponential subset DP (no bound slack).
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch.turnpike import exact_gap_sweep
+
+
+def test_e06_weiss_turnpike(benchmark, report):
+    ns = [4, 6, 8, 10, 12]
+    points = exact_gap_sweep(ns, m=2, seed=0)
+
+    benchmark(lambda: exact_gap_sweep([8], m=2, seed=0))
+
+    rows = [
+        (f"n={p.n}", p.optimal_value, p.wsept_value, p.absolute_gap, p.relative_gap)
+        for p in points
+    ]
+    report(
+        "E6: WSEPT turnpike on m=2 machines (exact DP values)",
+        rows,
+        header=("batch", "OPT", "WSEPT", "abs gap", "rel gap"),
+    )
+
+    absg = [p.absolute_gap for p in points]
+    opts = [p.optimal_value for p in points]
+    # the optimum grows ~n^2; the gap stays O(1)
+    assert opts[-1] > 3 * opts[0]
+    assert max(absg) < 0.5
+    assert all(g >= -1e-9 for g in absg)
+    assert points[-1].relative_gap < 0.01

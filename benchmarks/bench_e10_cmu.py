@@ -1,0 +1,72 @@
+"""E10 — the cµ rule is optimal for the multiclass M/G/1 queue [15]; the
+achievable performance region is a polytope whose vertices are the strict
+priority rules [14, 17], so simulation, Cobham's formulas, and the
+conservation laws must all agree.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.conservation import (
+    check_strong_conservation,
+    performance_polytope_vertices,
+)
+from repro.distributions import Erlang, Exponential, HyperExponential
+from repro.queueing import optimal_average_cost, order_average_cost, simulate_network
+from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
+
+ARRIVAL = [0.2, 0.25, 0.15]
+SERVICES = [Exponential(1.2), Erlang(2, 2.0), HyperExponential.balanced_from_mean_scv(0.9, 3.0)]
+COSTS = [1.0, 2.5, 1.8]
+
+
+def test_e10_cmu_rule(benchmark, report):
+    opt_cost, cmu = optimal_average_cost(ARRIVAL, SERVICES, COSTS)
+
+    rows = []
+    exact = {}
+    for perm in itertools.permutations(range(3)):
+        exact[perm] = order_average_cost(ARRIVAL, SERVICES, COSTS, perm)
+    best_perm = min(exact, key=exact.get)
+
+    # simulate the cmu order and one bad order
+    worst_perm = max(exact, key=exact.get)
+    sims = {}
+    for k, perm in enumerate((tuple(cmu), worst_perm)):
+        net = QueueingNetwork(
+            [
+                ClassConfig(0, SERVICES[j], arrival_rate=ARRIVAL[j], cost=COSTS[j])
+                for j in range(3)
+            ],
+            [StationConfig(discipline="priority", priority=perm)],
+        )
+        res = simulate_network(net, 60_000, np.random.default_rng(20 + k))
+        sims[perm] = res
+
+    # conservation-law check on the simulated cmu waits
+    ms = np.array([s.mean for s in SERVICES])
+    m2 = np.array([s.second_moment for s in SERVICES])
+    conserved = check_strong_conservation(
+        ARRIVAL, ms, m2, sims[tuple(cmu)].mean_waits, rtol=0.12
+    )
+
+    benchmark(lambda: optimal_average_cost(ARRIVAL, SERVICES, COSTS))
+
+    rows.append(("cmu exact (Cobham)", opt_cost, 1.0))
+    rows.append(("cmu simulated", sims[tuple(cmu)].cost_rate, sims[tuple(cmu)].cost_rate / opt_cost))
+    rows.append((f"worst order {worst_perm} exact", exact[worst_perm], exact[worst_perm] / opt_cost))
+    rows.append((f"worst order simulated", sims[worst_perm].cost_rate, sims[worst_perm].cost_rate / opt_cost))
+    rows.append(("conservation laws hold (sim)", float(conserved), 1.0))
+    report(
+        "E10: multiclass M/G/1 — cmu rule optimality + achievable region",
+        rows,
+        header=("case", "cost rate", "vs cmu"),
+    )
+
+    assert tuple(cmu) == best_perm  # cmu picks the best vertex
+    assert sims[tuple(cmu)].cost_rate == pytest.approx(opt_cost, rel=0.08)
+    assert conserved
+    # the polytope has 3! = 6 vertices
+    assert len(performance_polytope_vertices(ARRIVAL, ms, m2)) == 6

@@ -1,0 +1,53 @@
+"""E16 — HLF (Highest Level First) is asymptotically optimal for expected
+makespan of i.i.d. exponential jobs under in-tree precedence on parallel
+machines (Papadimitriou–Tsitsiklis [31]).
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import random_intree, simulate_intree_makespan
+from repro.batch.precedence import hlf_policy, random_policy
+from repro.sim.replication import run_replications
+
+
+def _mean_makespan(tree, m, policy_factory, n_reps, seed):
+    def run(rng):
+        return simulate_intree_makespan(tree, m, 1.0, policy_factory(rng), rng)
+
+    return run_replications(run, n_reps, seed=seed)
+
+
+def test_e16_hlf_asymptotic_optimality(benchmark, report):
+    m = 3
+    rows = []
+    ratios = []
+    for k, n in enumerate((20, 60, 180)):
+        tree = random_intree(n, 1000 + k)
+        # HLF vs random eligible-set policy; lower bound: work / m and the
+        # longest chain (level + 1), both valid for every policy
+        hlf = _mean_makespan(tree, m, lambda rng: hlf_policy(tree), 400, 2 * k)
+        rnd = _mean_makespan(tree, m, lambda rng: random_policy(rng), 400, 2 * k + 1)
+        lb = max(n / m, float(tree.levels().max() + 1))
+        rows.append((f"n={n} HLF", hlf.mean, hlf.mean / lb))
+        rows.append((f"n={n} random", rnd.mean, rnd.mean / lb))
+        ratios.append(hlf.mean / lb)
+
+    tree = random_intree(60, 0)
+    benchmark(
+        lambda: simulate_intree_makespan(
+            tree, m, 1.0, hlf_policy(tree), np.random.default_rng(0)
+        )
+    )
+
+    rows.append(("HLF/LB trend", float(ratios[0]), float(ratios[-1])))
+    report(
+        "E16: in-tree precedence, m=3 — expected makespan vs lower bound",
+        rows,
+        header=("case", "E[makespan]", "vs lower bound"),
+    )
+
+    # HLF no worse than random everywhere, and its ratio to the universal
+    # lower bound improves with size (asymptotic optimality)
+    assert ratios[-1] <= ratios[0] + 0.02
+    assert ratios[-1] < 1.35

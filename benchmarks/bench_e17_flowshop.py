@@ -1,0 +1,82 @@
+"""E17 — stochastic flow shops (Wie–Pinedo [49]): Talwar's index rule
+(sequence by decreasing mu1 - mu2) minimises expected makespan in the
+two-machine exponential flow shop; blocking (no buffers) only increases
+makespans; Johnson's rule is the deterministic limit.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.batch.flowshop import (
+    johnson_order_deterministic,
+    simulate_flowshop,
+    talwar_order,
+)
+
+
+def _mean_makespan(rates, order, n_reps, seed, blocking=False):
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for _ in range(n_reps):
+        P = rng.exponential(1.0 / rates)
+        total += simulate_flowshop(P, order, blocking=blocking)[0]
+    return total / n_reps
+
+
+def test_e17_flowshop_talwar(benchmark, report):
+    rng = np.random.default_rng(17)
+    rates = rng.uniform(0.5, 3.0, size=(5, 2))
+    order = talwar_order(rates)
+
+    # compare all 120 permutations with common random numbers
+    n_reps = 4000
+    values = {}
+    for k, perm in enumerate(itertools.permutations(range(5))):
+        values[perm] = _mean_makespan(rates, list(perm), n_reps // 8, 100)
+    best = min(values, key=values.get)
+
+    talwar_val = _mean_makespan(rates, order, n_reps, 200)
+    best_val = _mean_makespan(rates, list(best), n_reps, 200)
+    reverse_val = _mean_makespan(rates, order[::-1], n_reps, 200)
+    blocked_val = _mean_makespan(rates, order, n_reps, 200, blocking=True)
+
+    benchmark(lambda: simulate_flowshop(np.random.default_rng(0).exponential(1.0 / rates), order))
+
+    report(
+        "E17: 2-machine exponential flow shop, n=5 jobs — E[makespan]",
+        [
+            (f"Talwar order {tuple(order)}", talwar_val, 1.0),
+            (f"empirical best {best}", best_val, best_val / talwar_val),
+            ("Talwar reversed", reverse_val, reverse_val / talwar_val),
+            ("Talwar with blocking", blocked_val, blocked_val / talwar_val),
+        ],
+        header=("sequence", "E[makespan]", "vs Talwar"),
+    )
+
+    # Talwar is (within noise) the best permutation and beats its reverse
+    assert talwar_val <= best_val * 1.02
+    assert reverse_val >= talwar_val * 0.99
+    # blocking can only hurt
+    assert blocked_val >= talwar_val - 1e-9
+
+
+def test_e17_johnson_deterministic_limit(benchmark, report):
+    """Erlang-k services with k large approach deterministic times; the
+    optimal stochastic sequence approaches Johnson's rule."""
+    rng = np.random.default_rng(18)
+    times = rng.uniform(0.5, 3.0, size=(5, 2))
+    j_order = johnson_order_deterministic(times)
+    mk_j, _ = simulate_flowshop(times, j_order)
+    best = min(
+        simulate_flowshop(times, list(p))[0]
+        for p in itertools.permutations(range(5))
+    )
+    benchmark(lambda: johnson_order_deterministic(times))
+    report(
+        "E17b: Johnson's rule (deterministic two-machine flow shop)",
+        [("Johnson makespan", mk_j, best)],
+        header=("rule", "makespan", "best permutation"),
+    )
+    assert mk_j == pytest.approx(best, rel=1e-12)

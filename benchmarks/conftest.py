@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_eXX_*.py`` file reproduces one claim from the survey (the
+paper has no numbered tables/figures; EXPERIMENTS.md maps each experiment
+to the claim it validates). Each test
+
+* runs a moderate-size instance of the experiment,
+* prints a claim-vs-measured table (always visible, even without ``-s``),
+* wraps the computational kernel in the ``benchmark`` fixture so
+  ``pytest benchmarks/ --benchmark-only`` also reports timings,
+* asserts the *shape* of the paper's claim (who wins, direction of trends),
+  not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a result table bypassing pytest capture."""
+
+    def _print(title: str, rows: list[tuple], header: tuple | None = None) -> None:
+        with capsys.disabled():
+            print()
+            print("=" * 78)
+            print(title)
+            print("=" * 78)
+            if header:
+                print("  ".join(f"{h:>18}" for h in header))
+            for row in rows:
+                print("  ".join(f"{v:>18.6g}" if isinstance(v, float) else f"{str(v):>18}" for v in row))
+            print("=" * 78)
+
+    return _print

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Call-centre priority routing: cµ scheduling, heavy traffic, and the
+danger of naive priorities in networks.
+
+Three customer classes (platinum / gold / standard) share a pool of agents.
+Part 1 compares hold-cost rates under FIFO, a "VIP absolute priority"
+policy, and the cµ rule on a single-agent desk, against the exact Cobham
+formulas. Part 2 scales to an agent pool and shows the cµ rule approaching
+the pooled lower bound as traffic intensifies (Glazebrook–Niño-Mora heavy-
+traffic optimality). Part 3 is a cautionary tale: a two-desk escalation
+network where a locally sensible priority destabilises the system even
+though every desk is nominally underloaded (Rybko–Stolyar).
+
+Run:  python examples/call_center_routing.py
+"""
+
+import numpy as np
+
+from repro.distributions import Exponential
+from repro.queueing import (
+    optimal_average_cost,
+    order_average_cost,
+    parallel_server_experiment,
+    rybko_stolyar_network,
+    simulate_network,
+    virtual_station_load,
+)
+from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
+
+# classes: 0 = platinum, 1 = gold, 2 = standard
+ARRIVAL = [0.15, 0.25, 0.35]
+SERVICE = [Exponential(1.5), Exponential(1.2), Exponential(2.0)]
+COST = [6.0, 2.5, 1.0]
+
+
+def part1_single_desk() -> None:
+    print("=" * 72)
+    print("Part 1: one agent, three classes — which priority order?")
+    print("=" * 72)
+    vip = [0, 1, 2]  # platinum > gold > standard (by status)
+    opt_cost, cmu = optimal_average_cost(ARRIVAL, SERVICE, COST)
+    print(f"cµ order (by c_j * mu_j): {cmu}")
+    for name, order in [("VIP status order", vip), ("cµ order", list(cmu))]:
+        exact = order_average_cost(ARRIVAL, SERVICE, COST, order)
+        net = QueueingNetwork(
+            [ClassConfig(0, SERVICE[j], arrival_rate=ARRIVAL[j], cost=COST[j]) for j in range(3)],
+            [StationConfig(discipline="priority", priority=tuple(order))],
+        )
+        res = simulate_network(net, 60_000, np.random.default_rng(1))
+        print(f"  {name:<18} exact {exact:8.4f}   simulated {res.cost_rate:8.4f}")
+    print(f"  optimal (cµ) cost: {opt_cost:.4f}\n")
+
+
+def part2_agent_pool() -> None:
+    print("=" * 72)
+    print("Part 2: agent pool under load — heavy-traffic optimality of cµ")
+    print("=" * 72)
+    pts = parallel_server_experiment(
+        service_rates=[1.5, 1.2, 2.0],
+        costs=COST,
+        m=3,
+        rho_values=[0.6, 0.8, 0.9],
+        rng=np.random.default_rng(2),
+        horizon=40_000,
+    )
+    print(f"{'rho':>5} {'cµ cost (3 agents)':>20} {'pooled bound':>14} {'ratio':>8}")
+    for p in pts:
+        print(f"{p.rho:>5.2f} {p.cmu_cost:>20.3f} {p.pooled_bound:>14.3f} {p.ratio:>8.3f}")
+    print("The ratio tends to 1: in heavy traffic the simple index rule is")
+    print("asymptotically as good as a perfectly pooled super-agent.\n")
+
+
+def part3_escalation_network() -> None:
+    print("=" * 72)
+    print("Part 3: two desks with escalation — a policy-induced meltdown")
+    print("=" * 72)
+    # Rybko–Stolyar in call-centre clothes: desk 1 handles fresh type-A
+    # calls then escalates to desk 2; desk 2 handles fresh type-B calls
+    # then escalates to desk 1. Each desk gives priority to escalated work
+    # ("finish what the other desk started").
+    bad = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=True)
+    fifo = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=False)
+    print(f"desk loads: {np.round(bad.station_loads(), 3)} (both < 1)")
+    print(f"virtual-station load of the escalated classes: "
+          f"{virtual_station_load(bad):.2f} (> 1!)")
+    for name, net in [("escalated-first priority", bad), ("FIFO", fifo)]:
+        res = simulate_network(net, 4_000, np.random.default_rng(3))
+        print(f"  {name:<26} backlog after t=4000: {res.final_backlog:8.0f} calls")
+    print("Despite idle-looking desks, the escalation-first rule diverges;")
+    print("the virtual-station condition predicts it (see E13 benchmark).")
+
+
+if __name__ == "__main__":
+    part1_single_desk()
+    part2_agent_pool()
+    part3_escalation_network()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Sequential design of experiments — the original Gittins–Jones motivation.
+
+A clinician must allocate patients, one at a time, between treatments whose
+success probabilities are unknown. Each treatment is a Bayesian Bernoulli
+arm with a Beta(a, b) posterior; treating a patient updates the posterior.
+The Gittins index policy maximises the expected discounted number of
+successes — and famously beats the myopic "play the best posterior mean"
+rule by valuing *exploration*.
+
+We build the Beta–Bernoulli bandit as a Markov project over posterior
+states (a, b), compute its Gittins indices with the library's VWB
+implementation, and simulate against the myopic policy.
+
+Run:  python examples/clinical_trials.py
+"""
+
+import numpy as np
+
+from repro.bandits.gittins import gittins_indices_vwb
+from repro.bandits.project import MarkovProject
+from repro.core.indices import IndexRule
+
+HORIZON_AB = 30  # truncate posteriors at a + b = this
+BETA = 0.95
+
+
+def beta_bernoulli_project() -> tuple[MarkovProject, dict, list]:
+    """The Beta–Bernoulli arm as a Markov project.
+
+    State = posterior (a, b) with a + b < HORIZON_AB, plus absorbing
+    boundary states where the posterior is frozen (approximating the
+    infinite lattice; fine for beta^30 ≈ 0.2 discount mass).
+    Engaging in state (a, b) pays the posterior mean a/(a+b) in expectation
+    and moves to (a+1, b) on success, (a, b+1) on failure.
+    """
+    states = [(a, b) for t in range(2, HORIZON_AB + 1) for a in range(1, t) for b in [t - a] if b >= 1]
+    index_of = {s: i for i, s in enumerate(states)}
+    n = len(states)
+    P = np.zeros((n, n))
+    R = np.zeros(n)
+    for (a, b), i in index_of.items():
+        p = a / (a + b)
+        R[i] = p
+        if a + b + 1 <= HORIZON_AB:
+            P[i, index_of[(a + 1, b)]] += p
+            P[i, index_of[(a, b + 1)]] += 1.0 - p
+        else:
+            P[i, i] = 1.0  # frozen boundary
+    return MarkovProject(P=P, R=R), index_of, states
+
+
+class TableRule(IndexRule):
+    """Index rule over (a, b) posterior states from a precomputed table."""
+
+    def __init__(self, values, index_of, name):
+        self._v = values
+        self._ix = index_of
+        self._name = name
+
+    def index(self, item, state=None):
+        return float(self._v[self._ix[state]])
+
+    @property
+    def name(self):
+        return self._name
+
+
+def simulate(policy: IndexRule, true_ps, rng, horizon=150) -> float:
+    """Discounted successes when arm k truly has success prob true_ps[k]."""
+    post = [(1, 1) for _ in true_ps]  # uniform priors
+    total, disc = 0.0, 1.0
+    for _ in range(horizon):
+        k = max(range(len(true_ps)), key=lambda j: policy.index(j, post[j]))
+        success = rng.random() < true_ps[k]
+        total += disc * success
+        disc *= BETA
+        a, b = post[k]
+        if a + b + 1 <= HORIZON_AB:
+            post[k] = (a + 1, b) if success else (a, b + 1)
+    return total
+
+
+def main() -> None:
+    project, index_of, states = beta_bernoulli_project()
+    print(f"computing Gittins indices on {len(states)} posterior states ...")
+    gittins = gittins_indices_vwb(project, BETA)
+    myopic = project.R.copy()
+
+    print("\nGittins vs myopic index for early posteriors (beta = 0.95):")
+    print(f"{'(a, b)':<10} {'post. mean':>10} {'Gittins':>10}")
+    for s in [(1, 1), (1, 2), (2, 1), (1, 4), (4, 1), (2, 5)]:
+        i = index_of[s]
+        print(f"{str(s):<10} {myopic[i]:>10.4f} {gittins[i]:>10.4f}")
+    print("Gittins exceeds the posterior mean for uncertain arms: the index")
+    print("prices in the value of learning.\n")
+
+    g_rule = TableRule(gittins, index_of, "Gittins")
+    m_rule = TableRule(myopic, index_of, "Myopic")
+    rng = np.random.default_rng(0)
+    scenarios = [(0.3, 0.7), (0.45, 0.55), (0.6, 0.4, 0.5)]
+    reps = 2000
+    print(f"{'true success probs':<22} {'Gittins':>10} {'Myopic':>10}")
+    for ps in scenarios:
+        g = np.mean([simulate(g_rule, ps, rng) for _ in range(reps)])
+        m = np.mean([simulate(m_rule, ps, rng) for _ in range(reps)])
+        print(f"{str(ps):<22} {g:>10.3f} {m:>10.3f}")
+    print("\nThe Gittins policy is optimal in expectation; individual cells can")
+    print("flip within Monte-Carlo error, but the exploration premium shows up")
+    print("whenever arms are genuinely uncertain (first rows).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Restless-bandit machine maintenance with the Whittle index.
+
+A fleet of N machines degrades through condition states 0 (failed) ... K-1
+(perfect). A crew can overhaul only m machines per shift (the "exactly m
+active" restless constraint). Idle machines keep degrading — the *restless*
+feature that breaks the classical Gittins setting. Overhauling improves a
+machine's state; a machine earns revenue proportional to its condition.
+
+We check Whittle indexability, compute the index per condition state,
+compare the Whittle policy against the myopic rule and a random policy, and
+report the Whittle LP relaxation bound (an unbeatable upper bound).
+
+Run:  python examples/machine_maintenance.py
+"""
+
+import numpy as np
+
+from repro.bandits.relaxation import (
+    average_relaxation_bound,
+    myopic_rule,
+    simulate_restless,
+    whittle_rule,
+)
+from repro.bandits.restless import RestlessProject, is_indexable, whittle_indices
+from repro.core.indices import IndexRule
+
+K = 5  # condition states
+
+
+def maintenance_project(degrade=0.35, repair=0.85) -> RestlessProject:
+    """Passive: degrade one state w.p. ``degrade``. Active (overhaul):
+    jump to top condition w.p. ``repair`` (else one step up). Revenue is
+    earned *while running* (passive), proportional to condition; an
+    overhauled machine is offline that shift."""
+    P0 = np.zeros((K, K))
+    for s in range(K):
+        down = max(s - 1, 0)
+        P0[s, down] += degrade
+        P0[s, s] += 1.0 - degrade
+    P1 = np.zeros((K, K))
+    for s in range(K):
+        P1[s, K - 1] += repair
+        P1[s, min(s + 1, K - 1)] += 1.0 - repair
+    R0 = np.linspace(0.0, 1.0, K)  # revenue while running
+    R1 = np.full(K, -0.1)  # overhaul cost, no revenue
+    return RestlessProject(P0=P0, P1=P1, R0=R0, R1=R1)
+
+
+class RandomRule(IndexRule):
+    """Uniform random priorities re-drawn each call (baseline)."""
+
+    def __init__(self, seed=0):
+        self._rng = np.random.default_rng(seed)
+
+    def index(self, item, state=None):
+        return float(self._rng.random())
+
+
+def main() -> None:
+    proj = maintenance_project()
+    print("indexable:", is_indexable(proj, criterion="average"))
+    w = whittle_indices(proj, criterion="average")
+    print("\nWhittle index per condition state (0 = failed):")
+    for s in range(K):
+        print(f"  state {s}: {w[s]:+.4f}")
+    print("Low-condition machines carry the highest overhaul priority.\n")
+
+    N, m = 50, 10
+    alpha = m / N
+    bound, _ = average_relaxation_bound(proj, alpha)
+    horizon, warmup = 20_000, 2_000
+    policies = {
+        "Whittle index": whittle_rule(proj),
+        "myopic (worst first)": myopic_rule(proj),
+        "random": RandomRule(seed=1),
+    }
+    print(f"fleet: N = {N} machines, crew capacity m = {m} per shift")
+    print(f"Whittle LP relaxation bound (per machine-shift): {bound:.4f}\n")
+    print(f"{'policy':<24} {'avg revenue/machine':>20} {'% of bound':>12}")
+    for k, (name, rule) in enumerate(policies.items()):
+        got = simulate_restless(
+            proj, N, m, rule, horizon, np.random.default_rng(10 + k), warmup=warmup
+        )
+        print(f"{name:<24} {got:>20.4f} {100 * got / bound:>11.1f}%")
+    print("\nBoth index policies operate essentially at the relaxation bound")
+    print("(on this easy instance the myopic rule coincides with Whittle's");
+    print("ranking); unprioritised maintenance leaves revenue on the table.")
+    print("The per-machine gap to the bound vanishes as the fleet grows")
+    print("(Weber–Weiss asymptotic optimality, benchmark E8).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""The survey's motivating example: a manufacturing workstation processing
+several part types whose arrivals and processing times are random.
+
+We model a workstation that machines three part types with rework: a part
+that fails inspection (Markovian feedback) re-enters the queue as a rework
+class. The dispatcher must pick which part to machine next. We compare:
+
+* FCFS (first-come-first-served across types),
+* the naive cµ rule that ignores rework,
+* Klimov's index rule (the exact optimum for this model class).
+
+Run:  python examples/manufacturing_workstation.py
+"""
+
+import numpy as np
+
+from repro.distributions import Erlang, Exponential
+from repro.queueing.klimov import klimov_indices, klimov_order
+from repro.queueing.mg1 import cmu_order
+from repro.queueing.network import (
+    ClassConfig,
+    QueueingNetwork,
+    StationConfig,
+    simulate_network,
+)
+
+# ---------------------------------------------------------------------------
+# Model: classes 0-2 are fresh parts A/B/C; classes 3-4 are rework queues.
+# Part A fails inspection 20% of the time -> rework class 3.
+# Part B fails 30% -> rework class 4. Part C never fails.
+# Holding costs reflect order urgency; rework parts block downstream
+# assembly, so they carry the *highest* cost.
+# ---------------------------------------------------------------------------
+ARRIVALS = [0.30, 0.22, 0.15, 0.0, 0.0]
+SERVICES = [
+    Erlang.from_mean(1.0, k=2),   # A: fairly regular machining
+    Exponential.from_mean(1.2),   # B
+    Exponential.from_mean(0.9),   # C: clean part, never fails inspection
+    Exponential.from_mean(0.5),   # A-rework: quick touch-up
+    Exponential.from_mean(0.7),   # B-rework
+]
+COSTS = [1.2, 1.5, 1.0, 3.0, 3.5]
+ROUTING = np.zeros((5, 5))
+ROUTING[0, 3] = 0.40  # A -> rework (naive c-mu overrates fresh A parts:
+ROUTING[1, 4] = 0.30  # B -> rework  finishing one often *creates* a
+# costlier rework job, which Klimov's index prices in and c-mu does not)
+
+MEANS = [s.mean for s in SERVICES]
+
+
+def build(priority_order=None) -> QueueingNetwork:
+    if priority_order is None:
+        station = StationConfig(discipline="fifo")
+    else:
+        station = StationConfig(discipline="priority", priority=tuple(priority_order))
+    classes = [
+        ClassConfig(0, SERVICES[j], arrival_rate=ARRIVALS[j], cost=COSTS[j],
+                    name=["A", "B", "C", "A-rework", "B-rework"][j])
+        for j in range(5)
+    ]
+    return QueueingNetwork(classes, [station], routing=ROUTING)
+
+
+def main() -> None:
+    indices = klimov_indices(COSTS, MEANS, ROUTING)
+    k_order = klimov_order(COSTS, MEANS, ROUTING)
+    naive = cmu_order(COSTS, MEANS)
+    print("Klimov indices per class:", np.round(indices, 4))
+    print("Klimov priority order   :", k_order)
+    print("naive c-mu order        :", naive)
+    print()
+
+    horizon = 400_000
+    policies = {
+        "FCFS": None,
+        "naive c-mu (ignores rework)": naive,
+        "Klimov rule": k_order,
+    }
+    print(f"{'policy':<30} {'cost rate':>10} {'mean WIP':>10}")
+    for k, (name, order) in enumerate(policies.items()):
+        net = build(order)
+        res = simulate_network(net, horizon, np.random.default_rng(100 + k),
+                               warmup_fraction=0.2)
+        wip = res.mean_queue_lengths.sum()
+        print(f"{name:<30} {res.cost_rate:>10.4f} {wip:>10.3f}")
+    print()
+    print("Klimov's rule achieves the lowest holding-cost rate: the naive cµ")
+    print("rule overrates fresh A parts, whose completions often *create* a")
+    print("costlier rework job — exactly the feedback effect Klimov's index")
+    print("prices in (benchmark E11 sweeps all priority orders).")
+
+
+if __name__ == "__main__":
+    main()

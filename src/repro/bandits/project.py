@@ -1,0 +1,88 @@
+"""The Markov project (bandit arm) model.
+
+A project is a finite Markov chain with per-state engagement rewards: when
+engaged in state ``i`` it pays ``R_i`` (discounted by ``beta^t``) and moves
+to ``j`` with probability ``P_ij``; when not engaged it stays frozen (the
+*classical* bandit assumption — relaxing it gives the restless model in
+:mod:`repro.bandits.restless`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability_matrix
+
+__all__ = ["MarkovProject", "random_project", "deteriorating_project"]
+
+
+@dataclass(frozen=True)
+class MarkovProject:
+    """A bandit arm: transition matrix ``P`` and engagement rewards ``R``."""
+
+    P: np.ndarray
+    R: np.ndarray
+
+    def __post_init__(self):
+        P = check_probability_matrix(np.asarray(self.P, dtype=float), "P")
+        R = np.asarray(self.R, dtype=float)
+        if R.shape != (P.shape[0],):
+            raise ValueError("R must have one reward per state")
+        object.__setattr__(self, "P", P)
+        object.__setattr__(self, "R", R)
+
+    @property
+    def n_states(self) -> int:
+        """Number of project states."""
+        return self.P.shape[0]
+
+    def step(self, state: int, rng: np.random.Generator) -> tuple[float, int]:
+        """Engage once from ``state``: returns (reward, next_state)."""
+        nxt = int(rng.choice(self.n_states, p=self.P[state]))
+        return float(self.R[state]), nxt
+
+
+def random_project(
+    n_states: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    reward_scale: float = 1.0,
+    sparsity: float = 0.0,
+) -> MarkovProject:
+    """A random project: Dirichlet transition rows (optionally sparsified)
+    and uniform rewards on [0, reward_scale]."""
+    rng = as_generator(rng)
+    P = rng.dirichlet(np.ones(n_states), size=n_states)
+    if sparsity > 0:
+        mask = rng.random((n_states, n_states)) < sparsity
+        # never zero out a full row
+        for i in range(n_states):
+            if mask[i].all():
+                mask[i, rng.integers(n_states)] = False
+        P = np.where(mask, 0.0, P)
+        P /= P.sum(axis=1, keepdims=True)
+    R = rng.uniform(0.0, reward_scale, size=n_states)
+    return MarkovProject(P=P, R=R)
+
+
+def deteriorating_project(rewards) -> MarkovProject:
+    """A project that marches deterministically down a chain of states with
+    nonincreasing rewards and then stays at the last (absorbing) state.
+
+    For deteriorating projects the Gittins index equals the *myopic* reward
+    ``R_i`` — a classical closed-form check used in the test suite.
+    """
+    R = np.asarray(rewards, dtype=float)
+    if R.ndim != 1 or R.size == 0:
+        raise ValueError("rewards must be a nonempty vector")
+    if np.any(np.diff(R) > 1e-12):
+        raise ValueError("rewards must be nonincreasing for a deteriorating project")
+    n = R.size
+    P = np.zeros((n, n))
+    for i in range(n - 1):
+        P[i, i + 1] = 1.0
+    P[n - 1, n - 1] = 1.0
+    return MarkovProject(P=P, R=R)

@@ -1,0 +1,137 @@
+"""Bandits with switching penalties (Asawa–Teneketzis [2], E9).
+
+Charging a cost ``c`` whenever the engaged project changes breaks the
+Gittins rule's optimality: the optimal policy exhibits *hysteresis* (stick
+with the incumbent beyond the point where a fresh comparison would switch).
+An exact characterisation exists only partially and exact computation
+"grows exponentially with the model size" — we therefore provide:
+
+* the exact product MDP (joint states x incumbent project) as ground truth
+  for small instances,
+* the plain Gittins rule (ignores switching costs; provably suboptimal),
+* the Asawa–Teneketzis-style hysteresis heuristic: switch away from the
+  incumbent only when a challenger's Gittins index exceeds the incumbent's
+  by at least the amortised switching cost ``c (1 - beta)`` (one-period
+  rental equivalent of the lump cost; paying c now to hold a better arm
+  forever is worth it exactly when the index gain exceeds this rate).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.bandits.gittins import gittins_indices_vwb
+from repro.bandits.project import MarkovProject
+from repro.mdp.core import FiniteMDP
+from repro.mdp.solvers import policy_iteration
+
+__all__ = [
+    "switching_bandit_mdp",
+    "optimal_switching_value",
+    "evaluate_switching_policy",
+    "gittins_with_hysteresis",
+    "plain_gittins_switch_policy",
+]
+
+_NO_INCUMBENT = -1
+
+
+def _joint_states(projects: Sequence[MarkovProject]):
+    cores = itertools.product(*[range(p.n_states) for p in projects])
+    incumbents = [_NO_INCUMBENT] + list(range(len(projects)))
+    return [(s, inc) for s in cores for inc in incumbents]
+
+
+def switching_bandit_mdp(
+    projects: Sequence[MarkovProject], cost: float
+) -> tuple[FiniteMDP, list]:
+    """Joint MDP with the incumbent project in the state and a lump cost
+    ``cost`` charged on every change of engaged project."""
+    if cost < 0:
+        raise ValueError("cost must be nonnegative")
+    N = len(projects)
+    states = _joint_states(projects)
+    index_of = {s: i for i, s in enumerate(states)}
+    S = len(states)
+    T = np.zeros((N, S, S))
+    R = np.zeros((N, S))
+    for i, (core, inc) in enumerate(states):
+        for a, proj in enumerate(projects):
+            pay = proj.R[core[a]] - (cost if a != inc and inc != _NO_INCUMBENT else 0.0)
+            # engaging from scratch (inc == -1) charges no switch cost
+            R[a, i] = pay
+            for nxt_local, p in enumerate(proj.P[core[a]]):
+                if p == 0.0:
+                    continue
+                nxt_core = list(core)
+                nxt_core[a] = nxt_local
+                T[a, i, index_of[(tuple(nxt_core), a)]] += p
+    return FiniteMDP(T, R), states
+
+
+def optimal_switching_value(
+    projects: Sequence[MarkovProject], cost: float, beta: float
+) -> float:
+    """Exact optimal discounted value (start: all projects at state 0, no
+    incumbent)."""
+    mdp, states = switching_bandit_mdp(projects, cost)
+    sol = policy_iteration(mdp, beta)
+    start = (tuple(0 for _ in projects), _NO_INCUMBENT)
+    return float(sol.value[states.index(start)])
+
+
+def evaluate_switching_policy(
+    projects: Sequence[MarkovProject],
+    cost: float,
+    beta: float,
+    choose: Callable[[tuple, int], int],
+) -> float:
+    """Exact discounted value of a stationary policy
+    ``choose(core_states, incumbent) -> project`` under switching costs."""
+    mdp, states = switching_bandit_mdp(projects, cost)
+    policy = np.array([choose(core, inc) for (core, inc) in states], dtype=int)
+    v = mdp.policy_value(policy, beta)
+    start = (tuple(0 for _ in projects), _NO_INCUMBENT)
+    return float(v[states.index(start)])
+
+
+def plain_gittins_switch_policy(
+    projects: Sequence[MarkovProject], beta: float
+) -> Callable[[tuple, int], int]:
+    """The Gittins rule oblivious to switching costs (ties to incumbent,
+    then lowest id) — the E9 strawman."""
+    tables = [gittins_indices_vwb(p, beta) for p in projects]
+
+    def choose(core: tuple, inc: int) -> int:
+        return max(
+            range(len(projects)),
+            key=lambda a: (tables[a][core[a]], 1 if a == inc else 0, -a),
+        )
+
+    return choose
+
+
+def gittins_with_hysteresis(
+    projects: Sequence[MarkovProject],
+    cost: float,
+    beta: float,
+    *,
+    stickiness: float | None = None,
+) -> Callable[[tuple, int], int]:
+    """The hysteresis heuristic: the incumbent's index is boosted by
+    ``stickiness`` (default: the amortised switching cost ``c (1-beta)``)
+    before comparison; switching happens only when a challenger clears the
+    boosted bar."""
+    tables = [gittins_indices_vwb(p, beta) for p in projects]
+    bonus = cost * (1.0 - beta) if stickiness is None else float(stickiness)
+
+    def choose(core: tuple, inc: int) -> int:
+        def score(a: int) -> float:
+            return tables[a][core[a]] + (bonus if a == inc else 0.0)
+
+        return max(range(len(projects)), key=lambda a: (score(a), 1 if a == inc else 0, -a))
+
+    return choose

@@ -1,0 +1,107 @@
+"""Scheduling a batch of stochastic jobs (survey §1).
+
+A fixed batch of ``n`` jobs with random processing times must be completed by
+``m`` machines. This subpackage implements:
+
+* the job/instance model and random-instance generators,
+* the classical index policies — WSEPT (Rothkopf [34] / Smith [37]), SEPT,
+  LEPT (Bruno–Downey–Frederickson [10], Glazebrook [20], Weber [41, 43]) —
+  and Sevcik's optimal preemptive index [35],
+* exact evaluation: closed-form single-machine weighted flowtime, brute-force
+  optima, and the exponential parallel-machine dynamic programs for flowtime
+  and makespan,
+* simulators for nonpreemptive/preemptive parallel machines, uniform
+  (speed-heterogeneous) machines, stochastic flow shops (Wie–Pinedo [49]),
+  and in-tree precedence constraints (Papadimitriou–Tsitsiklis [31]),
+* the Weiss turnpike analysis [46]: bounded absolute suboptimality of WSEPT
+  on parallel machines, hence vanishing relative gap.
+"""
+
+from repro.batch.job import Job, batch_means, batch_weights
+from repro.batch.instances import (
+    random_exponential_batch,
+    random_two_point_batch,
+    random_weibull_batch,
+)
+from repro.batch.policies import (
+    fifo_order,
+    lept_order,
+    lept_rule,
+    random_order,
+    sept_order,
+    sept_rule,
+    wsept_order,
+    wsept_rule,
+)
+from repro.batch.single_machine import (
+    brute_force_optimal_sequence,
+    expected_weighted_flowtime,
+    simulate_sequence,
+)
+from repro.batch.sevcik import (
+    GittinsJobIndex,
+    discretize_distribution,
+    preemptive_single_machine_mdp,
+    simulate_preemptive_single_machine,
+)
+from repro.batch.exponential_dp import (
+    flowtime_dp,
+    makespan_dp,
+    policy_flowtime_dp,
+    policy_makespan_dp,
+)
+from repro.batch.parallel import (
+    ParallelSimulationResult,
+    simulate_parallel_nonpreemptive,
+    simulate_parallel_preemptive_exponential,
+)
+from repro.batch.uniform_machines import (
+    uniform_flowtime_dp,
+    simulate_uniform_machines,
+)
+from repro.batch.flowshop import simulate_flowshop
+from repro.batch.precedence import (
+    InTree,
+    random_intree,
+    simulate_intree_makespan,
+)
+from repro.batch.turnpike import weiss_gap_analysis, single_machine_lower_bound
+
+__all__ = [
+    "Job",
+    "batch_means",
+    "batch_weights",
+    "random_exponential_batch",
+    "random_two_point_batch",
+    "random_weibull_batch",
+    "wsept_rule",
+    "sept_rule",
+    "lept_rule",
+    "wsept_order",
+    "sept_order",
+    "lept_order",
+    "fifo_order",
+    "random_order",
+    "expected_weighted_flowtime",
+    "brute_force_optimal_sequence",
+    "simulate_sequence",
+    "GittinsJobIndex",
+    "discretize_distribution",
+    "preemptive_single_machine_mdp",
+    "simulate_preemptive_single_machine",
+    "flowtime_dp",
+    "makespan_dp",
+    "policy_flowtime_dp",
+    "policy_makespan_dp",
+    "ParallelSimulationResult",
+    "simulate_parallel_nonpreemptive",
+    "simulate_parallel_preemptive_exponential",
+    "uniform_flowtime_dp",
+    "simulate_uniform_machines",
+    "simulate_flowshop",
+    "InTree",
+    "random_intree",
+    "simulate_intree_makespan",
+    "weiss_gap_analysis",
+    "single_machine_lower_bound",
+]

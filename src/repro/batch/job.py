@@ -1,0 +1,67 @@
+"""Job model for batch stochastic scheduling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+
+__all__ = ["Job", "batch_means", "batch_weights"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One stochastic job.
+
+    Attributes
+    ----------
+    id:
+        Unique identifier within a batch.
+    distribution:
+        Processing-time distribution ``G_i``.
+    weight:
+        Holding-cost rate ``w_i >= 0`` per unit time in system.
+    """
+
+    id: int
+    distribution: Distribution
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if self.weight < 0:
+            raise ValueError(f"weight must be nonnegative, got {self.weight}")
+
+    @property
+    def mean(self) -> float:
+        """Expected processing time ``p_i``."""
+        return self.distribution.mean
+
+    @property
+    def wsept_index(self) -> float:
+        """Smith/Rothkopf priority index ``w_i / p_i`` (serve larger first).
+
+        The survey states the index as "w_i p_i" with jobs sequenced in
+        nonincreasing index order under the convention that the index is the
+        weight-to-mean ratio; we use the ratio form ``w_i / p_i`` so that
+        *higher index = higher priority*, consistent with every other rule in
+        the library.
+        """
+        if self.mean == 0:
+            return float("inf")
+        return self.weight / self.mean
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one realised processing time."""
+        return float(self.distribution.sample(rng))
+
+
+def batch_means(jobs) -> np.ndarray:
+    """Vector of expected processing times of a batch."""
+    return np.array([j.mean for j in jobs], dtype=float)
+
+
+def batch_weights(jobs) -> np.ndarray:
+    """Vector of holding-cost weights of a batch."""
+    return np.array([j.weight for j in jobs], dtype=float)

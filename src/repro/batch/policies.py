@@ -1,0 +1,86 @@
+"""Static list policies for batch scheduling: WSEPT, SEPT, LEPT and
+baselines, expressed as :class:`repro.core.StaticIndexRule` instances."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.batch.job import Job
+from repro.core.indices import StaticIndexRule
+
+__all__ = [
+    "wsept_rule",
+    "sept_rule",
+    "lept_rule",
+    "wsept_order",
+    "sept_order",
+    "lept_order",
+    "fifo_order",
+    "random_order",
+]
+
+
+def wsept_rule(jobs: Sequence[Job]) -> StaticIndexRule:
+    """Weighted Shortest Expected Processing Time rule (Rothkopf [34]).
+
+    Index ``w_i / p_i``; optimal for nonpreemptive expected weighted
+    flowtime on a single machine with independent processing times.
+    """
+    return StaticIndexRule({j.id: j.wsept_index for j in jobs}, name="WSEPT")
+
+
+def sept_rule(jobs: Sequence[Job]) -> StaticIndexRule:
+    """Shortest Expected Processing Time first — index ``1 / p_i``.
+
+    Optimal for total flowtime on identical parallel machines under
+    exponential [20], common-IHR [41], or stochastically ordered [43]
+    processing times.
+    """
+    return StaticIndexRule(
+        {j.id: (np.inf if j.mean == 0 else 1.0 / j.mean) for j in jobs}, name="SEPT"
+    )
+
+
+def lept_rule(jobs: Sequence[Job]) -> StaticIndexRule:
+    """Longest Expected Processing Time first — index ``p_i``.
+
+    Optimal for expected makespan on identical parallel machines under
+    exponential [10] or common-DHR [41] processing times.
+    """
+    return StaticIndexRule({j.id: j.mean for j in jobs}, name="LEPT")
+
+
+def _order_from_rule(jobs: Sequence[Job], rule: StaticIndexRule) -> list[int]:
+    ids = [j.id for j in jobs]
+    idx = np.array([rule.index(i) for i in ids])
+    order = np.lexsort((np.arange(len(ids)), -idx))
+    return [ids[i] for i in order]
+
+
+def wsept_order(jobs: Sequence[Job]) -> list[int]:
+    """Job ids in WSEPT priority order (highest ``w/p`` first)."""
+    return _order_from_rule(jobs, wsept_rule(jobs))
+
+
+def sept_order(jobs: Sequence[Job]) -> list[int]:
+    """Job ids in SEPT order (shortest mean first)."""
+    return _order_from_rule(jobs, sept_rule(jobs))
+
+
+def lept_order(jobs: Sequence[Job]) -> list[int]:
+    """Job ids in LEPT order (longest mean first)."""
+    return _order_from_rule(jobs, lept_rule(jobs))
+
+
+def fifo_order(jobs: Sequence[Job]) -> list[int]:
+    """Jobs in their given (arrival/index) order — the naive baseline."""
+    return [j.id for j in jobs]
+
+
+def random_order(jobs: Sequence[Job], rng: np.random.Generator) -> list[int]:
+    """A uniformly random permutation of the jobs."""
+    ids = [j.id for j in jobs]
+    perm = rng.permutation(len(ids))
+    return [ids[i] for i in perm]

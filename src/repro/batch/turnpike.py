@@ -1,0 +1,195 @@
+"""Weiss's turnpike analysis of WSEPT on parallel machines [46] (E6).
+
+Weiss showed that, under mild assumptions, the *absolute* suboptimality gap
+of the WSEPT list policy for expected weighted flowtime on ``m`` identical
+machines is bounded by a constant independent of the number of jobs ``n``.
+Since the optimal value itself grows like ``n^2``, the *relative* gap
+vanishes — WSEPT is asymptotically optimal.
+
+Computing the exact optimum for large ``n`` is intractable, so the gap is
+measured against the Eastman–Even–Isaacs lower bound, which holds *per
+realization* of the processing times (for every nonpreemptive schedule of a
+deterministic instance):
+
+``Z_m(omega) >= Z*_1(omega) / m + (m - 1) / (2 m) * sum_i w_i p_i(omega)``
+
+where ``Z*_1(omega)`` is the optimal (WSPT on realized times) single-machine
+value. Taking expectations gives a bound on every nonanticipative policy.
+Note the realized-WSPT sequence uses hindsight the scheduler does not have —
+the bound is conservative, which only makes the measured gap an
+over-estimate of the true one; the turnpike conclusion survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.batch.job import Job
+from repro.batch.policies import wsept_order
+from repro.batch.parallel import simulate_parallel_nonpreemptive
+from repro.batch.single_machine import expected_weighted_flowtime
+from repro.utils.rng import spawn_generators
+from repro.utils.stats import mean_confidence_interval
+
+__all__ = [
+    "single_machine_lower_bound",
+    "weiss_gap_analysis",
+    "WeissGapPoint",
+    "exact_gap_sweep",
+    "ExactGapPoint",
+]
+
+
+def single_machine_lower_bound(jobs: Sequence[Job], m: int) -> float:
+    """The *means-based* relaxation value ``Z1(means)/m + (m-1)/(2m) sum w p``
+    — exact for ``m = 1`` (Rothkopf) and a useful scale reference for larger
+    ``m``. For a valid stochastic lower bound use the realized EEI bound
+    inside :func:`weiss_gap_analysis` (means-based values can exceed the
+    m-machine optimum by Jensen's inequality)."""
+    if m < 1:
+        raise ValueError("need m >= 1")
+    z1 = expected_weighted_flowtime(jobs, wsept_order(jobs))
+    wp = sum(j.weight * j.mean for j in jobs)
+    return z1 / m + (m - 1) / (2.0 * m) * wp
+
+
+def _realized_eei_bound(jobs: Sequence[Job], m: int, rng: np.random.Generator) -> float:
+    """One sample of the realized Eastman–Even–Isaacs bound."""
+    w = np.array([j.weight for j in jobs])
+    p = np.array([j.sample(rng) for j in jobs])
+    order = np.lexsort((np.arange(len(jobs)), -(w / np.maximum(p, 1e-300))))
+    completion = np.cumsum(p[order])
+    z1 = float(np.dot(w[order], completion))
+    return z1 / m + (m - 1) / (2.0 * m) * float(np.dot(w, p))
+
+
+@dataclass(frozen=True)
+class WeissGapPoint:
+    """One point of the turnpike sweep: batch size, WSEPT value estimate,
+    realized-EEI lower bound, and the derived gaps."""
+
+    n: int
+    wsept_value: float
+    wsept_half_width: float
+    lower_bound: float
+    lower_bound_half_width: float
+
+    @property
+    def absolute_gap(self) -> float:
+        """WSEPT value minus the lower bound (an upper bound on the true
+        suboptimality gap)."""
+        return self.wsept_value - self.lower_bound
+
+    @property
+    def relative_gap(self) -> float:
+        """Absolute gap divided by the lower bound."""
+        return self.absolute_gap / self.lower_bound
+
+
+@dataclass(frozen=True)
+class ExactGapPoint:
+    """One exact sweep point: WSEPT's value and the true optimum from the
+    exponential subset DP — no bound slack at all."""
+
+    n: int
+    wsept_value: float
+    optimal_value: float
+
+    @property
+    def absolute_gap(self) -> float:
+        """True suboptimality gap of WSEPT."""
+        return self.wsept_value - self.optimal_value
+
+    @property
+    def relative_gap(self) -> float:
+        """Gap relative to the optimum."""
+        return self.absolute_gap / self.optimal_value
+
+
+def exact_gap_sweep(
+    ns: Sequence[int],
+    m: int,
+    *,
+    seed: int = 0,
+    rate_range: tuple[float, float] = (0.3, 3.0),
+    weight_range: tuple[float, float] = (0.5, 2.0),
+) -> list[ExactGapPoint]:
+    """Measure WSEPT's *exact* suboptimality on exponential instances via
+    the subset DP (E6's precise form of Weiss's turnpike: the absolute gap
+    stays bounded as n grows, so the relative gap vanishes).
+
+    Instances are nested (rates/weights are prefixes of one draw) so that
+    the sweep isolates the effect of n. Feasible up to n ≈ 14.
+    """
+    from repro.batch.exponential_dp import flowtime_dp, policy_flowtime_dp
+
+    rng = np.random.default_rng(seed)
+    n_max = max(ns)
+    rates = rng.uniform(*rate_range, size=n_max)
+    weights = rng.uniform(*weight_range, size=n_max)
+    out = []
+    for n in ns:
+        r, w = rates[:n], weights[:n]
+        opt = flowtime_dp(r, m, weights=w)
+        idx = w * r  # w / mean
+
+        def wsept_action(jobs: list[int], _idx=idx) -> list[int]:
+            k = min(m, len(jobs))
+            return sorted(jobs, key=lambda j: (-_idx[j], j))[:k]
+
+        val = policy_flowtime_dp(r, m, action=wsept_action, weights=w)
+        out.append(ExactGapPoint(n=n, wsept_value=val, optimal_value=opt))
+    return out
+
+
+def weiss_gap_analysis(
+    make_jobs,
+    ns: Sequence[int],
+    m: int,
+    *,
+    n_replications: int = 200,
+    seed: int | None = 0,
+) -> list[WeissGapPoint]:
+    """Sweep batch sizes and measure WSEPT's gap to the realized EEI bound.
+
+    Parameters
+    ----------
+    make_jobs:
+        Callable ``(n, rng) -> list[Job]`` generating an instance of size n.
+        The same instance is reused across replications (only processing
+        times are resampled), matching Weiss's per-instance statement.
+    ns:
+        Batch sizes to sweep.
+    m:
+        Number of identical machines.
+    """
+    out = []
+    for i, n in enumerate(ns):
+        inst_rng = np.random.default_rng(None if seed is None else seed + i)
+        jobs = make_jobs(n, inst_rng)
+        order = wsept_order(jobs)
+        base = None if seed is None else seed * 1000 + i
+        rngs = spawn_generators(base, n_replications)
+        vals = np.array(
+            [
+                simulate_parallel_nonpreemptive(jobs, m, order, rng).weighted_flowtime
+                for rng in rngs
+            ]
+        )
+        lb_rngs = spawn_generators(None if base is None else base + 777, n_replications)
+        lbs = np.array([_realized_eei_bound(jobs, m, rng) for rng in lb_rngs])
+        ci_v = mean_confidence_interval(vals)
+        ci_l = mean_confidence_interval(lbs)
+        out.append(
+            WeissGapPoint(
+                n=n,
+                wsept_value=ci_v.mean,
+                wsept_half_width=ci_v.half_width,
+                lower_bound=ci_l.mean,
+                lower_bound_half_width=ci_l.half_width,
+            )
+        )
+    return out

@@ -1,0 +1,38 @@
+"""The survey's organising contribution: priority-index policies.
+
+Niño-Mora's survey identifies a single structural theme running through all
+three model classes: *"an index is computed for each job type (possibly
+depending on its current state, but not on that of other jobs), and at each
+decision epoch jobs of higher index are assigned higher service priority."*
+
+This subpackage defines that abstraction once — :class:`IndexRule` and
+:class:`PriorityIndexPolicy` — so WSEPT, SEPT, LEPT, Sevcik's index, the
+Gittins index, the Whittle index, the cµ rule, and Klimov's indices are all
+literally instances of the same object, and the generic simulators dispatch
+on it uniformly. It also houses the conservation-law machinery shared by the
+batch (§1) and queueing (§3) chapters.
+"""
+
+from repro.core.indices import IndexRule, PriorityIndexPolicy, StaticIndexRule
+from repro.core.conservation import (
+    check_strong_conservation,
+    performance_polytope_vertices,
+    priority_performance_vector,
+    workload_set_function,
+)
+from repro.core.achievable_region import (
+    AchievableRegionSolution,
+    achievable_region_lp,
+)
+
+__all__ = [
+    "IndexRule",
+    "StaticIndexRule",
+    "PriorityIndexPolicy",
+    "check_strong_conservation",
+    "performance_polytope_vertices",
+    "priority_performance_vector",
+    "workload_set_function",
+    "achievable_region_lp",
+    "AchievableRegionSolution",
+]

@@ -1,0 +1,75 @@
+"""Probability distributions for job processing and interarrival times.
+
+The survey's models are parameterised by processing-time distributions
+``G_i(·)`` whose structural properties (hazard-rate monotonicity, stochastic
+orderings, coefficient of variation) decide which scheduling policy is
+optimal. This subpackage provides:
+
+* a uniform :class:`Distribution` interface (sampling, moments, cdf/pdf,
+  hazard rate),
+* the standard families used throughout stochastic scheduling
+  (exponential, Erlang, hyperexponential, deterministic, uniform, Weibull,
+  lognormal, Pareto, two-point, empirical, discrete),
+* phase-type distributions with two-moment fitting,
+* numeric verification of stochastic orders (≤st, ≤hr, ≤lr) and
+  hazard-rate monotonicity (IHR/DHR) classification.
+"""
+
+from repro.distributions.base import Distribution
+from repro.distributions.continuous import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    Pareto,
+    TwoPoint,
+    Uniform,
+    Weibull,
+)
+from repro.distributions.discrete import (
+    Bernoulli,
+    DiscreteDistribution,
+    Empirical,
+    Geometric,
+)
+from repro.distributions.hazard import (
+    HazardClass,
+    classify_hazard,
+    equilibrium_mean,
+    numeric_hazard,
+)
+from repro.distributions.ordering import (
+    dominates_hr,
+    dominates_lr,
+    dominates_st,
+    is_stochastically_ordered_family,
+)
+from repro.distributions.phase_type import PhaseType, fit_two_moments
+
+__all__ = [
+    "Distribution",
+    "Exponential",
+    "Erlang",
+    "HyperExponential",
+    "Deterministic",
+    "Uniform",
+    "Weibull",
+    "LogNormal",
+    "Pareto",
+    "TwoPoint",
+    "DiscreteDistribution",
+    "Empirical",
+    "Geometric",
+    "Bernoulli",
+    "PhaseType",
+    "fit_two_moments",
+    "HazardClass",
+    "classify_hazard",
+    "numeric_hazard",
+    "equilibrium_mean",
+    "dominates_st",
+    "dominates_hr",
+    "dominates_lr",
+    "is_stochastically_ordered_family",
+]

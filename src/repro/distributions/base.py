@@ -1,0 +1,110 @@
+"""Abstract distribution interface used throughout the library."""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import overload
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["Distribution"]
+
+
+class Distribution(abc.ABC):
+    """A nonnegative random variable (processing time, interarrival time...).
+
+    Subclasses implement sampling and the analytic quantities the scheduling
+    algorithms consume: mean, variance, cdf, and (when available) pdf. Hazard
+    rates and residual-life quantities are derived generically.
+    """
+
+    # ----- sampling ---------------------------------------------------
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw samples. Returns a float when ``size`` is ``None``, else an
+        array of shape ``(size,)``."""
+
+    def sample_one(self, rng: np.random.Generator) -> float:
+        """Draw a single sample as a Python float."""
+        return float(self.sample(rng))
+
+    # ----- moments ----------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected value ``E[X]``."""
+
+    @property
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Variance ``Var[X]``."""
+
+    @property
+    def std(self) -> float:
+        """Standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def second_moment(self) -> float:
+        """``E[X^2] = Var[X] + E[X]^2`` — drives the Pollaczek–Khinchine
+        formula and Cobham's priority waiting times."""
+        return self.variance + self.mean**2
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation ``Var[X]/E[X]^2``.
+
+        The boundary between "SEPT-like" and "LEPT-like" behaviour in many
+        models: exponential has scv 1, deterministic 0, hyperexponential >1.
+        """
+        if self.mean == 0:
+            return 0.0
+        return self.variance / self.mean**2
+
+    # ----- law --------------------------------------------------------
+
+    @abc.abstractmethod
+    def cdf(self, x):
+        """``P(X <= x)`` (vectorised over numpy arrays)."""
+
+    def sf(self, x):
+        """Survival function ``P(X > x)``."""
+        return 1.0 - self.cdf(x)
+
+    def pdf(self, x):
+        """Density at ``x``. Subclasses with densities override; the default
+        raises ``NotImplementedError``."""
+        raise NotImplementedError(f"{type(self).__name__} has no density")
+
+    def hazard(self, x):
+        """Hazard rate ``f(x) / (1 - F(x))`` where defined."""
+        sf = self.sf(x)
+        return np.where(sf > 0, self.pdf(x) / np.maximum(sf, 1e-300), np.inf)
+
+    # ----- residual life ----------------------------------------------
+
+    def mean_residual(self, t: float, *, grid: int = 4096, tail: float = 1e-9) -> float:
+        """Mean residual life ``E[X - t | X > t]`` by numeric integration of
+        the survival function. Subclasses with closed forms override."""
+        sf_t = float(self.sf(t))
+        if sf_t <= tail:
+            return 0.0
+        # integrate sf from t to a far quantile
+        hi = t + max(self.mean, 1.0) * 60.0
+        xs = np.linspace(t, hi, grid)
+        vals = np.asarray(self.sf(xs), dtype=float)
+        integral = float(np.trapezoid(vals, xs))
+        return integral / sf_t
+
+    # ----- misc ---------------------------------------------------------
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(vars(self).items()) if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"

@@ -1,0 +1,130 @@
+"""Discrete distributions (integer-valued processing times, Bernoulli
+rewards for bandit arms, empirical traces)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.utils.validation import check_probability
+
+__all__ = ["DiscreteDistribution", "Empirical", "Geometric", "Bernoulli"]
+
+
+class DiscreteDistribution(Distribution):
+    """A finite discrete distribution on arbitrary nonnegative support.
+
+    Parameters
+    ----------
+    values:
+        Support points (nonnegative).
+    probs:
+        Probabilities summing to 1.
+    """
+
+    def __init__(self, values, probs):
+        values = np.asarray(values, dtype=float)
+        probs = np.asarray(probs, dtype=float)
+        if values.shape != probs.shape or values.ndim != 1:
+            raise ValueError("values and probs must be 1-D arrays of equal length")
+        if np.any(values < 0):
+            raise ValueError("support must be nonnegative")
+        if np.any(probs < 0) or not math.isclose(float(probs.sum()), 1.0, abs_tol=1e-9):
+            raise ValueError("probs must be nonnegative and sum to 1")
+        order = np.argsort(values)
+        self.values = values[order]
+        self.probs = probs[order]
+        self._cum = np.cumsum(self.probs)
+
+    def sample(self, rng, size=None):
+        idx = rng.choice(len(self.values), p=self.probs, size=size)
+        return self.values[idx] if size is not None else float(self.values[idx])
+
+    @property
+    def mean(self) -> float:
+        return float(np.dot(self.values, self.probs))
+
+    @property
+    def variance(self) -> float:
+        return float(np.dot(self.values**2, self.probs) - self.mean**2)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        idx = np.searchsorted(self.values, x, side="right")
+        out = np.where(idx > 0, self._cum[np.minimum(idx, len(self._cum)) - 1], 0.0)
+        return out
+
+    def pmf(self, x) -> float:
+        """Probability mass at a single point ``x``."""
+        matches = np.isclose(self.values, x)
+        return float(self.probs[matches].sum())
+
+
+class Empirical(DiscreteDistribution):
+    """Empirical distribution of an observed trace (resampling model).
+
+    Used to plug measured processing times into any scheduler — the standard
+    substitute when no parametric family fits.
+    """
+
+    def __init__(self, observations):
+        observations = np.asarray(observations, dtype=float)
+        if observations.ndim != 1 or observations.size == 0:
+            raise ValueError("observations must be a nonempty 1-D array")
+        values, counts = np.unique(observations, return_counts=True)
+        super().__init__(values, counts / counts.sum())
+        self.n_observations = int(observations.size)
+
+
+class Geometric(Distribution):
+    """Geometric on {1, 2, ...}: number of trials until first success with
+    success probability ``p``. The discrete analogue of the exponential
+    (memoryless), used by discrete-time bandit models."""
+
+    def __init__(self, p: float):
+        if not 0 < p <= 1:
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        self.p = float(p)
+
+    def sample(self, rng, size=None):
+        out = rng.geometric(self.p, size=size)
+        return float(out) if size is None else out.astype(float)
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.p
+
+    @property
+    def variance(self) -> float:
+        return (1.0 - self.p) / self.p**2
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        k = np.floor(x)
+        return np.where(k >= 1, 1.0 - (1.0 - self.p) ** k, 0.0)
+
+
+class Bernoulli(Distribution):
+    """Bernoulli reward (success probability ``p``) — bandit arm payoffs."""
+
+    def __init__(self, p: float):
+        self.p = check_probability(p, "p")
+
+    def sample(self, rng, size=None):
+        if size is None:
+            return 1.0 if rng.random() < self.p else 0.0
+        return (rng.random(size) < self.p).astype(float)
+
+    @property
+    def mean(self) -> float:
+        return self.p
+
+    @property
+    def variance(self) -> float:
+        return self.p * (1.0 - self.p)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= 1, 1.0, np.where(x >= 0, 1.0 - self.p, 0.0))

@@ -1,0 +1,97 @@
+"""Hazard-rate analysis.
+
+Weber's parallel-machine theorems [41] hinge on hazard-rate monotonicity:
+SEPT is optimal for flowtime under a common nondecreasing hazard rate (IHR),
+LEPT for makespan under a nonincreasing hazard rate (DHR). This module
+classifies distributions numerically so instance generators and tests can
+enforce those assumptions.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+
+__all__ = ["HazardClass", "classify_hazard", "numeric_hazard", "equilibrium_mean"]
+
+
+class HazardClass(enum.Enum):
+    """Monotonicity class of a hazard-rate function."""
+
+    IHR = "increasing hazard rate"
+    DHR = "decreasing hazard rate"
+    CONSTANT = "constant hazard rate (exponential)"
+    NON_MONOTONE = "non-monotone hazard rate"
+
+
+def numeric_hazard(dist: Distribution, xs: np.ndarray) -> np.ndarray:
+    """Evaluate the hazard rate of ``dist`` on the grid ``xs``.
+
+    Uses the distribution's analytic ``hazard`` when available, otherwise a
+    finite-difference of ``-log(sf)``.
+    """
+    xs = np.asarray(xs, dtype=float)
+    try:
+        return np.asarray(dist.hazard(xs), dtype=float)
+    except NotImplementedError:
+        sf = np.maximum(np.asarray(dist.sf(xs), dtype=float), 1e-300)
+        logsf = np.log(sf)
+        return -np.gradient(logsf, xs)
+
+
+def classify_hazard(
+    dist: Distribution,
+    *,
+    upper_quantile: float = 0.99,
+    grid: int = 512,
+    rtol: float = 1e-6,
+) -> HazardClass:
+    """Classify the hazard of ``dist`` on (0, q] where q is the
+    ``upper_quantile`` of the distribution.
+
+    The classification is numeric: it evaluates the hazard on a grid and
+    inspects the sign pattern of its increments (with relative tolerance
+    ``rtol``). Deterministic distributions are classified IHR (degenerate
+    limit of Erlang).
+    """
+    if dist.variance == 0:
+        return HazardClass.IHR
+    # find an upper point by bisection on the cdf
+    lo, hi = 1e-9, max(dist.mean, 1e-6)
+    while float(dist.cdf(hi)) < upper_quantile:
+        hi *= 2.0
+        if hi > 1e12:
+            break
+    xs = np.linspace(lo, hi, grid)
+    h = numeric_hazard(dist, xs)
+    valid = np.isfinite(h)
+    h = h[valid]
+    if h.size < 3:
+        return HazardClass.NON_MONOTONE
+    scale = max(float(np.abs(h).max()), 1e-300)
+    diffs = np.diff(h) / scale
+    inc = bool(np.all(diffs >= -rtol))
+    dec = bool(np.all(diffs <= rtol))
+    if inc and dec:
+        return HazardClass.CONSTANT
+    if inc:
+        return HazardClass.IHR
+    if dec:
+        return HazardClass.DHR
+    return HazardClass.NON_MONOTONE
+
+
+def equilibrium_mean(dist: Distribution) -> float:
+    """Mean of the equilibrium (stationary-excess) distribution,
+    ``E[X^2] / (2 E[X])`` — the expected residual service seen by a Poisson
+    arrival, the quantity at the heart of the P–K formula."""
+    m = dist.mean
+    if m == 0:
+        return 0.0
+    if not math.isfinite(dist.second_moment):
+        return math.inf
+    return dist.second_moment / (2.0 * m)

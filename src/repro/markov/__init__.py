@@ -1,0 +1,27 @@
+"""Markov chain utilities (DTMC and CTMC analysis).
+
+Substrate for the bandit and queueing models: stationary distributions,
+absorbing-chain analysis (fundamental matrix), hitting times, and CTMC
+uniformization.
+"""
+
+from repro.markov.chain import (
+    MarkovChain,
+    absorption_probabilities,
+    expected_absorption_time,
+    fundamental_matrix,
+    hitting_times,
+    stationary_distribution,
+)
+from repro.markov.ctmc import CTMC, uniformize
+
+__all__ = [
+    "MarkovChain",
+    "stationary_distribution",
+    "fundamental_matrix",
+    "absorption_probabilities",
+    "expected_absorption_time",
+    "hitting_times",
+    "CTMC",
+    "uniformize",
+]

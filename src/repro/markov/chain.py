@@ -1,0 +1,125 @@
+"""Discrete-time Markov chain analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_probability_matrix, check_substochastic_matrix
+
+__all__ = [
+    "MarkovChain",
+    "stationary_distribution",
+    "fundamental_matrix",
+    "absorption_probabilities",
+    "expected_absorption_time",
+    "hitting_times",
+]
+
+
+def stationary_distribution(P: np.ndarray) -> np.ndarray:
+    """Stationary distribution of an irreducible row-stochastic matrix.
+
+    Solves ``pi P = pi, sum(pi) = 1`` as a linear system (replacing one
+    balance equation by the normalisation), which is robust for the modest
+    state-space sizes used here.
+    """
+    P = check_probability_matrix(P)
+    n = P.shape[0]
+    A = np.vstack([(P.T - np.eye(n))[:-1], np.ones(n)])
+    b = np.zeros(n)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+    if np.any(pi < -1e-8):
+        raise ValueError("chain appears reducible: negative stationary mass")
+    pi = np.clip(pi, 0.0, None)
+    return pi / pi.sum()
+
+
+def fundamental_matrix(Q: np.ndarray) -> np.ndarray:
+    """Fundamental matrix ``N = (I - Q)^{-1}`` of an absorbing chain, where
+    ``Q`` is the transient-to-transient block. ``N[i, j]`` is the expected
+    number of visits to transient state j starting from i."""
+    Q = check_substochastic_matrix(Q, "Q")
+    n = Q.shape[0]
+    return np.linalg.inv(np.eye(n) - Q)
+
+
+def absorption_probabilities(Q: np.ndarray, R: np.ndarray) -> np.ndarray:
+    """Probability of absorption in each absorbing state: ``N R`` where
+    ``R`` is the transient-to-absorbing block."""
+    N = fundamental_matrix(Q)
+    R = np.asarray(R, dtype=float)
+    if R.shape[0] != Q.shape[0]:
+        raise ValueError("R must have one row per transient state")
+    return N @ R
+
+
+def expected_absorption_time(Q: np.ndarray) -> np.ndarray:
+    """Expected steps to absorption from each transient state: ``N 1``."""
+    return fundamental_matrix(Q).sum(axis=1)
+
+
+def hitting_times(P: np.ndarray, target: int) -> np.ndarray:
+    """Expected number of steps to first reach ``target`` from each state
+    (0 at the target itself)."""
+    P = check_probability_matrix(P)
+    n = P.shape[0]
+    others = [i for i in range(n) if i != target]
+    Q = P[np.ix_(others, others)]
+    t = np.linalg.solve(np.eye(n - 1) - Q, np.ones(n - 1))
+    out = np.zeros(n)
+    out[others] = t
+    return out
+
+
+class MarkovChain:
+    """A finite DTMC with optional per-state rewards.
+
+    Wraps the functional API above and adds simulation and discounted /
+    average reward evaluation — the building block for bandit projects.
+    """
+
+    def __init__(self, P: np.ndarray, rewards: np.ndarray | None = None):
+        self.P = check_probability_matrix(P)
+        n = self.P.shape[0]
+        if rewards is None:
+            rewards = np.zeros(n)
+        self.rewards = np.asarray(rewards, dtype=float)
+        if self.rewards.shape != (n,):
+            raise ValueError("rewards must have one entry per state")
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self.P.shape[0]
+
+    def stationary(self) -> np.ndarray:
+        """Stationary distribution (irreducible chains)."""
+        return stationary_distribution(self.P)
+
+    def discounted_value(self, beta: float) -> np.ndarray:
+        """``v = (I - beta P)^{-1} r``: total expected discounted reward from
+        each start state."""
+        if not 0 <= beta < 1:
+            raise ValueError("beta must be in [0, 1)")
+        n = self.n_states
+        return np.linalg.solve(np.eye(n) - beta * self.P, self.rewards)
+
+    def average_reward(self) -> float:
+        """Long-run average reward ``pi . r`` (irreducible chains)."""
+        return float(self.stationary() @ self.rewards)
+
+    def simulate(
+        self, start: int, n_steps: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Simulate a path of ``n_steps`` transitions; returns the visited
+        states including the start (length ``n_steps + 1``)."""
+        path = np.empty(n_steps + 1, dtype=np.int64)
+        path[0] = start
+        cum = np.cumsum(self.P, axis=1)
+        u = rng.random(n_steps)
+        s = start
+        for t in range(n_steps):
+            s = int(np.searchsorted(cum[s], u[t]))
+            path[t + 1] = s
+        return path

@@ -1,0 +1,98 @@
+"""Continuous-time Markov chain analysis (uniformization, stationarity)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CTMC", "uniformize"]
+
+
+def uniformize(Q: np.ndarray, rate: float | None = None) -> tuple[np.ndarray, float]:
+    """Uniformize a CTMC generator ``Q`` into a DTMC ``P = I + Q / Lambda``.
+
+    Returns ``(P, Lambda)``. ``rate`` overrides the uniformization constant
+    (must dominate the largest exit rate); by default a 1% margin above the
+    maximum exit rate is used. Uniformization converts continuous-time
+    scheduling problems (queueing control MDPs) into equivalent discrete-time
+    ones — the standard trick behind all our exact queueing-control baselines.
+    """
+    Q = np.asarray(Q, dtype=float)
+    if Q.ndim != 2 or Q.shape[0] != Q.shape[1]:
+        raise ValueError("Q must be square")
+    if not np.allclose(Q.sum(axis=1), 0.0, atol=1e-7):
+        raise ValueError("generator rows must sum to 0")
+    exit_rates = -np.diag(Q)
+    if np.any(exit_rates < -1e-12):
+        raise ValueError("diagonal of a generator must be nonpositive")
+    lam = float(exit_rates.max()) * 1.01 if rate is None else float(rate)
+    if lam <= 0:
+        lam = 1.0
+    if lam < exit_rates.max() - 1e-12:
+        raise ValueError("uniformization rate must dominate all exit rates")
+    P = np.eye(Q.shape[0]) + Q / lam
+    P = np.clip(P, 0.0, None)
+    P /= P.sum(axis=1, keepdims=True)
+    return P, lam
+
+
+class CTMC:
+    """A finite CTMC defined by its generator matrix."""
+
+    def __init__(self, Q: np.ndarray):
+        Q = np.asarray(Q, dtype=float)
+        if Q.ndim != 2 or Q.shape[0] != Q.shape[1]:
+            raise ValueError("Q must be square")
+        if not np.allclose(Q.sum(axis=1), 0.0, atol=1e-7):
+            raise ValueError("generator rows must sum to 0")
+        self.Q = Q
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self.Q.shape[0]
+
+    def stationary(self) -> np.ndarray:
+        """Stationary distribution: solves ``pi Q = 0, sum(pi) = 1``."""
+        n = self.n_states
+        A = np.vstack([self.Q.T[:-1], np.ones(n)])
+        b = np.zeros(n)
+        b[-1] = 1.0
+        pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+        pi = np.clip(pi, 0.0, None)
+        return pi / pi.sum()
+
+    def embedded_chain(self) -> np.ndarray:
+        """Jump-chain transition matrix (states with exit rate 0 self-loop)."""
+        rates = -np.diag(self.Q)
+        P = self.Q.copy()
+        np.fill_diagonal(P, 0.0)
+        out = np.zeros_like(P)
+        for i, r in enumerate(rates):
+            if r > 0:
+                out[i] = P[i] / r
+            else:
+                out[i, i] = 1.0
+        return out
+
+    def simulate(
+        self, start: int, horizon: float, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Simulate until ``horizon``; returns (jump_times, states) with the
+        initial state at time 0."""
+        times = [0.0]
+        states = [start]
+        t, s = 0.0, start
+        rates = -np.diag(self.Q)
+        P = self.embedded_chain()
+        cum = np.cumsum(P, axis=1)
+        while True:
+            r = rates[s]
+            if r <= 0:
+                break
+            t += rng.exponential(1.0 / r)
+            if t >= horizon:
+                break
+            s = int(np.searchsorted(cum[s], rng.random()))
+            times.append(t)
+            states.append(s)
+        return np.asarray(times), np.asarray(states, dtype=np.int64)

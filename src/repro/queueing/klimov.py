@@ -1,0 +1,172 @@
+"""Klimov's model [24]: a multiclass M/G/1 queue with Markovian feedback.
+
+On completing service, a class-i job becomes class j with probability
+``p_ij`` and leaves with probability ``1 - sum_j p_ij``. Klimov proved that
+the average holding cost is minimised by a static priority rule whose
+indices are computed by an N-step algorithm; without feedback it reduces to
+the cµ rule (E11).
+
+The implementation computes the indices as *branching-bandit Gittins
+indices* (Weiss [45], Bertsimas–Niño-Mora [4]) by a largest-index-first
+recursion directly analogous to Varaiya–Walrand–Buyukkoc:
+
+For a continuation set ``C`` and class ``i``, serving a class-i job and
+chasing it while it stays in ``C`` costs expected effort
+
+``T_C(i) = m_i + sum_{j in C} p_ij T_C(j)``
+
+and achieves an expected holding-rate reduction
+
+``D_C(i) = c_i - e_C(i)``, where ``e_C(i) = sum_{j notin C} p_ij c_j +
+sum_{j in C} p_ij e_C(j)``
+
+(the expected holding rate of whatever the job has become when it first
+exits ``C``; 0 if it has left). The class index is
+``gamma_i = max_{C ni i} D_C(i) / T_C(i)``, attained, as in VWB, with ``C``
+the set of classes already ranked above ``i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.indices import StaticIndexRule
+from repro.distributions.base import Distribution
+from repro.utils.validation import check_substochastic_matrix
+
+__all__ = [
+    "KlimovModel",
+    "effective_arrival_rates",
+    "klimov_indices",
+    "klimov_order",
+    "klimov_rule",
+]
+
+
+@dataclass(frozen=True)
+class KlimovModel:
+    """Parameters of a Klimov network.
+
+    Attributes
+    ----------
+    arrival_rates:
+        Exogenous Poisson rates ``alpha_j`` (entries may be 0).
+    services:
+        Per-class service-time distributions.
+    costs:
+        Holding-cost rates ``c_j``.
+    feedback:
+        Substochastic routing matrix ``P`` (row deficit = exit probability).
+    """
+
+    arrival_rates: np.ndarray
+    services: tuple
+    costs: np.ndarray
+    feedback: np.ndarray
+
+    def __post_init__(self):
+        lam = np.asarray(self.arrival_rates, dtype=float)
+        c = np.asarray(self.costs, dtype=float)
+        P = check_substochastic_matrix(np.asarray(self.feedback, dtype=float), "feedback")
+        n = lam.size
+        if len(self.services) != n or c.size != n or P.shape != (n, n):
+            raise ValueError("all parameter arrays must share the class dimension")
+        if np.any(lam < 0) or np.any(c < 0):
+            raise ValueError("rates and costs must be nonnegative")
+        # feedback must be transient (jobs eventually leave)
+        eig = np.max(np.abs(np.linalg.eigvals(P)))
+        if eig >= 1 - 1e-9:
+            raise ValueError("feedback matrix must have spectral radius < 1")
+        object.__setattr__(self, "arrival_rates", lam)
+        object.__setattr__(self, "services", tuple(self.services))
+        object.__setattr__(self, "costs", c)
+        object.__setattr__(self, "feedback", P)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of job classes."""
+        return self.arrival_rates.size
+
+    @property
+    def mean_services(self) -> np.ndarray:
+        """Vector of mean service times."""
+        return np.array([s.mean for s in self.services])
+
+    @property
+    def load(self) -> float:
+        """Total traffic intensity ``rho = sum_j lambda_j m_j`` using the
+        effective (feedback-inflated) arrival rates."""
+        lam_eff = effective_arrival_rates(self.arrival_rates, self.feedback)
+        return float(np.dot(lam_eff, self.mean_services))
+
+
+def effective_arrival_rates(arrival_rates: Sequence[float], feedback: np.ndarray) -> np.ndarray:
+    """Total visit rates ``lambda = alpha (I - P)^{-1}`` including feedback
+    re-entries (the traffic equations)."""
+    alpha = np.asarray(arrival_rates, dtype=float)
+    P = np.asarray(feedback, dtype=float)
+    n = alpha.size
+    return np.linalg.solve((np.eye(n) - P).T, alpha)
+
+
+def klimov_indices(
+    costs: Sequence[float], mean_services: Sequence[float], feedback: np.ndarray
+) -> np.ndarray:
+    """Klimov's priority indices by the largest-index-first recursion (see
+    module docstring). Reduces to ``c_j / m_j`` when ``feedback`` is zero."""
+    c = np.asarray(costs, dtype=float)
+    m = np.asarray(mean_services, dtype=float)
+    P = check_substochastic_matrix(np.asarray(feedback, dtype=float), "feedback")
+    n = c.size
+    if m.size != n or P.shape != (n, n):
+        raise ValueError("dimension mismatch")
+    if np.any(m <= 0):
+        raise ValueError("mean services must be positive")
+
+    gamma = np.full(n, np.nan)
+    ranked: list[int] = []
+    unranked = set(range(n))
+    while unranked:
+        C = ranked
+        best_i, best_ratio = -1, -np.inf
+        for i in unranked:
+            if C:
+                # candidate continuation set C u {i}: one extra linear solve
+                idxC = list(C) + [i]
+                Pcc = P[np.ix_(idxC, idxC)]
+                Inv = np.linalg.inv(np.eye(len(idxC)) - Pcc)
+                out = [j for j in range(n) if j not in set(idxC)]
+                T = Inv @ m[idxC]
+                e = Inv @ (P[np.ix_(idxC, out)] @ c[out]) if out else np.zeros(len(idxC))
+                Ti, ei = T[-1], e[-1]
+            else:
+                out = [j for j in range(n) if j != i]
+                pii = P[i, i]
+                Ti = m[i] / (1.0 - pii)
+                ei = (P[i, out] @ c[out]) / (1.0 - pii)
+            ratio = (c[i] - ei) / Ti
+            if ratio > best_ratio + 1e-15:
+                best_ratio, best_i = ratio, i
+        gamma[best_i] = best_ratio
+        ranked.append(best_i)
+        unranked.discard(best_i)
+    return gamma
+
+
+def klimov_order(
+    costs: Sequence[float], mean_services: Sequence[float], feedback: np.ndarray
+) -> list[int]:
+    """Classes in Klimov priority order (highest index first)."""
+    gamma = klimov_indices(costs, mean_services, feedback)
+    return list(np.lexsort((np.arange(gamma.size), -gamma)))
+
+
+def klimov_rule(
+    costs: Sequence[float], mean_services: Sequence[float], feedback: np.ndarray
+) -> StaticIndexRule:
+    """Klimov's rule as a :class:`StaticIndexRule` over class ids."""
+    gamma = klimov_indices(costs, mean_services, feedback)
+    return StaticIndexRule({j: float(v) for j, v in enumerate(gamma)}, name="Klimov")

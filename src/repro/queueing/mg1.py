@@ -1,0 +1,172 @@
+"""Multiclass M/G/1 analytics: P–K formula, Cobham priority waits, the cµ
+rule (Cox–Smith [15], E10).
+
+The scheduling problem: N job classes share one server; class j arrives
+Poisson(``alpha_j``), has service distribution ``G_j`` with mean ``1/mu_j``
+and incurs holding cost ``c_j`` per unit time in system. Over nonpreemptive
+nonanticipative work-conserving policies, the steady-state cost rate
+``sum_j c_j E[L_j]`` is minimised by the static priority order with indices
+``c_j mu_j`` — the cµ rule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.conservation import priority_performance_vector
+from repro.core.indices import StaticIndexRule
+from repro.distributions.base import Distribution
+
+__all__ = [
+    "mm1_metrics",
+    "mg1_waiting_time",
+    "cmu_indices",
+    "cmu_order",
+    "order_average_cost",
+    "optimal_average_cost",
+    "preemptive_priority_sojourns",
+    "preemptive_order_average_cost",
+    "preemptive_optimal_average_cost",
+]
+
+
+def mm1_metrics(arrival_rate: float, service_rate: float) -> dict[str, float]:
+    """Classical M/M/1 steady-state metrics (sanity anchors for the
+    simulator): utilisation, L, Lq, W, Wq."""
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ValueError("need arrival_rate >= 0 and service_rate > 0")
+    rho = arrival_rate / service_rate
+    if rho >= 1:
+        raise ValueError(f"unstable: rho = {rho:.3f} >= 1")
+    L = rho / (1 - rho)
+    W = 1.0 / (service_rate - arrival_rate)
+    return {
+        "rho": rho,
+        "L": L,
+        "Lq": L - rho,
+        "W": W,
+        "Wq": W - 1.0 / service_rate,
+    }
+
+
+def mg1_waiting_time(arrival_rate: float, service: Distribution) -> float:
+    """Pollaczek–Khinchine mean waiting time (time in queue) of an M/G/1
+    FIFO queue: ``W_q = lambda E[S^2] / (2 (1 - rho))``."""
+    rho = arrival_rate * service.mean
+    if rho >= 1:
+        raise ValueError(f"unstable: rho = {rho:.3f} >= 1")
+    return arrival_rate * service.second_moment / (2.0 * (1.0 - rho))
+
+
+def cmu_indices(costs: Sequence[float], mean_services: Sequence[float]) -> np.ndarray:
+    """The cµ priority indices ``c_j / E[S_j]`` (higher = serve first)."""
+    c = np.asarray(costs, dtype=float)
+    m = np.asarray(mean_services, dtype=float)
+    if c.shape != m.shape or np.any(m <= 0) or np.any(c < 0):
+        raise ValueError("costs/mean_services must align, with m > 0, c >= 0")
+    return c / m
+
+
+def cmu_order(costs: Sequence[float], mean_services: Sequence[float]) -> list[int]:
+    """Classes in cµ priority order (highest index first)."""
+    idx = cmu_indices(costs, mean_services)
+    return list(np.lexsort((np.arange(idx.size), -idx)))
+
+
+def cmu_rule(costs: Sequence[float], mean_services: Sequence[float]) -> StaticIndexRule:
+    """The cµ rule as a :class:`StaticIndexRule` over class ids."""
+    idx = cmu_indices(costs, mean_services)
+    return StaticIndexRule({j: float(v) for j, v in enumerate(idx)}, name="c-mu")
+
+
+def order_average_cost(
+    arrival_rates: Sequence[float],
+    services: Sequence[Distribution],
+    costs: Sequence[float],
+    order: Sequence[int],
+) -> float:
+    """Exact steady-state holding-cost rate ``sum_j c_j E[L_j]`` of a strict
+    nonpreemptive priority order, via Cobham waits + Little's law
+    (``E[L_j] = alpha_j (W_j + E[S_j])``)."""
+    lam = np.asarray(arrival_rates, dtype=float)
+    c = np.asarray(costs, dtype=float)
+    ms = np.array([s.mean for s in services])
+    m2 = np.array([s.second_moment for s in services])
+    W = priority_performance_vector(lam, ms, m2, order)
+    L = lam * (W + ms)
+    return float(np.dot(c, L))
+
+
+def optimal_average_cost(
+    arrival_rates: Sequence[float],
+    services: Sequence[Distribution],
+    costs: Sequence[float],
+) -> tuple[float, list[int]]:
+    """The cµ-optimal cost rate and the optimal priority order (E10)."""
+    ms = [s.mean for s in services]
+    order = cmu_order(costs, ms)
+    return order_average_cost(arrival_rates, services, costs, order), order
+
+
+def preemptive_priority_sojourns(
+    arrival_rates: Sequence[float],
+    services: Sequence[Distribution],
+    order: Sequence[int],
+) -> np.ndarray:
+    """Mean *sojourn* times (wait + service) per class under preemptive-
+    resume static priorities in an M/G/1 queue:
+
+    ``T_k = E[S_k] / (1 - sigma_{k-1})
+            + W0^{(k)} / ((1 - sigma_{k-1})(1 - sigma_k))``
+
+    where classes above k (and k itself) define ``sigma_k`` and
+    ``W0^{(k)} = sum_{i <= k} lambda_i E[S_i^2] / 2`` — class k is entirely
+    blind to lower classes under preemption.
+    """
+    lam = np.asarray(arrival_rates, dtype=float)
+    n = lam.size
+    if sorted(order) != list(range(n)):
+        raise ValueError("order must be a permutation of the classes")
+    ms = np.array([s.mean for s in services])
+    m2 = np.array([s.second_moment for s in services])
+    rho = lam * ms
+    if rho.sum() >= 1:
+        raise ValueError(f"unstable: rho = {rho.sum():.3f} >= 1")
+    T = np.zeros(n)
+    sigma_prev = 0.0
+    w0 = 0.0
+    for cls in order:
+        w0 += lam[cls] * m2[cls] / 2.0
+        sigma_k = sigma_prev + rho[cls]
+        T[cls] = ms[cls] / (1.0 - sigma_prev) + w0 / ((1.0 - sigma_prev) * (1.0 - sigma_k))
+        sigma_prev = sigma_k
+    return T
+
+
+def preemptive_order_average_cost(
+    arrival_rates: Sequence[float],
+    services: Sequence[Distribution],
+    costs: Sequence[float],
+    order: Sequence[int],
+) -> float:
+    """Steady-state holding-cost rate of a preemptive-resume priority order
+    (Little: ``E[L_j] = lambda_j T_j``)."""
+    lam = np.asarray(arrival_rates, dtype=float)
+    c = np.asarray(costs, dtype=float)
+    T = preemptive_priority_sojourns(arrival_rates, services, order)
+    return float(np.dot(c, lam * T))
+
+
+def preemptive_optimal_average_cost(
+    arrival_rates: Sequence[float],
+    services: Sequence[Distribution],
+    costs: Sequence[float],
+) -> tuple[float, list[int]]:
+    """The preemptive cµ cost rate and order — for exponential services this
+    is optimal over *all* nonanticipative policies, which is why it serves
+    as the pooled-relaxation value in the heavy-traffic experiment (E12)."""
+    ms = [s.mean for s in services]
+    order = cmu_order(costs, ms)
+    return preemptive_order_average_cost(arrival_rates, services, costs, order), order

@@ -1,0 +1,365 @@
+"""Multiclass queueing-network simulator.
+
+A network is a set of single- or multi-server *stations* and a set of job
+*classes*; each class belongs to a station, has its own Poisson exogenous
+arrivals, service distribution and holding cost, and routes Markovianly to
+another class (possibly at another station) or out of the system — exactly
+the MQN model of survey §3. A single station with feedback is Klimov's
+model; a single station without feedback is the multiclass M/G/1 of the cµ
+rule; two stations with deterministic routing give the Rybko–Stolyar
+instability example.
+
+Scheduling policies per station: FIFO, nonpreemptive static priority,
+preemptive-resume static priority. Priorities come from any index order, so
+cµ, Klimov, and fluid-derived rules plug in directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.sim.engine import Simulator
+from repro.sim.monitor import TallyMonitor, TimeWeightedMonitor
+from repro.utils.validation import check_substochastic_matrix
+
+__all__ = [
+    "ClassConfig",
+    "StationConfig",
+    "QueueingNetwork",
+    "NetworkResult",
+    "simulate_network",
+    "simulate_network_replications",
+]
+
+
+@dataclass(frozen=True)
+class ClassConfig:
+    """One job class: its station, service law, exogenous arrival rate and
+    holding-cost rate."""
+
+    station: int
+    service: Distribution
+    arrival_rate: float = 0.0
+    cost: float = 1.0
+    name: str = ""
+
+    def __post_init__(self):
+        if self.arrival_rate < 0 or self.cost < 0:
+            raise ValueError("arrival_rate and cost must be nonnegative")
+
+
+@dataclass(frozen=True)
+class StationConfig:
+    """One service station.
+
+    ``discipline`` is ``'priority'`` (static order, nonpreemptive),
+    ``'preemptive'`` (static order, preemptive-resume), ``'fifo'``
+    (head-of-line across classes by arrival instant) or ``'lcfs'``
+    (nonpreemptive last-come-first-served — a work-conserving discipline
+    with the same mean waits as FIFO but different higher moments, useful
+    for exercising the conservation laws). ``priority`` lists class ids
+    from highest to lowest priority and is required for the two priority
+    disciplines.
+    """
+
+    n_servers: int = 1
+    discipline: str = "priority"
+    priority: tuple = ()
+
+    def __post_init__(self):
+        if self.n_servers < 1:
+            raise ValueError("stations need at least one server")
+        if self.discipline not in ("priority", "preemptive", "fifo", "lcfs"):
+            raise ValueError(f"unknown discipline {self.discipline!r}")
+
+
+class QueueingNetwork:
+    """Immutable network description (classes, stations, routing)."""
+
+    def __init__(
+        self,
+        classes: Sequence[ClassConfig],
+        stations: Sequence[StationConfig],
+        routing: np.ndarray | None = None,
+    ):
+        self.classes = tuple(classes)
+        self.stations = tuple(stations)
+        n = len(self.classes)
+        if routing is None:
+            routing = np.zeros((n, n))
+        self.routing = check_substochastic_matrix(np.asarray(routing, dtype=float), "routing")
+        if self.routing.shape != (n, n):
+            raise ValueError("routing must be n_classes x n_classes")
+        for j, cc in enumerate(self.classes):
+            if not 0 <= cc.station < len(self.stations):
+                raise ValueError(f"class {j} references unknown station {cc.station}")
+        for k, st in enumerate(self.stations):
+            if st.discipline in ("priority", "preemptive"):
+                local = [j for j in range(n) if self.classes[j].station == k]
+                if sorted(st.priority) != sorted(local):
+                    raise ValueError(
+                        f"station {k} priority {st.priority} must order exactly "
+                        f"its classes {local}"
+                    )
+
+    @property
+    def n_classes(self) -> int:
+        """Number of job classes."""
+        return len(self.classes)
+
+    def effective_rates(self) -> np.ndarray:
+        """Traffic-equation visit rates ``lambda = alpha (I - P)^{-1}``."""
+        alpha = np.array([c.arrival_rate for c in self.classes])
+        n = self.n_classes
+        return np.linalg.solve((np.eye(n) - self.routing).T, alpha)
+
+    def station_loads(self) -> np.ndarray:
+        """Nominal load ``rho_k = sum_{j at k} lambda_j m_j / n_servers``."""
+        lam = self.effective_rates()
+        rho = np.zeros(len(self.stations))
+        for j, cc in enumerate(self.classes):
+            rho[cc.station] += lam[j] * cc.service.mean
+        return rho / np.array([s.n_servers for s in self.stations])
+
+
+@dataclass(frozen=True)
+class NetworkResult:
+    """Steady-state estimates from one simulation run."""
+
+    mean_queue_lengths: np.ndarray  # time-avg number in system per class
+    mean_waits: np.ndarray  # mean wait (queue time) per class visit
+    visit_counts: np.ndarray  # completed visits per class (post-warmup)
+    cost_rate: float  # sum_j c_j * Lbar_j
+    final_backlog: float  # total jobs in system at the horizon
+    peak_backlog: float  # max total jobs seen (instability telltale)
+    horizon: float
+    trajectory: np.ndarray | None = None  # optional (time, total jobs) samples
+
+
+class _Jb:
+    """Mutable in-flight job record."""
+
+    __slots__ = ("cls", "arrived", "remaining", "started")
+
+    def __init__(self, cls: int, arrived: float):
+        self.cls = cls
+        self.arrived = arrived
+        self.remaining = -1.0  # sampled at first service start
+        self.started = -1.0
+
+
+def simulate_network(
+    network: QueueingNetwork,
+    horizon: float,
+    rng: np.random.Generator,
+    *,
+    warmup_fraction: float = 0.1,
+    max_events: int = 20_000_000,
+    record_trajectory: bool = False,
+    trajectory_points: int = 200,
+) -> NetworkResult:
+    """Simulate the network and return steady-state estimates.
+
+    Statistics are reset at ``warmup_fraction * horizon``. For unstable
+    systems the estimates do not converge, but ``final_backlog`` /
+    ``peak_backlog`` and the optional trajectory expose the divergence
+    (E13's measurement).
+    """
+    n = network.n_classes
+    sim = Simulator()
+    queues: list[list[_Jb]] = [[] for _ in range(n)]
+    # per-station: list of (job, completion_event, start_time) per busy server
+    busy: list[list] = [[] for _ in network.stations]
+    qmon = [TimeWeightedMonitor() for _ in range(n)]
+    wmon = [TallyMonitor() for _ in range(n)]
+    visits = np.zeros(n, dtype=np.int64)
+    total_in_system = TimeWeightedMonitor()
+    traj_t: list[float] = []
+    traj_q: list[float] = []
+
+    prio_pos: list[dict[int, int]] = []
+    for st in network.stations:
+        prio_pos.append({c: p for p, c in enumerate(st.priority)})
+
+    cum_routing = np.cumsum(network.routing, axis=1)
+
+    def class_priority(k: int, cls: int) -> int:
+        return prio_pos[k].get(cls, 0)
+
+    def pick_next(k: int) -> _Jb | None:
+        st = network.stations[k]
+        if st.discipline in ("fifo", "lcfs"):
+            newest = st.discipline == "lcfs"
+            best, best_cls, best_pos = None, -1, -1
+            for j in range(n):
+                if network.classes[j].station == k and queues[j]:
+                    pos = -1 if newest else 0
+                    cand = queues[j][pos]
+                    if best is None or (
+                        cand.arrived > best.arrived
+                        if newest
+                        else cand.arrived < best.arrived
+                    ):
+                        best, best_cls, best_pos = cand, j, pos
+            if best is not None:
+                queues[best_cls].pop(best_pos)
+            return best
+        for cls in network.stations[k].priority:
+            if queues[cls]:
+                return queues[cls].pop(0)
+        return None
+
+    def start_service(k: int, job: _Jb) -> None:
+        if job.remaining < 0:
+            job.remaining = float(network.classes[job.cls].service.sample(rng))
+        if job.started < 0:
+            job.started = sim.now
+            wmon[job.cls].record(sim.now - job.arrived)
+        entry = [job, None, sim.now]
+        entry[1] = sim.schedule(job.remaining, lambda e=entry: complete(k, e))
+        busy[k].append(entry)
+
+    def complete(k: int, entry) -> None:
+        job = entry[0]
+        busy[k].remove(entry)
+        visits[job.cls] += 1
+        leave_class(job.cls)
+        # route
+        u = rng.random()
+        row = cum_routing[job.cls]
+        if u < row[-1]:
+            nxt = int(np.searchsorted(row, u, side="right"))
+            enter_class(nxt, _Jb(nxt, sim.now))
+        else:
+            total_in_system.increment(sim.now, -1.0)
+        serve_if_possible(k)
+
+    def leave_class(cls: int) -> None:
+        qmon[cls].increment(sim.now, -1.0)
+
+    def enter_class(cls: int, job: _Jb) -> None:
+        qmon[cls].increment(sim.now, +1.0)
+        k = network.classes[cls].station
+        st = network.stations[k]
+        if len(busy[k]) < st.n_servers:
+            start_service(k, job)
+            return
+        if st.discipline == "preemptive":
+            # preempt the lowest-priority running job if strictly lower
+            worst = max(busy[k], key=lambda e: class_priority(k, e[0].cls))
+            if class_priority(k, cls) < class_priority(k, worst[0].cls):
+                wjob, wev, wstart = worst
+                wev.cancel()
+                busy[k].remove(worst)
+                wjob.remaining -= sim.now - wstart
+                wjob.remaining = max(wjob.remaining, 1e-12)
+                queues[wjob.cls].insert(0, wjob)
+                start_service(k, job)
+                return
+        queues[cls].append(job)
+
+    def serve_if_possible(k: int) -> None:
+        st = network.stations[k]
+        while len(busy[k]) < st.n_servers:
+            job = pick_next(k)
+            if job is None:
+                return
+            start_service(k, job)
+
+    def exo_arrival(cls: int) -> None:
+        rate = network.classes[cls].arrival_rate
+        total_in_system.increment(sim.now, +1.0)
+        enter_class(cls, _Jb(cls, sim.now))
+        sim.schedule(rng.exponential(1.0 / rate), lambda: exo_arrival(cls))
+
+    for j in range(n):
+        if network.classes[j].arrival_rate > 0:
+            sim.schedule(
+                rng.exponential(1.0 / network.classes[j].arrival_rate),
+                lambda j=j: exo_arrival(j),
+            )
+
+    warmup = warmup_fraction * horizon
+
+    def end_warmup() -> None:
+        for m in qmon:
+            m.reset(sim.now)
+        for m in wmon:
+            m.reset()
+        visits[:] = 0
+
+    if warmup > 0:
+        sim.schedule(warmup, end_warmup, priority=-10)
+
+    if record_trajectory:
+        step = horizon / trajectory_points
+
+        def snapshot() -> None:
+            traj_t.append(sim.now)
+            traj_q.append(total_in_system.level)
+            if sim.now + step <= horizon:
+                sim.schedule(step, snapshot, priority=10)
+
+        sim.schedule(0.0, snapshot, priority=10)
+
+    sim.run(until=horizon, max_events=max_events)
+
+    Lbar = np.array([m.time_average(horizon) for m in qmon])
+    W = np.array([m.mean if m.count else math.nan for m in wmon])
+    costs = np.array([c.cost for c in network.classes])
+    traj = np.column_stack([traj_t, traj_q]) if record_trajectory else None
+    return NetworkResult(
+        mean_queue_lengths=Lbar,
+        mean_waits=W,
+        visit_counts=visits.copy(),
+        cost_rate=float(np.dot(costs, Lbar)),
+        final_backlog=float(total_in_system.level),
+        peak_backlog=float(total_in_system.peak),
+        horizon=horizon,
+        trajectory=traj,
+    )
+
+
+def simulate_network_replications(
+    network: QueueingNetwork,
+    horizon: float,
+    n_replications: int,
+    *,
+    seed: int | None = None,
+    warmup_fraction: float = 0.1,
+    level: float = 0.95,
+):
+    """Run independent replications of :func:`simulate_network` and return
+    confidence intervals for the cost rate and per-class queue lengths.
+
+    Returns a dict with keys ``cost_rate`` (a
+    :class:`repro.utils.stats.ConfidenceInterval`) and ``queue_lengths`` (a
+    list of intervals, one per class). Streams are spawned via SeedSequence
+    so replications never share randomness.
+    """
+    from repro.utils.rng import spawn_generators
+    from repro.utils.stats import mean_confidence_interval
+
+    if n_replications < 2:
+        raise ValueError("need at least two replications for an interval")
+    rngs = spawn_generators(seed, n_replications)
+    costs = np.empty(n_replications)
+    lengths = np.empty((n_replications, network.n_classes))
+    for r, rng in enumerate(rngs):
+        res = simulate_network(
+            network, horizon, rng, warmup_fraction=warmup_fraction
+        )
+        costs[r] = res.cost_rate
+        lengths[r] = res.mean_queue_lengths
+    return {
+        "cost_rate": mean_confidence_interval(costs, level=level),
+        "queue_lengths": [
+            mean_confidence_interval(lengths[:, j], level=level)
+            for j in range(network.n_classes)
+        ],
+    }

@@ -1,0 +1,208 @@
+"""Polling systems: one server, several queues, switchover times
+(Levy–Sidi [25], E15).
+
+The server visits queues in cyclic order; moving from queue i to the next
+takes a random switchover time. Service at each visit follows a local
+policy:
+
+* ``exhaustive`` — serve the queue until it empties (including new arrivals
+  during the visit);
+* ``gated`` — serve exactly the customers present at the server's arrival;
+* ``limited`` — serve at most one customer per visit.
+
+Changeover costs qualitatively change optimal control: a cµ rule that
+ignores them can switch itself into starvation. The classical quantitative
+anchor is the Boxma–Groenendijk *pseudo-conservation law*, implemented in
+:func:`pseudo_conservation_rhs` and verified against the simulator.
+
+The simulator pre-generates per-queue Poisson arrival streams and walks the
+server sequentially — no event calendar needed for a single-server system,
+and the inner loop stays tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+
+__all__ = ["PollingSystem", "PollingResult", "pseudo_conservation_rhs"]
+
+_POLICIES = ("exhaustive", "gated", "limited")
+
+
+@dataclass(frozen=True)
+class PollingResult:
+    """Steady-state estimates for one polling simulation."""
+
+    mean_waits: np.ndarray  # per-queue mean waiting time (queue time)
+    served: np.ndarray  # customers served per queue (post-warmup)
+    cycle_time: float  # mean duration of a full server cycle
+    weighted_wait_sum: float  # sum_i rho_i * W_i (pseudo-conservation LHS)
+
+
+class PollingSystem:
+    """A cyclic polling system.
+
+    Parameters
+    ----------
+    arrival_rates:
+        Poisson rate per queue.
+    services:
+        Service-time distribution per queue.
+    switchovers:
+        Switchover-time distribution entering each queue (the time to *reach*
+        queue i from its predecessor).
+    policy:
+        'exhaustive', 'gated' or 'limited' (applied at every queue).
+    """
+
+    def __init__(
+        self,
+        arrival_rates: Sequence[float],
+        services: Sequence[Distribution],
+        switchovers: Sequence[Distribution],
+        policy: str = "exhaustive",
+    ):
+        self.arrival_rates = np.asarray(arrival_rates, dtype=float)
+        n = self.arrival_rates.size
+        if len(services) != n or len(switchovers) != n:
+            raise ValueError("services and switchovers must match arrival_rates")
+        if np.any(self.arrival_rates < 0):
+            raise ValueError("arrival rates must be nonnegative")
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}")
+        self.services = tuple(services)
+        self.switchovers = tuple(switchovers)
+        self.policy = policy
+        rho = float(np.sum(self.arrival_rates * [s.mean for s in self.services]))
+        if rho >= 1:
+            raise ValueError(f"unstable: total service load rho = {rho:.3f} >= 1")
+        self.rho = rho
+
+    @property
+    def n_queues(self) -> int:
+        """Number of queues."""
+        return self.arrival_rates.size
+
+    def simulate(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        *,
+        warmup_fraction: float = 0.1,
+    ) -> PollingResult:
+        """Simulate until ``horizon`` (server time) and return estimates."""
+        n = self.n_queues
+        # Pre-generate arrival streams with margin; extend lazily if needed.
+        arrivals: list[np.ndarray] = []
+        for i in range(n):
+            lam = self.arrival_rates[i]
+            if lam == 0:
+                arrivals.append(np.array([np.inf]))
+                continue
+            m = int(lam * horizon * 1.3) + 50
+            gaps = rng.exponential(1.0 / lam, size=m)
+            ts = np.cumsum(gaps)
+            while ts[-1] < horizon:
+                more = rng.exponential(1.0 / lam, size=m // 2 + 10)
+                ts = np.concatenate([ts, ts[-1] + np.cumsum(more)])
+            arrivals.append(ts)
+        heads = [0] * n  # next-arrival pointer per queue
+        pending: list[list[float]] = [[] for _ in range(n)]  # arrival times waiting
+        warmup = warmup_fraction * horizon
+        waits = np.zeros(n)
+        served = np.zeros(n, dtype=np.int64)
+        t = 0.0
+        i = 0
+        cycles = 0
+        cycle_start = 0.0
+        cycle_durations: list[float] = []
+
+        def admit(i: int, upto: float) -> None:
+            ts = arrivals[i]
+            h = heads[i]
+            while h < ts.size and ts[h] <= upto:
+                pending[i].append(ts[h])
+                h += 1
+            heads[i] = h
+
+        while t < horizon:
+            # switch into queue i
+            t += float(self.switchovers[i].sample(rng))
+            admit(i, t)
+            if self.policy == "gated":
+                batch = len(pending[i])
+            elif self.policy == "limited":
+                batch = min(1, len(pending[i]))
+            else:
+                batch = -1  # exhaustive: until empty
+            served_this_visit = 0
+            while pending[i] and (batch < 0 or served_this_visit < batch):
+                arr = pending[i].pop(0)
+                if t > warmup:
+                    waits[i] += t - arr
+                    served[i] += 1
+                t += float(self.services[i].sample(rng))
+                served_this_visit += 1
+                admit(i, t)
+                if batch < 0 and t > horizon * 4:  # runaway guard
+                    raise RuntimeError("polling simulation diverged")
+            i = (i + 1) % n
+            if i == 0:
+                if cycles > 0:
+                    cycle_durations.append(t - cycle_start)
+                cycle_start = t
+                cycles += 1
+
+        mean_waits = np.where(served > 0, waits / np.maximum(served, 1), np.nan)
+        rho_i = self.arrival_rates * np.array([s.mean for s in self.services])
+        weighted = float(np.nansum(rho_i * mean_waits))
+        return PollingResult(
+            mean_waits=mean_waits,
+            served=served,
+            cycle_time=float(np.mean(cycle_durations)) if cycle_durations else np.nan,
+            weighted_wait_sum=weighted,
+        )
+
+
+def pseudo_conservation_rhs(
+    arrival_rates: Sequence[float],
+    services: Sequence[Distribution],
+    switchovers: Sequence[Distribution],
+    policy: str = "exhaustive",
+) -> float:
+    """Boxma–Groenendijk pseudo-conservation law for cyclic polling:
+
+    ``sum_i rho_i W_i = rho sum_i lam_i E[B_i^2] / (2 (1 - rho))
+    + rho * E[S_tot^2] / (2 E[S_tot])
+    + (E[S_tot] / (2 (1 - rho))) * (rho^2 -+ sum_i rho_i^2)``
+
+    with ``S_tot`` the total switchover per cycle; the last bracket is
+    ``rho^2 - sum rho_i^2`` for exhaustive and ``rho^2 + sum rho_i^2`` for
+    gated service. (No closed form for limited service.)
+    """
+    lam = np.asarray(arrival_rates, dtype=float)
+    b1 = np.array([s.mean for s in services])
+    b2 = np.array([s.second_moment for s in services])
+    rho_i = lam * b1
+    rho = float(rho_i.sum())
+    if rho >= 1:
+        raise ValueError("rho must be < 1")
+    s_means = np.array([s.mean for s in switchovers])
+    s_vars = np.array([s.variance for s in switchovers])
+    s1 = float(s_means.sum())
+    s2 = float(s_vars.sum() + s1**2)  # independent switchovers
+    term1 = rho * float(np.sum(lam * b2)) / (2.0 * (1.0 - rho))
+    term2 = rho * s2 / (2.0 * s1) if s1 > 0 else 0.0
+    if policy == "exhaustive":
+        bracket = rho**2 - float(np.sum(rho_i**2))
+    elif policy == "gated":
+        bracket = rho**2 + float(np.sum(rho_i**2))
+    else:
+        raise ValueError("pseudo-conservation law implemented for exhaustive/gated only")
+    term3 = s1 / (2.0 * (1.0 - rho)) * bracket
+    return term1 + term2 + term3

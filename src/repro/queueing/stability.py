@@ -1,0 +1,69 @@
+"""The stability problem for multiclass networks (Bramson [9], E13).
+
+The survey highlights that for MQNs with multiple stations "in general it is
+not known what conditions on model parameters ensure that a given policy is
+stable". The canonical demonstration is the Rybko–Stolyar network: two
+stations, two routes crossing them in opposite directions. Giving priority
+at each station to the *exit* class creates a "virtual station": the two
+exit classes can never be served simultaneously (serving one starves the
+feeder of the other), so their combined load must stay below 1 — a stricter
+condition than each physical station's load. When the virtual load exceeds
+1, the priority policy is unstable even though both stations have nominal
+load < 1; FIFO remains stable there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.continuous import Exponential
+from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
+
+__all__ = ["rybko_stolyar_network", "virtual_station_load"]
+
+
+def rybko_stolyar_network(
+    arrival_rate: float = 1.0,
+    mean_first: float = 0.1,
+    mean_second: float = 0.6,
+    *,
+    priority_to_exit: bool = True,
+) -> QueueingNetwork:
+    """Build the Rybko–Stolyar network.
+
+    Classes: 0 = route A stage 1 (station 0), 1 = route A stage 2
+    (station 1), 2 = route B stage 1 (station 1), 3 = route B stage 2
+    (station 0). Exogenous arrivals feed classes 0 and 2 at ``arrival_rate``;
+    stage-1 services have mean ``mean_first`` and stage-2 ``mean_second``.
+
+    With ``priority_to_exit=True`` each station prioritises its stage-2
+    (exit) class — the famously destabilising choice. Nominal station loads
+    are ``arrival_rate * (mean_first + mean_second)`` each; the *virtual
+    station* load is ``arrival_rate * 2 * mean_second``.
+    """
+    if arrival_rate <= 0 or mean_first <= 0 or mean_second <= 0:
+        raise ValueError("rates and means must be positive")
+    classes = [
+        ClassConfig(station=0, service=Exponential.from_mean(mean_first), arrival_rate=arrival_rate, name="A1"),
+        ClassConfig(station=1, service=Exponential.from_mean(mean_second), name="A2"),
+        ClassConfig(station=1, service=Exponential.from_mean(mean_first), arrival_rate=arrival_rate, name="B1"),
+        ClassConfig(station=0, service=Exponential.from_mean(mean_second), name="B2"),
+    ]
+    routing = np.zeros((4, 4))
+    routing[0, 1] = 1.0  # A1 -> A2
+    routing[2, 3] = 1.0  # B1 -> B2
+    if priority_to_exit:
+        st0 = StationConfig(discipline="priority", priority=(3, 0))
+        st1 = StationConfig(discipline="priority", priority=(1, 2))
+    else:
+        st0 = StationConfig(discipline="fifo")
+        st1 = StationConfig(discipline="fifo")
+    return QueueingNetwork(classes, [st0, st1], routing)
+
+
+def virtual_station_load(network: QueueingNetwork, classes: tuple[int, ...] = (1, 3)) -> float:
+    """Combined load of a set of classes that can never be served in
+    parallel (a *virtual station*). For the Rybko–Stolyar exit classes this
+    exceeding 1 implies instability of the exit-priority policy."""
+    lam = network.effective_rates()
+    return float(sum(lam[j] * network.classes[j].service.mean for j in classes))

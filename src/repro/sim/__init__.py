@@ -1,0 +1,22 @@
+"""Discrete-event simulation engine.
+
+The survey observes that "computer simulation remains the most widely used
+tool in applications of these models". No simulation package is assumed; this
+subpackage implements the substrate from scratch: an event calendar with a
+stable tie-breaking order, a simulation clock, time-weighted monitors, and a
+replication runner producing confidence intervals.
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.monitor import TimeWeightedMonitor, TallyMonitor
+from repro.sim.replication import ReplicationResult, run_replications
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "TimeWeightedMonitor",
+    "TallyMonitor",
+    "ReplicationResult",
+    "run_replications",
+]

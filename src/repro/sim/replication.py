@@ -1,0 +1,61 @@
+"""Replication runner: independent replications with confidence intervals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import spawn_generators
+from repro.utils.stats import ConfidenceInterval, mean_confidence_interval
+
+__all__ = ["ReplicationResult", "run_replications"]
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Outputs of a replicated experiment: raw per-replication values and the
+    derived confidence interval."""
+
+    samples: np.ndarray
+    interval: ConfidenceInterval
+
+    @property
+    def mean(self) -> float:
+        """Point estimate (mean over replications)."""
+        return self.interval.mean
+
+    @property
+    def half_width(self) -> float:
+        """Confidence-interval half width."""
+        return self.interval.half_width
+
+    def __str__(self) -> str:
+        return str(self.interval)
+
+
+def run_replications(
+    experiment: Callable[[np.random.Generator], float],
+    n_replications: int,
+    *,
+    seed: int | None = None,
+    level: float = 0.95,
+) -> ReplicationResult:
+    """Run ``experiment`` on ``n_replications`` independent RNG streams.
+
+    Parameters
+    ----------
+    experiment:
+        Maps a fresh generator to a scalar performance measure.
+    n_replications:
+        Number of independent replications (streams are spawned from
+        ``seed`` via SeedSequence, so they never overlap).
+    level:
+        Confidence level for the interval over replication means.
+    """
+    if n_replications < 1:
+        raise ValueError("need at least one replication")
+    rngs = spawn_generators(seed, n_replications)
+    samples = np.array([float(experiment(rng)) for rng in rngs])
+    return ReplicationResult(samples=samples, interval=mean_confidence_interval(samples, level=level))

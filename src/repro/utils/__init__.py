@@ -1,0 +1,31 @@
+"""Shared utilities: RNG stream management and statistical accumulators."""
+
+from repro.utils.rng import RandomStreams, as_generator, spawn_generators
+from repro.utils.stats import (
+    BatchMeans,
+    ConfidenceInterval,
+    RunningStats,
+    mean_confidence_interval,
+)
+from repro.utils.validation import (
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_probability_matrix,
+    check_substochastic_matrix,
+)
+
+__all__ = [
+    "RandomStreams",
+    "as_generator",
+    "spawn_generators",
+    "RunningStats",
+    "BatchMeans",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_probability_matrix",
+    "check_substochastic_matrix",
+]

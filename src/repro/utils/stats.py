@@ -1,0 +1,220 @@
+"""Statistical output analysis for stochastic simulation.
+
+Provides numerically stable running moments (Welford), confidence
+intervals for replication means, and the batch-means method for
+steady-state simulations (used by the queueing experiments, where a single
+long run must be turned into an interval estimate despite autocorrelation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import stats as _sps
+
+__all__ = [
+    "RunningStats",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "BatchMeans",
+]
+
+
+class RunningStats:
+    """Numerically stable streaming mean/variance (Welford's algorithm).
+
+    Supports scalar observations and optional weights (used for
+    time-weighted averages of queue lengths).
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._wsum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def push(self, x: float, weight: float = 1.0) -> None:
+        """Add one observation with the given weight (default 1)."""
+        if weight < 0:
+            raise ValueError("weight must be nonnegative")
+        if weight == 0:
+            return
+        self._n += 1
+        self._wsum += weight
+        delta = x - self._mean
+        self._mean += (weight / self._wsum) * delta
+        self._m2 += weight * delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Add many unweighted observations."""
+        for x in xs:
+            self.push(x)
+
+    @property
+    def count(self) -> int:
+        """Number of observations pushed."""
+        return self._n
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of weights."""
+        return self._wsum
+
+    @property
+    def mean(self) -> float:
+        """Weighted mean of observations (nan when empty)."""
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Weighted population variance (nan when empty)."""
+        if self._n == 0 or self._wsum == 0:
+            return math.nan
+        return self._m2 / self._wsum
+
+    @property
+    def sample_variance(self) -> float:
+        """Unweighted-style sample variance with n-1 correction."""
+        if self._n < 2:
+            return math.nan
+        return self._m2 / self._wsum * self._n / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        """Square root of :attr:`variance`."""
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation seen."""
+        return self._min if self._n else math.nan
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation seen."""
+        return self._max if self._n else math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(n={self._n}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a symmetric confidence interval."""
+
+    mean: float
+    half_width: float
+    level: float
+    n: int
+
+    @property
+    def lower(self) -> float:
+        """Lower endpoint."""
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        """Upper endpoint."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half width divided by |mean| (inf when mean is 0)."""
+        if self.mean == 0:
+            return math.inf
+        return abs(self.half_width / self.mean)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.6g} ± {self.half_width:.3g} ({self.level:.0%}, n={self.n})"
+
+
+def mean_confidence_interval(
+    samples: Sequence[float] | np.ndarray, level: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval for the mean of i.i.d. replications.
+
+    Parameters
+    ----------
+    samples:
+        Replication outputs (one number per independent replication).
+    level:
+        Confidence level in (0, 1).
+    """
+    xs = np.asarray(samples, dtype=float)
+    if xs.ndim != 1:
+        raise ValueError("samples must be one-dimensional")
+    n = xs.size
+    if n == 0:
+        raise ValueError("need at least one sample")
+    if not 0 < level < 1:
+        raise ValueError("level must be in (0, 1)")
+    m = float(xs.mean())
+    if n == 1:
+        return ConfidenceInterval(mean=m, half_width=math.inf, level=level, n=1)
+    s = float(xs.std(ddof=1))
+    t = float(_sps.t.ppf(0.5 + level / 2, df=n - 1))
+    return ConfidenceInterval(mean=m, half_width=t * s / math.sqrt(n), level=level, n=n)
+
+
+class BatchMeans:
+    """Batch-means estimator for a steady-state mean from one long run.
+
+    Observations are grouped into ``n_batches`` contiguous batches after
+    discarding a warm-up fraction; the batch averages are treated as
+    approximately i.i.d. for the interval estimate. This is the classical
+    method for autocorrelated simulation output.
+    """
+
+    def __init__(self, n_batches: int = 20, warmup_fraction: float = 0.1):
+        if n_batches < 2:
+            raise ValueError("need at least 2 batches")
+        if not 0 <= warmup_fraction < 1:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.n_batches = n_batches
+        self.warmup_fraction = warmup_fraction
+        self._obs: list[float] = []
+
+    def push(self, x: float) -> None:
+        """Record one observation."""
+        self._obs.append(x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Record many observations."""
+        self._obs.extend(float(x) for x in xs)
+
+    @property
+    def count(self) -> int:
+        """Total number of recorded observations."""
+        return len(self._obs)
+
+    def batch_means(self) -> np.ndarray:
+        """The per-batch averages after warm-up removal."""
+        xs = np.asarray(self._obs, dtype=float)
+        start = int(len(xs) * self.warmup_fraction)
+        xs = xs[start:]
+        if len(xs) < self.n_batches:
+            raise ValueError(
+                f"only {len(xs)} post-warmup observations for "
+                f"{self.n_batches} batches"
+            )
+        usable = len(xs) - (len(xs) % self.n_batches)
+        return xs[:usable].reshape(self.n_batches, -1).mean(axis=1)
+
+    def confidence_interval(self, level: float = 0.95) -> ConfidenceInterval:
+        """Student-t interval over the batch means."""
+        return mean_confidence_interval(self.batch_means(), level=level)

@@ -1,0 +1,62 @@
+"""Lightweight argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_probability_matrix",
+    "check_substochastic_matrix",
+]
+
+_ATOL = 1e-9
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return float(value)
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return the value."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be nonnegative, got {value!r}")
+    return float(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``; return the value."""
+    if not 0 <= value <= 1:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_probability_matrix(P: np.ndarray, name: str = "P") -> np.ndarray:
+    """Validate a row-stochastic matrix (rows sum to 1)."""
+    P = np.asarray(P, dtype=float)
+    if P.ndim != 2 or P.shape[0] != P.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got shape {P.shape}")
+    if np.any(P < -_ATOL):
+        raise ValueError(f"{name} has negative entries")
+    rows = P.sum(axis=1)
+    if not np.allclose(rows, 1.0, atol=1e-7):
+        raise ValueError(f"{name} rows must sum to 1; sums are {rows}")
+    return P
+
+
+def check_substochastic_matrix(P: np.ndarray, name: str = "P") -> np.ndarray:
+    """Validate a substochastic matrix (rows sum to at most 1)."""
+    P = np.asarray(P, dtype=float)
+    if P.ndim != 2 or P.shape[0] != P.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got shape {P.shape}")
+    if np.any(P < -_ATOL):
+        raise ValueError(f"{name} has negative entries")
+    rows = P.sum(axis=1)
+    if np.any(rows > 1 + 1e-7):
+        raise ValueError(f"{name} rows must sum to at most 1; sums are {rows}")
+    return P

@@ -1,0 +1,61 @@
+"""Tests for the achievable-region LP: it must *derive* the cµ rule."""
+
+import numpy as np
+import pytest
+
+from repro.core import achievable_region_lp
+from repro.distributions import Erlang, Exponential, HyperExponential
+from repro.queueing.mg1 import cmu_order, optimal_average_cost
+
+
+class TestAchievableRegionLP:
+    lam = [0.2, 0.25, 0.15]
+    svcs = [Exponential(1.2), Erlang(2, 2.0), HyperExponential.balanced_from_mean_scv(0.9, 3.0)]
+    costs = [1.0, 2.5, 1.8]
+
+    def _inputs(self):
+        ms = [s.mean for s in self.svcs]
+        m2 = [s.second_moment for s in self.svcs]
+        return self.lam, ms, m2, self.costs
+
+    def test_lp_value_matches_cobham_cmu(self):
+        lam, ms, m2, c = self._inputs()
+        sol = achievable_region_lp(lam, ms, m2, c)
+        exact, _ = optimal_average_cost(lam, self.svcs, c)
+        assert sol.optimal_cost == pytest.approx(exact, rel=1e-8)
+
+    def test_lp_vertex_is_cmu_priority_order(self):
+        lam, ms, m2, c = self._inputs()
+        sol = achievable_region_lp(lam, ms, m2, c)
+        assert list(sol.priority_order) == cmu_order(c, ms)
+
+    def test_waiting_times_match_cobham(self):
+        from repro.core.conservation import priority_performance_vector
+
+        lam, ms, m2, c = self._inputs()
+        sol = achievable_region_lp(lam, ms, m2, c)
+        W = priority_performance_vector(lam, ms, m2, sol.priority_order)
+        assert sol.waiting_times == pytest.approx(W, rel=1e-7)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_instances_derive_cmu(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        lam = rng.uniform(0.03, 0.18, size=n)
+        svcs = [Exponential(rng.uniform(0.8, 3.0)) for _ in range(n)]
+        ms = [s.mean for s in svcs]
+        m2 = [s.second_moment for s in svcs]
+        c = rng.uniform(0.3, 3.0, size=n)
+        sol = achievable_region_lp(lam, ms, m2, c)
+        exact, order = optimal_average_cost(lam, svcs, c)
+        assert sol.optimal_cost == pytest.approx(exact, rel=1e-7)
+        assert list(sol.priority_order) == list(order)
+
+    def test_dimension_guard(self):
+        with pytest.raises(ValueError):
+            achievable_region_lp([0.1], [1.0, 2.0], [2.0], [1.0])
+
+    def test_class_count_guard(self):
+        n = 13
+        with pytest.raises(ValueError):
+            achievable_region_lp([0.01] * n, [1.0] * n, [2.0] * n, [1.0] * n)

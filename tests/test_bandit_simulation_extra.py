@@ -1,0 +1,76 @@
+"""Coverage for bandit simulation mechanics and policy plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import (
+    MarkovProject,
+    deteriorating_project,
+    gittins_policy,
+    random_project,
+    simulate_bandit,
+)
+from repro.core.indices import StaticIndexRule
+
+
+class TestSimulateBandit:
+    def test_invalid_beta(self):
+        projects = [random_project(2, np.random.default_rng(0))]
+        rule = StaticIndexRule({(0, 0): 1.0, (0, 1): 1.0, 0: 1.0})
+        with pytest.raises(ValueError):
+            simulate_bandit(projects, rule, 1.0, np.random.default_rng(0))
+
+    def test_explicit_horizon(self):
+        projects = [deteriorating_project([1.0, 0.0])]
+        rule = gittins_policy(projects, 0.5).rule
+        val = simulate_bandit(
+            projects, rule, 0.5, np.random.default_rng(0), horizon=1
+        )
+        assert val == pytest.approx(1.0)  # one engagement, reward 1
+
+    def test_start_states_respected(self):
+        projects = [deteriorating_project([1.0, 0.25, 0.0])]
+        rule = gittins_policy(projects, 0.5).rule
+        val = simulate_bandit(
+            projects, rule, 0.5, np.random.default_rng(0), start=[1], horizon=1
+        )
+        assert val == pytest.approx(0.25)
+
+    def test_deterministic_project_value_closed_form(self):
+        """Single deteriorating project: value = sum beta^t r_t exactly."""
+        rewards = [1.0, 0.5, 0.25, 0.0]
+        projects = [deteriorating_project(rewards)]
+        beta = 0.6
+        rule = gittins_policy(projects, beta).rule
+        val = simulate_bandit(projects, rule, beta, np.random.default_rng(0), horizon=10)
+        expect = sum(beta**t * r for t, r in enumerate(rewards))
+        assert val == pytest.approx(expect, abs=1e-9)
+
+    def test_truncation_error_bounded(self):
+        """Default horizon truncates when beta^T is negligible; two
+        different explicit horizons beyond it agree."""
+        projects = [random_project(3, np.random.default_rng(1))]
+        rule = gittins_policy(projects, 0.7).rule
+        a = simulate_bandit(projects, rule, 0.7, np.random.default_rng(2), horizon=80)
+        b = simulate_bandit(projects, rule, 0.7, np.random.default_rng(2), horizon=120)
+        assert a == pytest.approx(b, abs=1e-8)
+
+
+class TestGittinsPolicyPlumbing:
+    def test_list_and_dict_inputs_equivalent(self):
+        ps = [random_project(2, np.random.default_rng(3)) for _ in range(2)]
+        p_list = gittins_policy(ps, 0.8)
+        p_dict = gittins_policy(dict(enumerate(ps)), 0.8)
+        for pid in range(2):
+            for s in range(2):
+                assert p_list.rule.index(pid, s) == p_dict.rule.index(pid, s)
+
+    def test_unknown_algorithm_rejected(self):
+        ps = [random_project(2, np.random.default_rng(4))]
+        with pytest.raises(ValueError):
+            gittins_policy(ps, 0.8, algorithm="magic")
+
+    def test_default_state_is_initial(self):
+        ps = [random_project(3, np.random.default_rng(5))]
+        pol = gittins_policy(ps, 0.8)
+        assert pol.rule.index(0) == pol.rule.index(0, 0)

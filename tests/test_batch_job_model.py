@@ -1,0 +1,81 @@
+"""Coverage for the Job model, instance generators, and batch helpers."""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    Job,
+    batch_means,
+    batch_weights,
+    random_exponential_batch,
+    random_two_point_batch,
+    random_weibull_batch,
+)
+from repro.distributions import Deterministic, Exponential, TwoPoint
+
+
+class TestJob:
+    def test_mean_passthrough(self):
+        j = Job(0, Exponential.from_mean(2.5))
+        assert j.mean == pytest.approx(2.5)
+
+    def test_wsept_index(self):
+        j = Job(0, Exponential.from_mean(2.0), weight=3.0)
+        assert j.wsept_index == pytest.approx(1.5)
+
+    def test_zero_mean_infinite_index(self):
+        j = Job(0, Deterministic(0.0), weight=1.0)
+        assert j.wsept_index == float("inf")
+
+    def test_sampling_reproducible(self):
+        j = Job(0, Exponential(1.0))
+        a = j.sample(np.random.default_rng(3))
+        b = j.sample(np.random.default_rng(3))
+        assert a == b
+
+    def test_frozen(self):
+        j = Job(0, Exponential(1.0))
+        with pytest.raises(Exception):
+            j.weight = 2.0  # dataclass(frozen=True)
+
+
+class TestBatchHelpers:
+    def test_vectors_align(self):
+        jobs = random_exponential_batch(6, np.random.default_rng(0))
+        means = batch_means(jobs)
+        weights = batch_weights(jobs)
+        assert means.shape == weights.shape == (6,)
+        assert np.all(means > 0)
+        assert np.all(weights > 0)
+
+
+class TestGenerators:
+    def test_exponential_batch_ranges(self):
+        jobs = random_exponential_batch(
+            50, np.random.default_rng(1), mean_range=(1.0, 2.0), weight_range=(0.5, 0.6)
+        )
+        assert all(1.0 <= j.mean <= 2.0 for j in jobs)
+        assert all(0.5 <= j.weight <= 0.6 for j in jobs)
+
+    def test_unweighted_batch(self):
+        jobs = random_exponential_batch(10, np.random.default_rng(2), weighted=False)
+        assert all(j.weight == 1.0 for j in jobs)
+
+    def test_two_point_batch_support(self):
+        jobs = random_two_point_batch(8, np.random.default_rng(3), small=1.0, large=9.0)
+        for j in jobs:
+            assert isinstance(j.distribution, TwoPoint)
+            assert j.distribution.support() == (1.0, 9.0)
+
+    def test_weibull_batch_shapes(self):
+        jobs = random_weibull_batch(5, 2.0, np.random.default_rng(4))
+        assert all(j.distribution.shape == 2.0 for j in jobs)
+
+    def test_ids_sequential(self):
+        jobs = random_exponential_batch(7, np.random.default_rng(5))
+        assert [j.id for j in jobs] == list(range(7))
+
+    def test_generator_reproducible_from_int_seed(self):
+        a = random_exponential_batch(5, 42)
+        b = random_exponential_batch(5, 42)
+        assert [x.mean for x in a] == [x.mean for x in b]

@@ -1,0 +1,112 @@
+"""Tests for the unifying priority-index framework (repro.core)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PriorityIndexPolicy, StaticIndexRule
+from repro.core.indices import IndexRule
+
+
+class TestStaticIndexRule:
+    def test_basic_lookup(self):
+        rule = StaticIndexRule({"a": 2.0, "b": 1.0})
+        assert rule.index("a") == 2.0
+
+    def test_state_keyed_lookup(self):
+        rule = StaticIndexRule({("p", 0): 1.0, ("p", 1): 5.0, "p": 1.0})
+        assert rule.index("p", 1) == 5.0
+        assert rule.index("p") == 1.0
+
+    def test_priority_order(self):
+        rule = StaticIndexRule({0: 1.0, 1: 3.0, 2: 2.0})
+        assert rule.priority_order() == [1, 2, 0]
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            StaticIndexRule({})
+
+    def test_name(self):
+        assert StaticIndexRule({0: 1.0}, name="WSEPT").name == "WSEPT"
+
+
+class TestPriorityIndexPolicy:
+    def test_select_top_k(self):
+        rule = StaticIndexRule({i: float(i) for i in range(5)})
+        pol = PriorityIndexPolicy(rule)
+        assert pol.select([0, 1, 2, 3, 4], n_slots=2) == [4, 3]
+
+    def test_stable_tie_break(self):
+        rule = StaticIndexRule({0: 1.0, 1: 1.0, 2: 1.0})
+        pol = PriorityIndexPolicy(rule)
+        assert pol.select([2, 0, 1], n_slots=3) == [2, 0, 1]
+
+    def test_random_tie_break_needs_rng(self):
+        rule = StaticIndexRule({0: 1.0, 1: 1.0})
+        pol = PriorityIndexPolicy(rule, tie_break="random")
+        with pytest.raises(ValueError):
+            pol.select([0, 1], n_slots=1)
+        out = pol.select([0, 1], n_slots=1, rng=np.random.default_rng(0))
+        assert out[0] in (0, 1)
+
+    def test_states_passed_through(self):
+        class StateRule(IndexRule):
+            def index(self, item, state=None):
+                return float(state or 0)
+
+        pol = PriorityIndexPolicy(StateRule())
+        out = pol.select(["x", "y"], n_slots=1, states={"x": 1, "y": 9})
+        assert out == ["y"]
+
+    def test_empty_available(self):
+        pol = PriorityIndexPolicy(StaticIndexRule({0: 1.0}))
+        assert pol.select([], n_slots=3) == []
+
+    def test_ranking(self):
+        rule = StaticIndexRule({0: 1.0, 1: 3.0, 2: 2.0})
+        pol = PriorityIndexPolicy(rule)
+        assert pol.ranking([0, 1, 2]) == [1, 2, 0]
+
+    def test_invalid_tie_break(self):
+        with pytest.raises(ValueError):
+            PriorityIndexPolicy(StaticIndexRule({0: 1.0}), tie_break="magic")
+
+    def test_negative_slots_rejected(self):
+        pol = PriorityIndexPolicy(StaticIndexRule({0: 1.0}))
+        with pytest.raises(ValueError):
+            pol.select([0], n_slots=-1)
+
+
+class TestCrossModelConsistency:
+    """The survey's unification claim: every model family's rule is an
+    IndexRule usable by the same policy machinery."""
+
+    def test_wsept_is_index_rule(self):
+        from repro.batch import random_exponential_batch, wsept_rule
+
+        jobs = random_exponential_batch(5, np.random.default_rng(0))
+        pol = PriorityIndexPolicy(wsept_rule(jobs))
+        chosen = pol.select([j.id for j in jobs], n_slots=1)
+        best = max(jobs, key=lambda j: j.weight / j.mean)
+        assert chosen == [best.id]
+
+    def test_gittins_is_index_rule(self):
+        from repro.bandits import gittins_policy, random_project
+
+        projects = [random_project(3, np.random.default_rng(1)) for _ in range(2)]
+        pol = gittins_policy(projects, 0.9)
+        out = pol.select([0, 1], n_slots=1, states={0: 0, 1: 0})
+        assert out[0] in (0, 1)
+
+    def test_cmu_is_index_rule(self):
+        from repro.queueing.mg1 import cmu_rule
+
+        rule = cmu_rule([2.0, 1.0], [1.0, 1.0])
+        pol = PriorityIndexPolicy(rule)
+        assert pol.select([0, 1], n_slots=1) == [0]
+
+    def test_klimov_is_index_rule(self):
+        from repro.queueing.klimov import klimov_rule
+
+        rule = klimov_rule([2.0, 1.0], [1.0, 1.0], np.zeros((2, 2)))
+        pol = PriorityIndexPolicy(rule)
+        assert pol.select([0, 1], n_slots=1) == [0]

@@ -1,0 +1,125 @@
+"""Additional distribution coverage: residual life, repr, seeds, and the
+survey-relevant interplay between variability and scheduling quantities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    Pareto,
+    TwoPoint,
+    Uniform,
+    Weibull,
+    equilibrium_mean,
+)
+
+
+class TestMeanResidual:
+    def test_deterministic_linear(self):
+        d = Deterministic(5.0)
+        assert d.mean_residual(2.0) == pytest.approx(3.0)
+        assert d.mean_residual(7.0) == 0.0
+
+    def test_exponential_constant(self):
+        d = Exponential(0.5)
+        for t in (0.0, 1.0, 10.0):
+            assert d.mean_residual(t) == pytest.approx(2.0)
+
+    def test_numeric_fallback_uniform(self):
+        d = Uniform(0.0 + 1e-12, 2.0)
+        # E[X - t | X > t] = (2 - t)/2 for uniform
+        assert d.mean_residual(1.0) == pytest.approx(0.5, rel=0.02)
+
+    def test_dhr_residual_grows(self):
+        """Hyperexponential: the longer a job has run, the longer its
+        expected remainder — the mechanism behind Sevcik preemptions."""
+        d = HyperExponential([0.9, 0.1], [5.0, 0.2])
+        assert d.mean_residual(3.0) > d.mean_residual(0.0)
+
+    def test_ihr_residual_shrinks(self):
+        d = Erlang(4, 2.0)
+        assert d.mean_residual(2.0) < d.mean_residual(0.0)
+
+
+class TestEquilibriumMean:
+    def test_pk_connection(self):
+        """P–K: Wq = lam * E[S^2] / (2(1-rho)) = rho * eq_mean / (1-rho)."""
+        from repro.queueing.mg1 import mg1_waiting_time
+
+        svc = Erlang(3, 3.0)
+        lam = 0.5
+        rho = lam * svc.mean
+        wq = mg1_waiting_time(lam, svc)
+        assert wq == pytest.approx(rho * equilibrium_mean(svc) / (1 - rho))
+
+    def test_infinite_second_moment(self):
+        assert math.isinf(equilibrium_mean(Pareto(1.5)))
+
+    def test_zero_mean(self):
+        assert equilibrium_mean(Deterministic(0.0)) == 0.0
+
+
+class TestReprAndSeeding:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(1.0),
+            Erlang(2, 1.0),
+            Weibull(2.0, 1.0),
+            TwoPoint(1.0, 2.0, 0.5),
+            LogNormal(0.0, 1.0),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_repr_contains_class_name(self, dist):
+        assert type(dist).__name__ in repr(dist)
+
+    def test_same_seed_same_samples(self):
+        d = HyperExponential([0.4, 0.6], [1.0, 3.0])
+        a = d.sample(np.random.default_rng(5), size=10)
+        b = d.sample(np.random.default_rng(5), size=10)
+        assert np.allclose(a, b)
+
+    def test_vector_and_scalar_sampling_agree_in_law(self):
+        d = Weibull(1.5, 2.0)
+        rng = np.random.default_rng(0)
+        vec = d.sample(rng, size=20_000)
+        rng2 = np.random.default_rng(1)
+        scalars = np.array([d.sample(rng2) for _ in range(20_000)])
+        assert vec.mean() == pytest.approx(scalars.mean(), rel=0.05)
+
+
+class TestVariabilityScheduling:
+    """scv drives the scheduling phenomena in the survey; verify the dial
+    works as advertised."""
+
+    def test_scv_ordering(self):
+        assert Deterministic(1.0).scv == 0.0
+        assert Exponential(1.0).scv == pytest.approx(1.0)
+        assert HyperExponential.balanced_from_mean_scv(1.0, 4.0).scv == pytest.approx(4.0)
+        assert Erlang(4, 4.0).scv == pytest.approx(0.25)
+
+    def test_pk_wait_monotone_in_scv(self):
+        from repro.queueing.mg1 import mg1_waiting_time
+
+        lam = 0.5
+        waits = [
+            mg1_waiting_time(lam, d)
+            for d in (
+                Deterministic(1.0),
+                Erlang(2, 2.0),
+                Exponential(1.0),
+                HyperExponential.balanced_from_mean_scv(1.0, 4.0),
+            )
+        ]
+        assert waits == sorted(waits)
+
+    def test_two_point_extreme_scv(self):
+        d = TwoPoint(0.1, 50.0, 0.99)
+        assert d.scv > 10

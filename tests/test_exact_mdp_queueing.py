@@ -1,0 +1,115 @@
+"""Tests for the uniformized queueing-control MDP: cµ (and Klimov) optimal
+over ALL stationary preemptive policies of the truncated system."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.queueing.exact_mdp import (
+    multiclass_mm1_mdp,
+    optimal_preemptive_average_cost,
+)
+from repro.queueing.mg1 import preemptive_optimal_average_cost
+
+
+class TestConstruction:
+    def test_state_count(self):
+        mdp, states, _ = multiclass_mm1_mdp([0.1, 0.1], [1.0, 1.0], [1.0, 1.0], 3)
+        assert len(states) == 16
+        assert mdp.n_states == 16
+
+    def test_rows_stochastic(self):
+        mdp, states, _ = multiclass_mm1_mdp([0.2, 0.1], [1.5, 1.0], [1.0, 2.0], 4)
+        for s, acts in enumerate(mdp.action_sets):
+            for a in acts:
+                assert mdp.transitions[a, s].sum() == pytest.approx(1.0)
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            multiclass_mm1_mdp([0.1], [1.0], [1.0], 0)
+
+
+class TestCmuOptimalOverAllPolicies:
+    def test_value_matches_preemptive_cmu_formula(self):
+        lam, mu, c = [0.3, 0.25], [2.0, 1.0], [1.0, 2.5]
+        cost, _, _ = optimal_preemptive_average_cost(lam, mu, c, buffer_cap=12)
+        exact, _ = preemptive_optimal_average_cost(lam, [Exponential(m) for m in mu], c)
+        assert cost == pytest.approx(exact, rel=2e-3)  # truncation loss only
+
+    def test_optimal_actions_are_cmu_away_from_cap(self):
+        lam, mu, c = [0.3, 0.25], [2.0, 1.0], [1.0, 2.5]
+        cap = 12
+        _, policy, states = optimal_preemptive_average_cost(lam, mu, c, cap)
+        top = int(np.argmax(np.asarray(c) * np.asarray(mu)))
+        for st, a in zip(states, policy):
+            # interior: both classes present, well below the cap (boundary
+            # states optimise the truncated dynamics, not the real queue)
+            if all(0 < x < cap - 2 for x in st):
+                assert a == top
+
+    def test_klimov_feedback_value(self):
+        """With feedback the MDP optimum matches the simulated Klimov rule
+        (both measure the same optimal system)."""
+        lam = [0.25, 0.0]
+        mu = [2.0, 1.0]
+        c = [1.0, 3.0]
+        P = np.array([[0.0, 0.4], [0.0, 0.0]])
+        cost, _, _ = optimal_preemptive_average_cost(lam, mu, c, buffer_cap=10, feedback=P)
+        # compare to simulation of the Klimov priority rule (nonpreemptive
+        # vs preemptive differ little for exponential at this load)
+        from repro.queueing.klimov import klimov_order
+        from repro.queueing.network import (
+            ClassConfig,
+            QueueingNetwork,
+            StationConfig,
+            simulate_network,
+        )
+
+        order = klimov_order(c, [1 / m for m in mu], P)
+        net = QueueingNetwork(
+            [
+                ClassConfig(0, Exponential(mu[j]), arrival_rate=lam[j], cost=c[j])
+                for j in range(2)
+            ],
+            [StationConfig(discipline="preemptive", priority=tuple(order))],
+            routing=P,
+        )
+        res = simulate_network(net, 120_000, np.random.default_rng(0), warmup_fraction=0.2)
+        assert res.cost_rate == pytest.approx(cost, rel=0.08)
+        # and the MDP optimum can only be (weakly) below the rule's cost
+        assert cost <= res.cost_rate * 1.05
+
+    def test_empty_system_zero_cost(self):
+        cost, _, _ = optimal_preemptive_average_cost([0.0, 0.0], [1.0, 1.0], [1.0, 1.0], 2)
+        assert cost == pytest.approx(0.0, abs=1e-6)
+
+
+class TestDiscountedExtension:
+    """Tcha–Pliska [38]: the discounted feedback queue is still solved by a
+    static priority rule."""
+
+    def test_static_rule_optimal_without_feedback(self):
+        from repro.queueing.exact_mdp import discounted_optimal_vs_static
+
+        opt, static, order = discounted_optimal_vs_static(
+            [0.3, 0.25], [2.0, 1.0], [1.0, 2.5], buffer_cap=8, discount_rate=0.2
+        )
+        assert static == pytest.approx(opt, rel=1e-5)
+        # the discounted optimal order matches cmu here
+        assert order == (1, 0)
+
+    def test_static_rule_optimal_with_feedback(self):
+        from repro.queueing.exact_mdp import discounted_optimal_vs_static
+
+        P = np.array([[0.0, 0.4], [0.0, 0.0]])
+        opt, static, order = discounted_optimal_vs_static(
+            [0.25, 0.0], [2.0, 1.0], [1.0, 3.0],
+            buffer_cap=6, discount_rate=0.3, feedback=P,
+        )
+        assert static == pytest.approx(opt, rel=1e-5)
+
+    def test_invalid_discount(self):
+        from repro.queueing.exact_mdp import discounted_optimal_vs_static
+
+        with pytest.raises(ValueError):
+            discounted_optimal_vs_static([0.1], [1.0], [1.0], 2, discount_rate=0.0)

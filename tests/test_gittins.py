@@ -1,0 +1,170 @@
+"""E7 tests: Gittins index computation and optimality for classical
+multi-armed bandits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bandits import (
+    MarkovProject,
+    bandit_product_mdp,
+    deteriorating_project,
+    evaluate_priority_policy,
+    gittins_indices_restart,
+    gittins_indices_vwb,
+    gittins_policy,
+    optimal_bandit_value,
+    random_project,
+    simulate_bandit,
+)
+from repro.mdp.solvers import policy_iteration
+
+
+class TestIndexAlgorithms:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("beta", [0.3, 0.8, 0.95])
+    def test_vwb_matches_restart(self, seed, beta):
+        proj = random_project(5, np.random.default_rng(seed))
+        g1 = gittins_indices_vwb(proj, beta)
+        g2 = gittins_indices_restart(proj, beta)
+        assert g1 == pytest.approx(g2, abs=1e-6)
+
+    def test_deteriorating_index_is_myopic(self):
+        proj = deteriorating_project([1.0, 0.6, 0.3, 0.0])
+        g = gittins_indices_vwb(proj, 0.9)
+        assert g == pytest.approx([1.0, 0.6, 0.3, 0.0])
+
+    def test_constant_reward_index(self):
+        """A project paying r in every state has index exactly r."""
+        P = np.array([[0.5, 0.5], [0.2, 0.8]])
+        proj = MarkovProject(P=P, R=np.array([0.7, 0.7]))
+        g = gittins_indices_vwb(proj, 0.9)
+        assert g == pytest.approx([0.7, 0.7])
+
+    def test_top_index_is_max_reward(self):
+        proj = random_project(6, np.random.default_rng(1))
+        g = gittins_indices_vwb(proj, 0.9)
+        assert g.max() == pytest.approx(proj.R.max())
+
+    def test_indices_bounded_by_rewards(self):
+        proj = random_project(6, np.random.default_rng(2))
+        g = gittins_indices_vwb(proj, 0.8)
+        assert np.all(g <= proj.R.max() + 1e-9)
+        assert np.all(g >= proj.R.min() - 1e-9)
+
+    def test_index_increasing_in_beta_for_improving_states(self):
+        """For the *worst* state, more patience can only raise the index
+        (future states are all weakly better)."""
+        proj = random_project(5, np.random.default_rng(3))
+        worst = int(np.argmin(proj.R))
+        g_lo = gittins_indices_vwb(proj, 0.2)[worst]
+        g_hi = gittins_indices_vwb(proj, 0.95)[worst]
+        assert g_hi >= g_lo - 1e-9
+
+    def test_invalid_beta(self):
+        proj = random_project(3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            gittins_indices_vwb(proj, 1.0)
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_gittins_policy_is_optimal(self, seed):
+        rng = np.random.default_rng(seed)
+        projects = [random_project(3, rng) for _ in range(3)]
+        beta = 0.85
+        opt = optimal_bandit_value(projects, beta)
+        git = evaluate_priority_policy(
+            projects, gittins_policy(projects, beta).rule, beta
+        )
+        assert git == pytest.approx(opt, rel=1e-8)
+
+    def test_gittins_optimal_from_every_start(self):
+        rng = np.random.default_rng(42)
+        projects = [random_project(2, rng) for _ in range(2)]
+        beta = 0.9
+        mdp, states = bandit_product_mdp(projects)
+        sol = policy_iteration(mdp, beta)
+        rule = gittins_policy(projects, beta).rule
+        for s in states:
+            git = evaluate_priority_policy(projects, rule, beta, start=s)
+            assert git == pytest.approx(sol.value[states.index(s)], rel=1e-8)
+
+    def test_myopic_suboptimal_generically(self):
+        """Find an instance where the myopic (highest immediate reward)
+        policy is strictly suboptimal but Gittins is optimal."""
+        from repro.core.indices import StaticIndexRule
+
+        found = False
+        for seed in range(40):
+            rng = np.random.default_rng(seed)
+            projects = [random_project(3, rng) for _ in range(2)]
+            beta = 0.9
+            opt = optimal_bandit_value(projects, beta)
+            table = {
+                (pid, s): float(projects[pid].R[s])
+                for pid in range(2)
+                for s in range(3)
+            }
+            myopic = evaluate_priority_policy(
+                projects, StaticIndexRule(table), beta
+            )
+            if myopic < opt * 0.995:
+                found = True
+                break
+        assert found, "myopic matched optimal on every instance — suspicious"
+
+    @given(st.integers(0, 2_000))
+    @settings(max_examples=15, deadline=None)
+    def test_gittins_optimal_property(self, seed):
+        rng = np.random.default_rng(seed)
+        projects = [random_project(int(rng.integers(2, 4)), rng) for _ in range(2)]
+        beta = float(rng.uniform(0.4, 0.95))
+        opt = optimal_bandit_value(projects, beta)
+        git = evaluate_priority_policy(
+            projects, gittins_policy(projects, beta).rule, beta
+        )
+        assert git == pytest.approx(opt, rel=1e-7)
+
+
+class TestSimulation:
+    def test_simulated_value_matches_exact(self):
+        rng = np.random.default_rng(0)
+        projects = [random_project(3, rng) for _ in range(2)]
+        beta = 0.8
+        rule = gittins_policy(projects, beta).rule
+        exact = evaluate_priority_policy(projects, rule, beta)
+        sims = [
+            simulate_bandit(projects, rule, beta, np.random.default_rng(1000 + r))
+            for r in range(3000)
+        ]
+        se = np.std(sims) / np.sqrt(len(sims))
+        assert np.mean(sims) == pytest.approx(exact, abs=5 * se)
+
+    def test_horizon_truncation_controls_error(self):
+        rng = np.random.default_rng(0)
+        projects = [random_project(2, rng)]
+        val_long = simulate_bandit(
+            projects, gittins_policy(projects, 0.5).rule, 0.5, np.random.default_rng(7)
+        )
+        assert val_long >= 0.0
+
+
+class TestProjectModel:
+    def test_rejects_bad_rewards(self):
+        with pytest.raises(ValueError):
+            MarkovProject(P=np.eye(2), R=np.zeros(3))
+
+    def test_deteriorating_requires_monotone(self):
+        with pytest.raises(ValueError):
+            deteriorating_project([0.5, 1.0])
+
+    def test_step(self):
+        proj = deteriorating_project([1.0, 0.0])
+        r, nxt = proj.step(0, np.random.default_rng(0))
+        assert r == 1.0 and nxt == 1
+
+    def test_random_project_sparsity(self):
+        proj = random_project(6, np.random.default_rng(0), sparsity=0.5)
+        assert np.allclose(proj.P.sum(axis=1), 1.0)

@@ -1,0 +1,128 @@
+"""E12/E15 tests: parallel-server heavy traffic and polling systems."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Exponential
+from repro.queueing import (
+    PollingSystem,
+    parallel_server_experiment,
+    pooled_lower_bound,
+    pseudo_conservation_rhs,
+)
+from repro.queueing.heavy_traffic import build_mmk
+from repro.queueing.network import simulate_network
+
+
+class TestPooledBound:
+    def test_bound_is_positive_and_finite(self):
+        lb = pooled_lower_bound([1.0, 0.5], [2.0, 1.0], [1.0, 2.0], 2)
+        assert 0 < lb < np.inf
+
+    def test_bound_below_simulated_cost(self):
+        lam = [1.5, 0.8]
+        mu = [2.0, 1.0]
+        c = [1.0, 2.0]
+        m = 2
+        net = build_mmk(lam, mu, c, m)
+        res = simulate_network(net, 40_000, np.random.default_rng(0), warmup_fraction=0.2)
+        lb = pooled_lower_bound(lam, mu, c, m)
+        assert res.cost_rate >= lb * 0.97  # small MC slack
+
+    def test_single_server_bound_is_exact_preemptive_cost(self):
+        from repro.queueing.mg1 import preemptive_optimal_average_cost
+
+        lam = [0.4, 0.3]
+        mu = [2.0, 1.0]
+        c = [1.0, 2.0]
+        exact, _ = preemptive_optimal_average_cost(
+            lam, [Exponential(r) for r in mu], c
+        )
+        assert pooled_lower_bound(lam, mu, c, 1) == pytest.approx(exact)
+
+
+class TestHeavyTrafficSweep:
+    @pytest.mark.slow
+    def test_ratio_decreases_towards_one(self):
+        pts = parallel_server_experiment(
+            [4.0, 1.0],
+            [1.0, 2.0],
+            2,
+            [0.6, 0.9],
+            np.random.default_rng(1),
+            horizon=30_000,
+        )
+        assert pts[0].ratio >= 0.95
+        assert pts[-1].ratio >= 0.95
+        assert pts[-1].ratio <= pts[0].ratio + 0.05
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_server_experiment(
+                [1.0], [1.0], 2, [1.5], np.random.default_rng(0), horizon=100
+            )
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            parallel_server_experiment(
+                [1.0, 1.0], [1.0, 1.0], 2, [0.5],
+                np.random.default_rng(0), horizon=100, mix=[0.7, 0.7],
+            )
+
+
+class TestPollingSimulator:
+    lam = [0.3, 0.2]
+    svc = [Exponential(2.0), Exponential(1.5)]
+    sw = [Deterministic(0.2), Deterministic(0.3)]
+
+    def test_pseudo_conservation_exhaustive(self):
+        ps = PollingSystem(self.lam, self.svc, self.sw, "exhaustive")
+        res = ps.simulate(60_000, np.random.default_rng(0))
+        rhs = pseudo_conservation_rhs(self.lam, self.svc, self.sw, "exhaustive")
+        assert res.weighted_wait_sum == pytest.approx(rhs, rel=0.08)
+
+    def test_pseudo_conservation_gated(self):
+        ps = PollingSystem(self.lam, self.svc, self.sw, "gated")
+        res = ps.simulate(60_000, np.random.default_rng(1))
+        rhs = pseudo_conservation_rhs(self.lam, self.svc, self.sw, "gated")
+        assert res.weighted_wait_sum == pytest.approx(rhs, rel=0.08)
+
+    def test_exhaustive_beats_gated_beats_limited(self):
+        """Classical ordering of weighted waits for cyclic polling."""
+        results = {}
+        for pol in ("exhaustive", "gated", "limited"):
+            ps = PollingSystem(self.lam, self.svc, self.sw, pol)
+            results[pol] = ps.simulate(50_000, np.random.default_rng(2)).weighted_wait_sum
+        assert results["exhaustive"] <= results["gated"] * 1.05
+        assert results["gated"] <= results["limited"] * 1.05
+
+    def test_cycle_time_formula(self):
+        """Mean cycle time = total switchover / (1 - rho)."""
+        ps = PollingSystem(self.lam, self.svc, self.sw, "exhaustive")
+        res = ps.simulate(60_000, np.random.default_rng(3))
+        expected = 0.5 / (1.0 - ps.rho)
+        assert res.cycle_time == pytest.approx(expected, rel=0.05)
+
+    def test_zero_switchover_reduces_to_conservation(self):
+        """With no switchover the pseudo-conservation law collapses to the
+        M/G/1 conservation identity rho W0 / (1-rho)."""
+        sw0 = [Deterministic(0.0), Deterministic(0.0)]
+        rhs = pseudo_conservation_rhs(self.lam, self.svc, sw0, "exhaustive")
+        lam = np.asarray(self.lam)
+        m2 = np.array([s.second_moment for s in self.svc])
+        rho = float(np.sum(lam * [s.mean for s in self.svc]))
+        w0 = float(np.sum(lam * m2) / 2)
+        assert rhs == pytest.approx(rho * w0 / (1 - rho))
+
+    def test_unstable_system_rejected(self):
+        with pytest.raises(ValueError):
+            PollingSystem([2.0], [Exponential(1.0)], [Deterministic(0.1)])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PollingSystem(self.lam, self.svc, self.sw, "weird")
+
+    def test_served_counts_positive(self):
+        ps = PollingSystem(self.lam, self.svc, self.sw, "limited")
+        res = ps.simulate(20_000, np.random.default_rng(4))
+        assert np.all(res.served > 0)

@@ -1,0 +1,103 @@
+"""Tests for heterogeneous restless fleets and the Lagrangian bound."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import (
+    heterogeneous_relaxation_bound,
+    heterogeneous_whittle_rule,
+    random_restless_project,
+    simulate_heterogeneous_restless,
+)
+from repro.bandits.restless import RestlessProject
+
+
+def small_fleet(seed=0, n=4, states=3):
+    rng = np.random.default_rng(seed)
+    return [random_restless_project(states, rng) for _ in range(n)]
+
+
+class TestLagrangianBound:
+    def test_bound_dominates_simulation(self):
+        projects = small_fleet(1)
+        m = 2
+        bound, lam = heterogeneous_relaxation_bound(projects, m)
+        rule = heterogeneous_whittle_rule(projects, criterion="average")
+        got = simulate_heterogeneous_restless(
+            projects, m, rule, 6000, np.random.default_rng(2), warmup=600
+        )
+        assert got <= bound * 1.02 + 1e-6
+
+    def test_all_active_bound_is_sum_of_active_chains(self):
+        """m = N: the passivity budget is 0 and lam* prices nothing; the
+        bound equals the sum of optimal per-project subsidy values at
+        lam*, which must be at least the always-active average reward."""
+        from repro.markov import MarkovChain
+
+        projects = small_fleet(3, n=3)
+        bound, _ = heterogeneous_relaxation_bound(projects, len(projects))
+        always = sum(
+            MarkovChain(p.P1, rewards=p.R1).average_reward() for p in projects
+        )
+        assert bound >= always - 1e-6
+
+    def test_dual_is_minimised(self):
+        """The returned lam* must (approximately) minimise the dual."""
+        projects = small_fleet(4, n=3)
+        m = 1
+        bound, lam = heterogeneous_relaxation_bound(projects, m)
+        from repro.bandits.heterogeneous import _subsidy_value
+
+        for dlam in (-0.1, 0.1):
+            probe = sum(_subsidy_value(p, lam + dlam) for p in projects) - (
+                lam + dlam
+            ) * (len(projects) - m)
+            assert probe >= bound - 1e-4
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            heterogeneous_relaxation_bound(small_fleet(), 99)
+
+
+class TestHeterogeneousSimulation:
+    def test_homogeneous_special_case_matches_vectorised(self):
+        """One project type: the heterogeneous simulator must agree with
+        the vectorised homogeneous one (different RNG streams, same law)."""
+        from repro.bandits import simulate_restless, whittle_rule
+
+        proj = random_restless_project(3, np.random.default_rng(5))
+        N, m = 12, 5
+        rule_h = heterogeneous_whittle_rule([proj] * N, criterion="average")
+        het = simulate_heterogeneous_restless(
+            [proj] * N, m, rule_h, 8000, np.random.default_rng(6), warmup=800
+        )
+        hom = simulate_restless(
+            proj, N, m, whittle_rule(proj), 8000, np.random.default_rng(7), warmup=800
+        )
+        assert het / N == pytest.approx(hom, abs=0.03)
+
+    def test_whittle_beats_random_priority(self):
+        from repro.core.indices import StaticIndexRule
+
+        projects = small_fleet(8, n=5)
+        m = 2
+        w_rule = heterogeneous_whittle_rule(projects, criterion="average")
+        rnd_rule = StaticIndexRule(
+            {(k, s): float(np.random.default_rng(9).random())
+             for k in range(5) for s in range(3)}
+        )
+        w = simulate_heterogeneous_restless(
+            projects, m, w_rule, 6000, np.random.default_rng(10), warmup=600
+        )
+        r = simulate_heterogeneous_restless(
+            projects, m, rnd_rule, 6000, np.random.default_rng(11), warmup=600
+        )
+        assert w >= r - 0.05
+
+    def test_warmup_validation(self):
+        projects = small_fleet(0, n=2)
+        rule = heterogeneous_whittle_rule(projects, criterion="average")
+        with pytest.raises(ValueError):
+            simulate_heterogeneous_restless(
+                projects, 1, rule, 10, np.random.default_rng(0), warmup=10
+            )

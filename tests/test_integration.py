@@ -1,0 +1,152 @@
+"""Cross-module integration tests: full workflows that chain substrates,
+core algorithms, and simulators the way the examples and benchmarks do."""
+
+import numpy as np
+import pytest
+
+from repro.core.indices import PriorityIndexPolicy, StaticIndexRule
+
+
+class TestBatchWorkflow:
+    def test_instance_to_policy_to_simulation_pipeline(self):
+        """Generate instance -> build rule -> rank -> simulate -> compare to
+        the closed form."""
+        from repro.batch import (
+            expected_weighted_flowtime,
+            random_exponential_batch,
+            simulate_sequence,
+            wsept_rule,
+        )
+
+        jobs = random_exponential_batch(10, np.random.default_rng(0))
+        policy = PriorityIndexPolicy(wsept_rule(jobs))
+        order = policy.ranking([j.id for j in jobs])
+        exact = expected_weighted_flowtime(jobs, order)
+        sims = simulate_sequence(jobs, order, np.random.default_rng(1), 3000)
+        assert sims.mean() == pytest.approx(exact, rel=0.05)
+
+    def test_discretized_continuous_jobs_roundtrip(self):
+        """Continuous jobs -> quantum model -> Gittins -> the DAG optimum,
+        sanity-bounded by the continuous WSEPT closed form."""
+        from repro.batch import Job, wsept_order, expected_weighted_flowtime
+        from repro.batch.sevcik import (
+            DiscreteJob,
+            GittinsJobIndex,
+            evaluate_index_policy_dp,
+        )
+        from repro.distributions import Exponential
+
+        jobs = [Job(i, Exponential.from_mean(m)) for i, m in enumerate((1.0, 2.0))]
+        quantum = 0.1
+        djobs = [DiscreteJob.from_job(j, quantum, 120) for j in jobs]
+        git = evaluate_index_policy_dp(djobs, GittinsJobIndex(djobs)) * quantum
+        wsept = expected_weighted_flowtime(jobs, wsept_order(jobs))
+        # preemption can't help memoryless jobs; quantisation error is O(q)
+        assert git == pytest.approx(wsept, rel=0.1)
+
+
+class TestBanditWorkflow:
+    def test_mdp_solvers_agree_on_bandit_product_space(self):
+        """The bandit product MDP is a plain FiniteMDP: all three discounted
+        solvers and the simulation must agree on its value."""
+        from repro.bandits import bandit_product_mdp, random_project, simulate_bandit
+        from repro.bandits import gittins_policy
+        from repro.mdp import linear_programming, policy_iteration, value_iteration
+
+        projects = [random_project(2, np.random.default_rng(3)) for _ in range(2)]
+        beta = 0.8
+        mdp, states = bandit_product_mdp(projects)
+        v_pi = policy_iteration(mdp, beta).value
+        v_vi = value_iteration(mdp, beta).value
+        v_lp = linear_programming(mdp, beta).value
+        assert v_pi == pytest.approx(v_vi, abs=1e-6)
+        assert v_pi == pytest.approx(v_lp, abs=1e-6)
+        start = states.index((0, 0))
+        rule = gittins_policy(projects, beta).rule
+        sims = [
+            simulate_bandit(projects, rule, beta, np.random.default_rng(50 + r))
+            for r in range(2000)
+        ]
+        se = np.std(sims) / np.sqrt(len(sims))
+        assert np.mean(sims) == pytest.approx(v_pi[start], abs=5 * se)
+
+    def test_classical_bandit_as_degenerate_restless(self):
+        """A classical arm embedded as a restless project must give a
+        Whittle index matching its Gittins index (discounted)."""
+        from repro.bandits import (
+            MarkovProject,
+            gittins_indices_vwb,
+            whittle_indices,
+        )
+        from repro.bandits.restless import RestlessProject
+
+        rng = np.random.default_rng(4)
+        P = rng.dirichlet(np.ones(3), size=3)
+        R = rng.uniform(size=3)
+        arm = RestlessProject(P0=np.eye(3), P1=P, R0=np.zeros(3), R1=R)
+        w = whittle_indices(arm, criterion="discounted", beta=0.85, tol=1e-8)
+        g = gittins_indices_vwb(MarkovProject(P=P, R=R), 0.85)
+        assert w == pytest.approx(g, abs=1e-4)
+
+
+class TestQueueingWorkflow:
+    def test_klimov_single_class_is_mm1(self):
+        """Klimov machinery on one class without feedback = plain M/M/1."""
+        from repro.queueing.klimov import KlimovModel, effective_arrival_rates
+        from repro.distributions import Exponential
+
+        model = KlimovModel(
+            arrival_rates=np.array([0.5]),
+            services=(Exponential(1.0),),
+            costs=np.array([1.0]),
+            feedback=np.zeros((1, 1)),
+        )
+        assert model.load == pytest.approx(0.5)
+        assert effective_arrival_rates([0.5], np.zeros((1, 1)))[0] == 0.5
+
+    def test_network_simulator_reproduces_polling_free_case(self):
+        """Polling with zero switchover and exhaustive service is
+        work-conserving: its weighted wait sum matches the M/G/1
+        conservation identity, like any priority policy in the network
+        simulator."""
+        from repro.distributions import Deterministic, Exponential
+        from repro.queueing import PollingSystem
+
+        lam = [0.25, 0.25]
+        svc = [Exponential(1.0), Exponential(1.0)]
+        sw = [Deterministic(0.0), Deterministic(0.0)]
+        ps = PollingSystem(lam, svc, sw, "exhaustive")
+        res = ps.simulate(40_000, np.random.default_rng(5))
+        rho = 0.5
+        w0 = 0.25 * 2.0 / 2 + 0.25 * 2.0 / 2
+        assert res.weighted_wait_sum == pytest.approx(rho * w0 / (1 - rho), rel=0.1)
+
+    def test_fluid_matches_network_loads(self):
+        from repro.queueing import FluidModel, rybko_stolyar_network
+
+        net = rybko_stolyar_network(1.0, 0.1, 0.6)
+        fm = FluidModel.from_network(net)
+        assert fm.alpha == pytest.approx([1.0, 0.0, 1.0, 0.0])
+        assert fm.mu == pytest.approx([10.0, 1 / 0.6, 10.0, 1 / 0.6])
+
+
+class TestIndexUnification:
+    def test_all_rules_share_the_policy_interface(self):
+        """Every family's rule drives the same PriorityIndexPolicy — the
+        survey's unifying observation."""
+        from repro.batch import random_exponential_batch, wsept_rule
+        from repro.bandits import gittins_policy, random_project
+        from repro.queueing.klimov import klimov_rule
+        from repro.queueing.mg1 import cmu_rule
+
+        jobs = random_exponential_batch(4, np.random.default_rng(6))
+        rules = [
+            wsept_rule(jobs),
+            gittins_policy([random_project(2, np.random.default_rng(7))], 0.9).rule,
+            cmu_rule([1.0, 2.0], [1.0, 1.0]),
+            klimov_rule([1.0, 2.0], [1.0, 1.0], np.zeros((2, 2))),
+        ]
+        for rule in rules:
+            pol = PriorityIndexPolicy(rule)
+            picked = pol.select([0, 1], n_slots=1, states={0: 0, 1: 0})
+            assert len(picked) == 1

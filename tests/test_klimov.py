@@ -1,0 +1,137 @@
+"""E11 tests: Klimov's model — index algorithm structure and optimality of
+the Klimov rule among static priority orders (by simulation)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.queueing.klimov import (
+    KlimovModel,
+    effective_arrival_rates,
+    klimov_indices,
+    klimov_order,
+    klimov_rule,
+)
+from repro.queueing.network import (
+    ClassConfig,
+    QueueingNetwork,
+    StationConfig,
+    simulate_network,
+)
+
+
+class TestEffectiveRates:
+    def test_no_feedback_identity(self):
+        lam = np.array([0.3, 0.2])
+        out = effective_arrival_rates(lam, np.zeros((2, 2)))
+        assert out == pytest.approx(lam)
+
+    def test_chain_feedback(self):
+        # class 0 feeds class 1 with prob 1; exogenous only at 0
+        P = np.array([[0.0, 1.0], [0.0, 0.0]])
+        out = effective_arrival_rates([0.5, 0.0], P)
+        assert out == pytest.approx([0.5, 0.5])
+
+    def test_geometric_retry(self):
+        # class 0 re-enters itself w.p. 1/2: effective rate doubles
+        P = np.array([[0.5]])
+        out = effective_arrival_rates([0.3], P)
+        assert out == pytest.approx([0.6])
+
+
+class TestKlimovIndices:
+    def test_reduces_to_cmu_without_feedback(self):
+        c = np.array([3.0, 1.0, 2.0])
+        m = np.array([1.0, 0.5, 2.0])
+        idx = klimov_indices(c, m, np.zeros((3, 3)))
+        assert idx == pytest.approx(c / m)
+
+    def test_self_loop_scales_like_aggregate_service(self):
+        """A class that re-enters itself w.p. p behaves like one with mean
+        service m/(1-p): the index becomes c (1-p) / m."""
+        c = np.array([2.0])
+        m = np.array([0.5])
+        P = np.array([[0.25]])
+        idx = klimov_indices(c, m, P)
+        assert idx[0] == pytest.approx(2.0 * 0.75 / 0.5)
+
+    def test_feedback_to_cheap_class_raises_index(self):
+        """Serving class 0 that turns into a cheaper class is better than
+        serving an identical class that exits — more holding-rate drop?
+        No: turning into a *costly* class reduces the net drop. Check the
+        direction: exit (drop c0) vs feedback to cost c1 (drop c0 - c1)."""
+        c = np.array([2.0, 1.0])
+        m = np.array([1.0, 1.0])
+        P_exit = np.zeros((2, 2))
+        P_fb = np.array([[0.0, 1.0], [0.0, 0.0]])
+        idx_exit = klimov_indices(c, m, P_exit)
+        idx_fb = klimov_indices(c, m, P_fb)
+        assert idx_fb[0] <= idx_exit[0]
+
+    def test_order_is_permutation(self):
+        rng = np.random.default_rng(0)
+        n = 4
+        P = rng.dirichlet(np.ones(n + 1), size=n)[:, :n] * 0.6
+        order = klimov_order(rng.uniform(0.5, 2, n), rng.uniform(0.3, 1.5, n), P)
+        assert sorted(order) == list(range(n))
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            KlimovModel(
+                arrival_rates=np.array([0.1]),
+                services=(Exponential(1.0),),
+                costs=np.array([1.0]),
+                feedback=np.array([[1.0]]),  # spectral radius 1
+            )
+
+    def test_model_load(self):
+        model = KlimovModel(
+            arrival_rates=np.array([0.3, 0.0]),
+            services=(Exponential(2.0), Exponential(1.0)),
+            costs=np.array([1.0, 2.0]),
+            feedback=np.array([[0.0, 0.5], [0.0, 0.0]]),
+        )
+        # effective rates (0.3, 0.15); load = 0.3*0.5 + 0.15*1 = 0.3
+        assert model.load == pytest.approx(0.3)
+
+
+def _klimov_network(lam, mus, costs, P, order):
+    classes = [
+        ClassConfig(0, Exponential(mus[j]), arrival_rate=lam[j], cost=costs[j])
+        for j in range(len(lam))
+    ]
+    st = StationConfig(discipline="priority", priority=tuple(order))
+    return QueueingNetwork(classes, [st], routing=np.asarray(P))
+
+
+class TestKlimovOptimality:
+    @pytest.mark.slow
+    def test_klimov_order_best_among_priority_orders(self):
+        """Simulate all 3! static priority orders on a feedback instance;
+        the Klimov order's cost must be within noise of the best."""
+        lam = [0.25, 0.1, 0.0]
+        mus = [2.0, 1.5, 1.0]
+        costs = [1.0, 3.0, 2.0]
+        P = np.array(
+            [
+                [0.0, 0.3, 0.2],
+                [0.0, 0.0, 0.4],
+                [0.1, 0.0, 0.0],
+            ]
+        )
+        means = [1.0 / m for m in mus]
+        k_order = klimov_order(costs, means, P)
+        results = {}
+        for perm in itertools.permutations(range(3)):
+            net = _klimov_network(lam, mus, costs, P, perm)
+            res = simulate_network(net, 60_000, np.random.default_rng(7), warmup_fraction=0.2)
+            results[perm] = res.cost_rate
+        best = min(results.values())
+        assert results[tuple(k_order)] <= best * 1.06
+
+    def test_rule_object(self):
+        rule = klimov_rule([2.0, 1.0], [1.0, 1.0], np.zeros((2, 2)))
+        assert rule.index(0) > rule.index(1)
+        assert rule.name == "Klimov"

@@ -1,0 +1,119 @@
+"""Tests for repro.markov: DTMC/CTMC analysis."""
+
+import numpy as np
+import pytest
+
+from repro.markov import (
+    CTMC,
+    MarkovChain,
+    absorption_probabilities,
+    expected_absorption_time,
+    fundamental_matrix,
+    hitting_times,
+    stationary_distribution,
+    uniformize,
+)
+
+
+class TestStationary:
+    def test_two_state(self):
+        P = np.array([[0.9, 0.1], [0.5, 0.5]])
+        pi = stationary_distribution(P)
+        # detailed balance solution: pi = (5/6, 1/6)
+        assert pi == pytest.approx([5 / 6, 1 / 6])
+
+    def test_doubly_stochastic_uniform(self):
+        P = np.array([[0.5, 0.5, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5]])
+        assert stationary_distribution(P) == pytest.approx([1 / 3] * 3)
+
+    def test_invariance(self):
+        rng = np.random.default_rng(0)
+        P = rng.dirichlet(np.ones(5), size=5)
+        pi = stationary_distribution(P)
+        assert pi @ P == pytest.approx(pi, abs=1e-10)
+        assert pi.sum() == pytest.approx(1.0)
+
+
+class TestAbsorbing:
+    def test_gambler_ruin_times(self):
+        # states 1..3 transient, absorb at 0 and 4; fair coin
+        Q = np.array(
+            [[0.0, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.0]]
+        )
+        t = expected_absorption_time(Q)
+        assert t == pytest.approx([3.0, 4.0, 3.0])  # classical k(N-k)
+
+    def test_absorption_probabilities(self):
+        Q = np.array([[0.0, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.0]])
+        R = np.array([[0.5, 0.0], [0.0, 0.0], [0.0, 0.5]])
+        B = absorption_probabilities(Q, R)
+        assert B[0] == pytest.approx([0.75, 0.25])  # ruin probs from state 1
+        assert B.sum(axis=1) == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_fundamental_matrix_visits(self):
+        Q = np.array([[0.5]])  # stay w.p. 1/2, absorb otherwise
+        N = fundamental_matrix(Q)
+        assert N[0, 0] == pytest.approx(2.0)
+
+    def test_hitting_times(self):
+        P = np.array([[0.0, 1.0], [1.0, 0.0]])
+        t = hitting_times(P, target=0)
+        assert t[0] == 0.0
+        assert t[1] == pytest.approx(1.0)
+
+
+class TestMarkovChain:
+    def test_discounted_value_geometric(self):
+        # single absorbing state with reward 1: v = 1 / (1 - beta)
+        mc = MarkovChain(np.array([[1.0]]), rewards=np.array([1.0]))
+        assert mc.discounted_value(0.9)[0] == pytest.approx(10.0)
+
+    def test_average_reward(self):
+        P = np.array([[0.5, 0.5], [0.5, 0.5]])
+        mc = MarkovChain(P, rewards=np.array([0.0, 2.0]))
+        assert mc.average_reward() == pytest.approx(1.0)
+
+    def test_simulation_frequencies(self):
+        P = np.array([[0.9, 0.1], [0.5, 0.5]])
+        mc = MarkovChain(P)
+        path = mc.simulate(0, 100_000, np.random.default_rng(0))
+        freq1 = np.mean(path == 1)
+        assert freq1 == pytest.approx(1 / 6, abs=0.01)
+
+    def test_rejects_bad_rewards(self):
+        with pytest.raises(ValueError):
+            MarkovChain(np.eye(2), rewards=np.zeros(3))
+
+
+class TestCTMC:
+    def test_uniformize_roundtrip_stationary(self):
+        Q = np.array([[-1.0, 1.0], [2.0, -2.0]])
+        P, lam = uniformize(Q)
+        ctmc = CTMC(Q)
+        pi_ct = ctmc.stationary()
+        pi_dt = stationary_distribution(P)
+        assert pi_ct == pytest.approx(pi_dt, abs=1e-9)
+        assert pi_ct == pytest.approx([2 / 3, 1 / 3])
+
+    def test_uniformize_rejects_small_rate(self):
+        Q = np.array([[-5.0, 5.0], [1.0, -1.0]])
+        with pytest.raises(ValueError):
+            uniformize(Q, rate=1.0)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            CTMC(np.array([[-1.0, 0.5], [1.0, -1.0]]))
+
+    def test_embedded_chain(self):
+        Q = np.array([[-2.0, 2.0], [3.0, -3.0]])
+        P = CTMC(Q).embedded_chain()
+        assert P == pytest.approx(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_simulation_time_fractions(self):
+        Q = np.array([[-1.0, 1.0], [2.0, -2.0]])
+        ctmc = CTMC(Q)
+        times, states = ctmc.simulate(0, 50_000.0, np.random.default_rng(1))
+        # fraction of time in state 0 ~ 2/3
+        durations = np.diff(np.append(times, 50_000.0))
+        frac0 = durations[states == 0].sum() / 50_000.0
+        assert frac0 == pytest.approx(2 / 3, abs=0.02)

@@ -1,0 +1,178 @@
+"""E10 tests: multiclass M/G/1 — P–K formula, Cobham waits, cµ optimality,
+conservation laws, achievable-region vertices."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conservation import (
+    check_strong_conservation,
+    performance_polytope_vertices,
+    priority_performance_vector,
+    workload_set_function,
+)
+from repro.distributions import Deterministic, Erlang, Exponential, HyperExponential
+from repro.queueing.mg1 import (
+    cmu_indices,
+    cmu_order,
+    mg1_waiting_time,
+    mm1_metrics,
+    optimal_average_cost,
+    order_average_cost,
+    preemptive_priority_sojourns,
+)
+
+
+class TestMm1:
+    def test_textbook_values(self):
+        m = mm1_metrics(0.5, 1.0)
+        assert m["rho"] == 0.5
+        assert m["L"] == pytest.approx(1.0)
+        assert m["W"] == pytest.approx(2.0)
+        assert m["Wq"] == pytest.approx(1.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_metrics(2.0, 1.0)
+
+
+class TestPollaczekKhinchine:
+    def test_mm1_special_case(self):
+        # exponential service: Wq = rho / (mu - lambda)
+        assert mg1_waiting_time(0.5, Exponential(1.0)) == pytest.approx(1.0)
+
+    def test_deterministic_halves_wait(self):
+        wq_det = mg1_waiting_time(0.5, Deterministic(1.0))
+        wq_exp = mg1_waiting_time(0.5, Exponential(1.0))
+        assert wq_det == pytest.approx(wq_exp / 2.0)
+
+    def test_variance_increases_wait(self):
+        hyper = HyperExponential.balanced_from_mean_scv(1.0, 5.0)
+        assert mg1_waiting_time(0.5, hyper) > mg1_waiting_time(0.5, Exponential(1.0))
+
+
+class TestCobham:
+    def test_two_class_by_hand(self):
+        lam = np.array([0.25, 0.25])
+        ms = np.array([1.0, 1.0])
+        m2 = np.array([2.0, 2.0])  # exponential mean 1
+        W = priority_performance_vector(lam, ms, m2, [0, 1])
+        w0 = 0.25 * 2 / 2 + 0.25 * 2 / 2  # = 0.5
+        assert W[0] == pytest.approx(w0 / (1 * (1 - 0.25)))
+        assert W[1] == pytest.approx(w0 / ((1 - 0.25) * (1 - 0.5)))
+
+    def test_low_priority_waits_longer(self):
+        lam = [0.2, 0.3]
+        ms = [1.0, 0.8]
+        m2 = [2.0, 1.28]
+        W = priority_performance_vector(lam, ms, m2, [1, 0])
+        assert W[1] < W[0]
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            priority_performance_vector([0.7, 0.7], [1.0, 1.0], [2.0, 2.0], [0, 1])
+
+
+class TestCmuRule:
+    def test_indices(self):
+        idx = cmu_indices([2.0, 1.0], [0.5, 1.0])
+        assert idx == pytest.approx([4.0, 1.0])
+
+    def test_order(self):
+        assert cmu_order([1.0, 4.0], [1.0, 1.0]) == [1, 0]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cmu_minimises_over_all_orders(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        lam = rng.uniform(0.05, 0.2, size=n)
+        svcs = [Exponential(rng.uniform(0.8, 3.0)) for _ in range(n)]
+        costs = rng.uniform(0.5, 3.0, size=n)
+        opt, order = optimal_average_cost(lam, svcs, costs)
+        best = min(
+            order_average_cost(lam, svcs, costs, perm)
+            for perm in itertools.permutations(range(n))
+        )
+        assert opt == pytest.approx(best, rel=1e-10)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_cmu_optimal_property(self, seed):
+        rng = np.random.default_rng(seed)
+        lam = rng.uniform(0.05, 0.25, size=3)
+        svcs = [Exponential(rng.uniform(0.9, 3.0)) for _ in range(3)]
+        costs = rng.uniform(0.2, 3.0, size=3)
+        opt, _ = optimal_average_cost(lam, svcs, costs)
+        for perm in itertools.permutations(range(3)):
+            assert opt <= order_average_cost(lam, svcs, costs, perm) + 1e-9
+
+
+class TestPreemptive:
+    def test_single_class_mm1(self):
+        T = preemptive_priority_sojourns([0.5], [Exponential(1.0)], [0])
+        assert T[0] == pytest.approx(2.0)
+
+    def test_top_class_sees_own_mm1(self):
+        """The preemptive top class is completely shielded from the rest."""
+        lam = [0.3, 0.4]
+        svcs = [Exponential(1.0), Exponential(2.0)]
+        T = preemptive_priority_sojourns(lam, svcs, [0, 1])
+        assert T[0] == pytest.approx(1.0 / (1.0 - 0.3))
+
+    def test_preemptive_beats_nonpreemptive_for_top_class(self):
+        lam = [0.3, 0.4]
+        svcs = [Exponential(1.0), Exponential(2.0)]
+        ms = np.array([1.0, 0.5])
+        m2 = np.array([2.0, 0.5])
+        W_np = priority_performance_vector(lam, ms, m2, [0, 1])
+        T_p = preemptive_priority_sojourns(lam, svcs, [0, 1])
+        assert T_p[0] < W_np[0] + ms[0]
+
+
+class TestConservation:
+    lam = np.array([0.2, 0.25, 0.15])
+    ms = np.array([1.0, 0.8, 1.2])
+    m2 = np.array([2.0, 1.28, 2.88])  # exponential second moments
+
+    def test_total_workload_policy_invariant(self):
+        """sum_i V_i is identical across all priority orders (strong
+        conservation equality)."""
+        totals = []
+        for perm in itertools.permutations(range(3)):
+            W = priority_performance_vector(self.lam, self.ms, self.m2, perm)
+            V = self.lam * self.ms * W + self.lam * self.m2 / 2.0
+            totals.append(V.sum())
+        assert np.ptp(totals) < 1e-10
+
+    def test_full_set_function_matches_total(self):
+        W = priority_performance_vector(self.lam, self.ms, self.m2, [0, 1, 2])
+        V = self.lam * self.ms * W + self.lam * self.m2 / 2.0
+        b_full = workload_set_function(self.lam, self.ms, self.m2, [0, 1, 2])
+        assert V.sum() == pytest.approx(b_full, rel=1e-10)
+
+    def test_subset_bound_tight_for_top_priority(self):
+        """b(S) is attained when S has absolute priority."""
+        S = [1]
+        W = priority_performance_vector(self.lam, self.ms, self.m2, [1, 0, 2])
+        V = self.lam * self.ms * W + self.lam * self.m2 / 2.0
+        bS = workload_set_function(self.lam, self.ms, self.m2, S)
+        assert V[1] == pytest.approx(bS, rel=1e-10)
+
+    def test_subset_inequalities_hold_for_all_orders(self):
+        for perm in itertools.permutations(range(3)):
+            W = priority_performance_vector(self.lam, self.ms, self.m2, perm)
+            assert check_strong_conservation(
+                self.lam, self.ms, self.m2, W, rtol=1e-6
+            )
+
+    def test_vertices_count(self):
+        verts = performance_polytope_vertices(self.lam, self.ms, self.m2)
+        assert len(verts) == 6
+
+    def test_violating_vector_detected(self):
+        W = priority_performance_vector(self.lam, self.ms, self.m2, [0, 1, 2])
+        W_bad = W * 0.5  # impossible: below the conservation equality
+        assert not check_strong_conservation(self.lam, self.ms, self.m2, W_bad)

@@ -1,0 +1,231 @@
+"""Tests for the multiclass network simulator against exact queueing
+formulas (the integration layer between repro.sim and repro.queueing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.conservation import priority_performance_vector
+from repro.distributions import Deterministic, Erlang, Exponential
+from repro.queueing.mg1 import mg1_waiting_time, mm1_metrics, preemptive_priority_sojourns
+from repro.queueing.network import (
+    ClassConfig,
+    QueueingNetwork,
+    StationConfig,
+    simulate_network,
+)
+
+RNG_SEED = 12345
+
+
+def single_class(service, lam, discipline="priority"):
+    prio = (0,) if discipline != "fifo" else ()
+    return QueueingNetwork(
+        [ClassConfig(0, service, arrival_rate=lam)],
+        [StationConfig(discipline=discipline, priority=prio)],
+    )
+
+
+class TestAgainstClosedForms:
+    def test_mm1_number_in_system(self):
+        net = single_class(Exponential(1.0), 0.6)
+        res = simulate_network(net, 60_000, np.random.default_rng(RNG_SEED))
+        assert res.mean_queue_lengths[0] == pytest.approx(mm1_metrics(0.6, 1.0)["L"], rel=0.06)
+
+    def test_mg1_deterministic_wait(self):
+        net = single_class(Deterministic(1.0), 0.5)
+        res = simulate_network(net, 60_000, np.random.default_rng(RNG_SEED + 1))
+        assert res.mean_waits[0] == pytest.approx(
+            mg1_waiting_time(0.5, Deterministic(1.0)), rel=0.06
+        )
+
+    def test_mg1_erlang_wait(self):
+        svc = Erlang(3, 3.0)
+        net = single_class(svc, 0.5)
+        res = simulate_network(net, 60_000, np.random.default_rng(RNG_SEED + 2))
+        assert res.mean_waits[0] == pytest.approx(mg1_waiting_time(0.5, svc), rel=0.07)
+
+    def test_cobham_two_class_priority(self):
+        lam = [0.25, 0.25]
+        svcs = [Exponential(1.0), Exponential(1.0)]
+        net = QueueingNetwork(
+            [
+                ClassConfig(0, svcs[0], arrival_rate=lam[0]),
+                ClassConfig(0, svcs[1], arrival_rate=lam[1]),
+            ],
+            [StationConfig(discipline="priority", priority=(0, 1))],
+        )
+        res = simulate_network(net, 80_000, np.random.default_rng(RNG_SEED + 3))
+        W = priority_performance_vector(lam, [1.0, 1.0], [2.0, 2.0], [0, 1])
+        assert res.mean_waits == pytest.approx(W, rel=0.08)
+
+    def test_preemptive_two_class(self):
+        lam = [0.4, 0.3]
+        svcs = [Exponential(2.0), Exponential(1.0)]
+        net = QueueingNetwork(
+            [
+                ClassConfig(0, svcs[0], arrival_rate=lam[0]),
+                ClassConfig(0, svcs[1], arrival_rate=lam[1]),
+            ],
+            [StationConfig(discipline="preemptive", priority=(0, 1))],
+        )
+        res = simulate_network(net, 80_000, np.random.default_rng(RNG_SEED + 4))
+        T = preemptive_priority_sojourns(lam, svcs, [0, 1])
+        L = np.asarray(lam) * T
+        assert res.mean_queue_lengths == pytest.approx(L, rel=0.08)
+
+    def test_mm2_erlang_c(self):
+        """M/M/2: mean number in system from the Erlang-C formula."""
+        lam, mu, m = 1.2, 1.0, 2
+        net = QueueingNetwork(
+            [ClassConfig(0, Exponential(mu), arrival_rate=lam)],
+            [StationConfig(n_servers=m, discipline="priority", priority=(0,))],
+        )
+        res = simulate_network(net, 60_000, np.random.default_rng(RNG_SEED + 5))
+        a = lam / mu
+        rho = a / m
+        p0 = 1.0 / (1 + a + a**2 / 2 / (1 - rho))
+        lq = (a**2 / 2) * rho / (1 - rho) ** 2 * p0
+        L = lq + a
+        assert res.mean_queue_lengths[0] == pytest.approx(L, rel=0.07)
+
+    def test_tandem_network_littles_law(self):
+        """Two M/M/1 queues in series: each behaves as M/M/1 (Burke)."""
+        net = QueueingNetwork(
+            [
+                ClassConfig(0, Exponential(1.0), arrival_rate=0.5),
+                ClassConfig(1, Exponential(1.5)),
+            ],
+            [
+                StationConfig(discipline="priority", priority=(0,)),
+                StationConfig(discipline="priority", priority=(1,)),
+            ],
+            routing=np.array([[0.0, 1.0], [0.0, 0.0]]),
+        )
+        res = simulate_network(net, 80_000, np.random.default_rng(RNG_SEED + 6))
+        assert res.mean_queue_lengths[0] == pytest.approx(1.0, rel=0.08)
+        assert res.mean_queue_lengths[1] == pytest.approx(0.5 / 1.5 / (1 - 0.5 / 1.5), rel=0.08)
+
+    def test_feedback_queue_effective_load(self):
+        """Single class with self-feedback p=0.5: effective rate doubles."""
+        net = QueueingNetwork(
+            [ClassConfig(0, Exponential(2.0), arrival_rate=0.5)],
+            [StationConfig(discipline="priority", priority=(0,))],
+            routing=np.array([[0.5]]),
+        )
+        res = simulate_network(net, 60_000, np.random.default_rng(RNG_SEED + 7))
+        # each visit is M/M/1 with lam_eff = 1.0, mu = 2.0 -> L = 1
+        assert res.mean_queue_lengths[0] == pytest.approx(1.0, rel=0.08)
+
+
+class TestLcfs:
+    def test_lcfs_same_mean_wait_as_fifo(self):
+        """LCFS and FIFO are both work-conserving and class-blind; their
+        mean waits coincide (higher moments differ)."""
+        results = {}
+        for k, disc in enumerate(("fifo", "lcfs")):
+            net = QueueingNetwork(
+                [ClassConfig(0, Exponential(1.0), arrival_rate=0.6)],
+                [StationConfig(discipline=disc)],
+            )
+            res = simulate_network(net, 80_000, np.random.default_rng(77 + k))
+            results[disc] = res.mean_waits[0]
+        assert results["lcfs"] == pytest.approx(results["fifo"], rel=0.1)
+
+    def test_lcfs_conservation_with_two_classes(self):
+        """The weighted workload identity holds for LCFS like any
+        work-conserving discipline."""
+        from repro.core.conservation import check_strong_conservation
+
+        lam = [0.25, 0.2]
+        net = QueueingNetwork(
+            [
+                ClassConfig(0, Exponential(1.0), arrival_rate=lam[0]),
+                ClassConfig(0, Exponential(2.0), arrival_rate=lam[1]),
+            ],
+            [StationConfig(discipline="lcfs")],
+        )
+        res = simulate_network(net, 100_000, np.random.default_rng(79))
+        assert check_strong_conservation(
+            lam, [1.0, 0.5], [2.0, 0.5], res.mean_waits, rtol=0.12
+        )
+
+
+class TestMechanics:
+    def test_fifo_discipline_wait_equality(self):
+        """Under FIFO both classes see the same mean wait."""
+        net = QueueingNetwork(
+            [
+                ClassConfig(0, Exponential(1.0), arrival_rate=0.2),
+                ClassConfig(0, Exponential(1.0), arrival_rate=0.3),
+            ],
+            [StationConfig(discipline="fifo")],
+        )
+        res = simulate_network(net, 60_000, np.random.default_rng(0))
+        assert res.mean_waits[0] == pytest.approx(res.mean_waits[1], rel=0.1)
+
+    def test_visit_counts_match_rates(self):
+        net = QueueingNetwork(
+            [ClassConfig(0, Exponential(2.0), arrival_rate=0.5)],
+            [StationConfig(discipline="priority", priority=(0,))],
+        )
+        horizon = 40_000
+        res = simulate_network(net, horizon, np.random.default_rng(1))
+        post_warmup = horizon * 0.9
+        assert res.visit_counts[0] == pytest.approx(0.5 * post_warmup, rel=0.05)
+
+    def test_trajectory_recording(self):
+        net = QueueingNetwork(
+            [ClassConfig(0, Exponential(1.0), arrival_rate=0.5)],
+            [StationConfig(discipline="priority", priority=(0,))],
+        )
+        res = simulate_network(
+            net, 1000, np.random.default_rng(2), record_trajectory=True, trajectory_points=50
+        )
+        assert res.trajectory is not None
+        assert res.trajectory.shape[1] == 2
+        assert res.trajectory[:, 0].max() <= 1000
+
+    def test_priority_must_cover_station_classes(self):
+        with pytest.raises(ValueError):
+            QueueingNetwork(
+                [
+                    ClassConfig(0, Exponential(1.0), arrival_rate=0.1),
+                    ClassConfig(0, Exponential(1.0), arrival_rate=0.1),
+                ],
+                [StationConfig(discipline="priority", priority=(0,))],
+            )
+
+    def test_station_loads(self):
+        net = QueueingNetwork(
+            [ClassConfig(0, Exponential(2.0), arrival_rate=1.0)],
+            [StationConfig(n_servers=2, discipline="priority", priority=(0,))],
+        )
+        assert net.station_loads()[0] == pytest.approx(0.25)
+
+    def test_replication_wrapper(self):
+        from repro.queueing.network import simulate_network_replications
+
+        net = QueueingNetwork(
+            [ClassConfig(0, Exponential(1.0), arrival_rate=0.5)],
+            [StationConfig(discipline="priority", priority=(0,))],
+        )
+        out = simulate_network_replications(net, 4000, 10, seed=0)
+        assert out["cost_rate"].contains(1.0) or abs(out["cost_rate"].mean - 1.0) < 0.15
+        assert len(out["queue_lengths"]) == 1
+
+    def test_replication_wrapper_needs_two(self):
+        from repro.queueing.network import simulate_network_replications
+
+        net = QueueingNetwork(
+            [ClassConfig(0, Exponential(1.0), arrival_rate=0.5)],
+            [StationConfig(discipline="priority", priority=(0,))],
+        )
+        with pytest.raises(ValueError):
+            simulate_network_replications(net, 100, 1)
+
+    def test_unknown_station_rejected(self):
+        with pytest.raises(ValueError):
+            QueueingNetwork(
+                [ClassConfig(5, Exponential(1.0))],
+                [StationConfig(discipline="fifo")],
+            )

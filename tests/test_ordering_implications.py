@@ -1,0 +1,100 @@
+"""Property tests on the stochastic-order hierarchy and hazard classes —
+the structural assumptions behind the survey's parallel-machine theorems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Erlang,
+    Exponential,
+    HazardClass,
+    Weibull,
+    classify_hazard,
+    dominates_hr,
+    dominates_lr,
+    dominates_st,
+)
+
+
+class TestOrderImplications:
+    """lr-order implies hr-order implies st-order (classical hierarchy)."""
+
+    @given(st.floats(0.2, 5.0), st.floats(0.2, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_exponential_hierarchy(self, r1, r2):
+        lo = Exponential(max(r1, r2))  # smaller mean
+        hi = Exponential(min(r1, r2))  # larger mean
+        assert dominates_lr(hi, lo)
+        assert dominates_hr(hi, lo)
+        assert dominates_st(hi, lo)
+
+    @given(st.integers(1, 5), st.floats(0.5, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_erlang_scaling_st(self, k, rate):
+        """Scaling an Erlang's rate down enlarges it stochastically."""
+        small = Erlang(k, rate * 1.5)
+        large = Erlang(k, rate)
+        assert dominates_st(large, small)
+
+    @given(st.floats(0.6, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_st_order_implies_mean_order(self, rate):
+        hi = Exponential(rate)
+        lo = Exponential(rate * 2.0)
+        assert dominates_st(hi, lo)
+        assert hi.mean >= lo.mean
+
+    def test_crossing_hazards_not_hr_ordered(self):
+        """Weibull shapes on opposite sides of 1 have crossing hazards, so
+        neither hr-dominates the other even if st-ordered."""
+        dhr = Weibull.from_mean(1.0, 0.6)
+        ihr = Weibull.from_mean(1.0, 2.5)
+        assert not (dominates_hr(dhr, ihr) and dominates_hr(ihr, dhr))
+
+
+class TestHazardClassesMatchTheory:
+    @given(st.floats(1.1, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_weibull_above_one_is_ihr(self, shape):
+        assert classify_hazard(Weibull(shape, 1.0)) == HazardClass.IHR
+
+    @given(st.floats(0.2, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_weibull_below_one_is_dhr(self, shape):
+        assert classify_hazard(Weibull(shape, 1.0)) == HazardClass.DHR
+
+    @given(st.integers(2, 8), st.floats(0.3, 4.0))
+    @settings(max_examples=25, deadline=None)
+    def test_erlang_always_ihr(self, k, rate):
+        assert classify_hazard(Erlang(k, rate)) == HazardClass.IHR
+
+    @given(st.floats(0.2, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_exponential_always_constant(self, rate):
+        assert classify_hazard(Exponential(rate)) == HazardClass.CONSTANT
+
+
+class TestTheoremPreconditionWiring:
+    """The E3/E4 instance generators must produce batches satisfying the
+    hypotheses of the theorems they exercise."""
+
+    def test_weibull_batches_share_hazard_class(self):
+        from repro.batch import random_weibull_batch
+
+        ihr_batch = random_weibull_batch(5, 2.0, np.random.default_rng(0))
+        dhr_batch = random_weibull_batch(5, 0.6, np.random.default_rng(1))
+        assert all(
+            classify_hazard(j.distribution) == HazardClass.IHR for j in ihr_batch
+        )
+        assert all(
+            classify_hazard(j.distribution) == HazardClass.DHR for j in dhr_batch
+        )
+
+    def test_exponential_batch_is_st_ordered(self):
+        from repro.batch import random_exponential_batch
+        from repro.distributions import is_stochastically_ordered_family
+
+        jobs = random_exponential_batch(6, np.random.default_rng(2))
+        assert is_stochastically_ordered_family([j.distribution for j in jobs])

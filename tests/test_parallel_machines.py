@@ -1,0 +1,146 @@
+"""Tests for the parallel-machine simulators (E3/E4/E5 infrastructure) and
+the uniform-machines DP (threshold structure)."""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    Job,
+    ParallelSimulationResult,
+    lept_order,
+    random_exponential_batch,
+    sept_order,
+    simulate_parallel_nonpreemptive,
+    simulate_parallel_preemptive_exponential,
+    uniform_flowtime_dp,
+)
+from repro.batch.exponential_dp import policy_flowtime_dp, sept_action
+from repro.batch.uniform_machines import (
+    greedy_assignment,
+    simulate_uniform_machines,
+    uniform_policy_flowtime_dp,
+)
+from repro.distributions import Deterministic, Exponential
+from repro.sim.replication import run_replications
+
+
+class TestNonpreemptiveSimulator:
+    def test_deterministic_schedule_by_hand(self):
+        jobs = [
+            Job(0, Deterministic(3.0)),
+            Job(1, Deterministic(2.0)),
+            Job(2, Deterministic(1.0)),
+        ]
+        res = simulate_parallel_nonpreemptive(jobs, 2, [0, 1, 2], np.random.default_rng(0))
+        # machines: job0 on m0 (0-3), job1 on m1 (0-2), job2 follows job1 (2-3)
+        assert res.completion_times == {0: 3.0, 1: 2.0, 2: 3.0}
+        assert res.makespan == 3.0
+        assert res.weighted_flowtime == pytest.approx(8.0)
+
+    def test_work_conservation_single_machine(self):
+        jobs = [Job(i, Deterministic(1.0)) for i in range(4)]
+        res = simulate_parallel_nonpreemptive(jobs, 1, [0, 1, 2, 3], np.random.default_rng(0))
+        assert res.makespan == pytest.approx(4.0)
+
+    def test_sim_mean_matches_dp(self):
+        """Simulated SEPT flowtime converges to the exact DP value."""
+        rates = [0.7, 1.3, 2.2, 0.9]
+        jobs = [Job(i, Exponential(r)) for i, r in enumerate(rates)]
+        order = sept_order(jobs)
+
+        def run(rng):
+            return simulate_parallel_nonpreemptive(jobs, 2, order, rng).weighted_flowtime
+
+        rep = run_replications(run, 4000, seed=0)
+        # nonpreemptive SEPT list scheduling coincides with the DP's SEPT
+        # policy for exponential jobs (no preemption ever helps SEPT's order)
+        exact = policy_flowtime_dp(rates, 2, "sept")
+        assert rep.interval.contains(exact) or abs(rep.mean - exact) < 4 * rep.half_width
+
+    def test_invalid_order_rejected(self):
+        jobs = random_exponential_batch(3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            simulate_parallel_nonpreemptive(jobs, 2, [0, 1], np.random.default_rng(0))
+
+
+class TestPreemptiveExponentialSimulator:
+    def test_matches_dp_for_sept(self):
+        rates = np.array([0.7, 1.3, 2.2, 0.9])
+        jobs = [Job(i, Exponential(r)) for i, r in enumerate(rates)]
+        act = sept_action(rates, 2)
+
+        def run(rng):
+            return simulate_parallel_preemptive_exponential(jobs, 2, act, rng).weighted_flowtime
+
+        rep = run_replications(run, 5000, seed=1)
+        exact = policy_flowtime_dp(rates, 2, "sept")
+        assert abs(rep.mean - exact) < 4 * rep.half_width
+
+    def test_requires_exponential(self):
+        jobs = [Job(0, Deterministic(1.0))]
+        with pytest.raises(TypeError):
+            simulate_parallel_preemptive_exponential(
+                jobs, 1, lambda ids: ids[:1], np.random.default_rng(0)
+            )
+
+    def test_invalid_action_rejected(self):
+        jobs = [Job(0, Exponential(1.0)), Job(1, Exponential(2.0))]
+        with pytest.raises(ValueError):
+            simulate_parallel_preemptive_exponential(
+                jobs, 1, lambda ids: ids, np.random.default_rng(0)  # 2 jobs on 1 machine
+            )
+
+
+class TestUniformMachines:
+    def test_reduces_to_identical_when_speeds_equal(self):
+        rates = [1.0, 2.0, 0.5]
+        v_uniform = uniform_flowtime_dp(rates, [1.0, 1.0])
+        v_identical = policy_flowtime_dp(rates, 2, "sept")
+        # the uniform DP optimises, so it is <= SEPT; with equal speeds the
+        # optimum equals the identical-machines optimum
+        from repro.batch import flowtime_dp
+
+        assert v_uniform == pytest.approx(flowtime_dp(rates, 2), rel=1e-12)
+
+    def test_greedy_optimal_for_identical_unweighted_jobs(self):
+        """With identical exponential jobs and migration allowed, using
+        every machine is optimal — extra completion rate never hurts
+        unweighted flowtime."""
+        rates = [1.0, 1.0, 1.0]
+        speeds = [1.0, 0.05]
+        opt = uniform_flowtime_dp(rates, speeds)
+        greedy = uniform_policy_flowtime_dp(
+            rates, speeds, greedy_assignment(np.asarray(rates), np.asarray(speeds))
+        )
+        assert opt == pytest.approx(greedy, rel=1e-12)
+
+    def test_threshold_structure_beats_greedy_weighted(self):
+        """Weighted heterogeneous jobs: the optimal policy sometimes holds a
+        job off the slow machine (or reorders the fastest-first matching),
+        strictly beating SEPT-to-fastest greedy — the [1, 33] threshold
+        phenomenon."""
+        rates = np.array([1.4950, 0.3967, 0.2793, 4.1037])
+        speeds = np.array([0.9171, 0.6263])
+        weights = np.array([3.6745, 2.7638, 4.6819, 4.0977])
+        opt = uniform_flowtime_dp(rates, speeds, weights=weights)
+        greedy = uniform_policy_flowtime_dp(
+            rates, speeds, greedy_assignment(rates, speeds), weights=weights
+        )
+        assert opt < greedy - 1e-6
+
+    def test_fast_machine_preferred(self):
+        """A single job should achieve exactly 1/(mu * s_max)."""
+        opt = uniform_flowtime_dp([2.0], [4.0, 1.0])
+        assert opt == pytest.approx(1.0 / 8.0)
+
+    def test_deterministic_list_schedule(self):
+        wf, mk = simulate_uniform_machines([4.0, 2.0], [2.0, 1.0], [0, 1])
+        # job0 on fast (dur 2), job1 on slow (dur 2)
+        assert mk == pytest.approx(2.0)
+        assert wf == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_flowtime_dp([1.0, -2.0], [1.0])
+        with pytest.raises(ValueError):
+            simulate_uniform_machines([1.0], [1.0], [0, 1])

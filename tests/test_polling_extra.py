@@ -1,0 +1,68 @@
+"""Additional polling-system coverage: asymmetric systems, zero-rate
+queues, stochastic switchovers."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Erlang, Exponential
+from repro.queueing import PollingSystem, pseudo_conservation_rhs
+
+
+class TestAsymmetricSystems:
+    def test_three_queue_exhaustive_conservation(self):
+        lam = [0.2, 0.15, 0.1]
+        svc = [Exponential(2.0), Erlang(2, 3.0), Exponential(1.5)]
+        sw = [Deterministic(0.1)] * 3
+        ps = PollingSystem(lam, svc, sw, "exhaustive")
+        res = ps.simulate(60_000, np.random.default_rng(0))
+        rhs = pseudo_conservation_rhs(lam, svc, sw, "exhaustive")
+        assert res.weighted_wait_sum == pytest.approx(rhs, rel=0.1)
+
+    def test_stochastic_switchovers(self):
+        lam = [0.25, 0.2]
+        svc = [Exponential(2.0), Exponential(1.5)]
+        sw = [Exponential(5.0), Exponential(4.0)]  # random walk times
+        ps = PollingSystem(lam, svc, sw, "gated")
+        res = ps.simulate(60_000, np.random.default_rng(1))
+        rhs = pseudo_conservation_rhs(lam, svc, sw, "gated")
+        assert res.weighted_wait_sum == pytest.approx(rhs, rel=0.1)
+
+    def test_zero_rate_queue_skipped_gracefully(self):
+        lam = [0.3, 0.0]
+        svc = [Exponential(2.0), Exponential(1.0)]
+        sw = [Deterministic(0.05), Deterministic(0.05)]
+        ps = PollingSystem(lam, svc, sw, "exhaustive")
+        res = ps.simulate(20_000, np.random.default_rng(2))
+        assert res.served[1] == 0
+        assert np.isnan(res.mean_waits[1])
+        assert res.served[0] > 0
+
+    def test_cycle_time_scales_as_theory(self):
+        """Mean cycle time equals total switchover / (1 - rho) at every
+        load level."""
+        svc = [Exponential(2.0), Exponential(2.0)]
+        sw = [Deterministic(0.1), Deterministic(0.1)]
+        for k, lam0 in enumerate((0.2, 0.8)):
+            ps = PollingSystem([lam0, 0.2], svc, sw, "exhaustive")
+            res = ps.simulate(30_000, np.random.default_rng(3 + k))
+            theory = 0.2 / (1.0 - ps.rho)
+            assert res.cycle_time == pytest.approx(theory, rel=0.05)
+
+    def test_limited_service_starves_under_load(self):
+        """limited-1 caps throughput per visit; at moderate load its waits
+        blow past exhaustive by a large factor."""
+        lam = [0.35, 0.35]
+        svc = [Exponential(1.2), Exponential(1.2)]
+        sw = [Deterministic(0.3), Deterministic(0.3)]
+        waits = {}
+        for k, pol in enumerate(("exhaustive", "limited")):
+            ps = PollingSystem(lam, svc, sw, pol)
+            res = ps.simulate(40_000, np.random.default_rng(5 + k))
+            waits[pol] = np.nanmean(res.mean_waits)
+        assert waits["limited"] > 1.5 * waits["exhaustive"]
+
+    def test_rhs_requires_known_policy(self):
+        with pytest.raises(ValueError):
+            pseudo_conservation_rhs(
+                [0.1], [Exponential(1.0)], [Deterministic(0.1)], "limited"
+            )

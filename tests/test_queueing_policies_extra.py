@@ -1,0 +1,129 @@
+"""Additional queueing coverage: preemptive vs nonpreemptive orderings,
+multi-server priority behaviour, network routing edge cases, heavy-traffic
+helpers."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Exponential
+from repro.queueing.heavy_traffic import build_mmk
+from repro.queueing.mg1 import (
+    cmu_order,
+    preemptive_optimal_average_cost,
+    preemptive_order_average_cost,
+    preemptive_priority_sojourns,
+)
+from repro.queueing.network import (
+    ClassConfig,
+    QueueingNetwork,
+    StationConfig,
+    simulate_network,
+)
+
+
+class TestPreemptiveFormulas:
+    def test_preemptive_cmu_beats_nonpreemptive_for_exponential(self):
+        from repro.queueing.mg1 import optimal_average_cost
+
+        lam = [0.3, 0.3]
+        svcs = [Exponential(2.0), Exponential(1.0)]
+        c = [2.0, 1.0]
+        p_cost, _ = preemptive_optimal_average_cost(lam, svcs, c)
+        np_cost, _ = optimal_average_cost(lam, svcs, c)
+        assert p_cost <= np_cost + 1e-12
+
+    def test_order_matters(self):
+        lam = [0.3, 0.3]
+        svcs = [Exponential(2.0), Exponential(1.0)]
+        c = [2.0, 1.0]
+        good = preemptive_order_average_cost(lam, svcs, c, cmu_order(c, [0.5, 1.0]))
+        bad = preemptive_order_average_cost(lam, svcs, c, [1, 0])
+        assert good <= bad
+
+    def test_sojourns_sum_littles_law(self):
+        lam = [0.25, 0.25]
+        svcs = [Exponential(1.0), Exponential(1.0)]
+        T = preemptive_priority_sojourns(lam, svcs, [0, 1])
+        # total number in system equals work-conserving M/M/1 value L = 1
+        L_total = float(np.dot(lam, T))
+        assert L_total == pytest.approx(1.0, rel=1e-9)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            preemptive_priority_sojourns([1.5], [Exponential(1.0)], [0])
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            preemptive_priority_sojourns([0.1, 0.1], [Exponential(1.0)] * 2, [0, 0])
+
+
+class TestMultiServerPriority:
+    def test_high_priority_class_waits_less(self):
+        net = build_mmk([1.0, 1.0], [2.0, 2.0], [5.0, 1.0], 2)
+        res = simulate_network(net, 40_000, np.random.default_rng(0))
+        # class 0 has the higher cmu index -> higher priority -> less wait
+        assert res.mean_waits[0] < res.mean_waits[1]
+
+    def test_servers_scale_capacity(self):
+        """Doubling servers at fixed arrival rates must cut queueing."""
+        res = {}
+        for m in (1, 2):
+            net = build_mmk([0.8], [1.0], [1.0], m)
+            res[m] = simulate_network(net, 40_000, np.random.default_rng(m))
+        assert res[2].mean_queue_lengths[0] < res[1].mean_queue_lengths[0]
+
+    def test_preemptive_station_multi_server(self):
+        net = build_mmk([1.0, 0.5], [2.0, 1.0], [4.0, 1.0], 2, preemptive=True)
+        res = simulate_network(net, 30_000, np.random.default_rng(3))
+        assert np.all(np.isfinite(res.mean_queue_lengths))
+        assert res.mean_waits[0] < res.mean_waits[1]
+
+
+class TestRoutingEdgeCases:
+    def test_probabilistic_split(self):
+        """Class 0 exits 50/50 to classes 1 or 2; visit counts split."""
+        net = QueueingNetwork(
+            [
+                ClassConfig(0, Exponential(3.0), arrival_rate=0.5),
+                ClassConfig(0, Exponential(4.0)),
+                ClassConfig(0, Exponential(4.0)),
+            ],
+            [StationConfig(discipline="priority", priority=(0, 1, 2))],
+            routing=np.array(
+                [[0.0, 0.5, 0.5], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]]
+            ),
+        )
+        res = simulate_network(net, 40_000, np.random.default_rng(4))
+        assert res.visit_counts[1] == pytest.approx(res.visit_counts[2], rel=0.1)
+
+    def test_deterministic_service_network(self):
+        net = QueueingNetwork(
+            [ClassConfig(0, Deterministic(1.0), arrival_rate=0.5)],
+            [StationConfig(discipline="fifo")],
+        )
+        res = simulate_network(net, 40_000, np.random.default_rng(5))
+        from repro.queueing.mg1 import mg1_waiting_time
+
+        assert res.mean_waits[0] == pytest.approx(
+            mg1_waiting_time(0.5, Deterministic(1.0)), rel=0.08
+        )
+
+    def test_routing_dimension_guard(self):
+        with pytest.raises(ValueError):
+            QueueingNetwork(
+                [ClassConfig(0, Exponential(1.0), arrival_rate=0.1)],
+                [StationConfig(discipline="fifo")],
+                routing=np.zeros((2, 2)),
+            )
+
+    def test_effective_rates_with_chain(self):
+        net = QueueingNetwork(
+            [
+                ClassConfig(0, Exponential(3.0), arrival_rate=0.6),
+                ClassConfig(0, Exponential(3.0)),
+            ],
+            [StationConfig(discipline="fifo")],
+            routing=np.array([[0.0, 0.5], [0.0, 0.0]]),
+        )
+        lam = net.effective_rates()
+        assert lam == pytest.approx([0.6, 0.3])

@@ -1,0 +1,143 @@
+"""E13/E14 tests: Rybko–Stolyar instability, virtual stations, fluid
+models."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    FluidModel,
+    fluid_drain_time,
+    fluid_trajectory,
+    is_fluid_stable,
+    rybko_stolyar_network,
+    simulate_network,
+    virtual_station_load,
+)
+
+
+class TestRybkoStolyarConstruction:
+    def test_nominal_loads_below_one(self):
+        net = rybko_stolyar_network(1.0, 0.1, 0.6)
+        assert np.all(net.station_loads() < 1.0)
+
+    def test_virtual_load(self):
+        net = rybko_stolyar_network(1.0, 0.1, 0.6)
+        assert virtual_station_load(net) == pytest.approx(1.2)
+
+    def test_routing_structure(self):
+        net = rybko_stolyar_network()
+        assert net.routing[0, 1] == 1.0
+        assert net.routing[2, 3] == 1.0
+        assert net.routing.sum() == pytest.approx(2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            rybko_stolyar_network(arrival_rate=-1.0)
+
+
+class TestInstability:
+    @pytest.mark.slow
+    def test_priority_policy_diverges_fifo_does_not(self):
+        """The headline E13 phenomenon: exit-priority diverges at virtual
+        load 1.2 despite station loads 0.7; FIFO stays put."""
+        horizon = 4000
+        bad = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=True)
+        good = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=False)
+        res_bad = simulate_network(bad, horizon, np.random.default_rng(0))
+        res_good = simulate_network(good, horizon, np.random.default_rng(1))
+        assert res_bad.final_backlog > 50 * max(res_good.final_backlog, 1.0)
+
+    @pytest.mark.slow
+    def test_priority_policy_stable_below_virtual_one(self):
+        net = rybko_stolyar_network(1.0, 0.1, 0.4, priority_to_exit=True)
+        res = simulate_network(net, 4000, np.random.default_rng(2))
+        assert res.final_backlog < 100
+
+    @pytest.mark.slow
+    def test_backlog_grows_linearly(self):
+        net = rybko_stolyar_network(1.0, 0.1, 0.6)
+        res = simulate_network(
+            net, 4000, np.random.default_rng(3), record_trajectory=True
+        )
+        traj = res.trajectory
+        early = traj[traj[:, 0] < 1000, 1].mean()
+        late = traj[traj[:, 0] > 3000, 1].mean()
+        assert late > 2 * early
+
+
+class TestFluid:
+    def test_naive_fluid_misses_instability(self):
+        """The naive fluid model of the priority policy is stable even when
+        the stochastic network is not — the survey's stability subtlety."""
+        net = rybko_stolyar_network(1.0, 0.1, 0.6)
+        naive = FluidModel.from_network(net)
+        assert is_fluid_stable(naive, horizon=80, dt=0.005)
+
+    def test_augmented_fluid_detects_instability(self):
+        net = rybko_stolyar_network(1.0, 0.1, 0.6)
+        aug = FluidModel.from_network(net, virtual_stations=((1, 3),))
+        assert not is_fluid_stable(aug, horizon=80, dt=0.005)
+
+    def test_augmented_fluid_stable_when_virtual_below_one(self):
+        net = rybko_stolyar_network(1.0, 0.1, 0.4)
+        aug = FluidModel.from_network(net, virtual_stations=((1, 3),))
+        assert is_fluid_stable(aug, horizon=80, dt=0.005)
+
+    def test_drain_time_finite_iff_stable(self):
+        net = rybko_stolyar_network(1.0, 0.1, 0.4)
+        naive = FluidModel.from_network(net)
+        t = fluid_drain_time(naive, [1, 1, 1, 1], horizon=80, dt=0.005)
+        assert np.isfinite(t)
+        assert t == pytest.approx(1.8, abs=0.3)
+
+    def test_single_queue_drain_rate(self):
+        """One M/M/1-like fluid queue: drains at rate mu - alpha."""
+        fm = FluidModel(
+            alpha=np.array([0.5]),
+            mu=np.array([1.0]),
+            routing=np.zeros((1, 1)),
+            station_of=np.array([0]),
+            priority=((0,),),
+        )
+        t = fluid_drain_time(fm, [1.0], horizon=10, dt=0.001)
+        assert t == pytest.approx(2.0, abs=0.05)
+
+    def test_overloaded_queue_grows(self):
+        fm = FluidModel(
+            alpha=np.array([2.0]),
+            mu=np.array([1.0]),
+            routing=np.zeros((1, 1)),
+            station_of=np.array([0]),
+            priority=((0,),),
+        )
+        times, levels = fluid_trajectory(fm, [0.0], horizon=5, dt=0.001)
+        assert levels[-1, 0] == pytest.approx(5.0, rel=0.02)
+
+    def test_tandem_fluid_conserves_flow(self):
+        """Class 0 output feeds class 1; total drain bounded by capacities."""
+        fm = FluidModel(
+            alpha=np.array([0.4, 0.0]),
+            mu=np.array([1.0, 2.0]),
+            routing=np.array([[0.0, 1.0], [0.0, 0.0]]),
+            station_of=np.array([0, 1]),
+            priority=((0,), (1,)),
+        )
+        assert is_fluid_stable(fm, horizon=40, dt=0.002)
+
+    def test_trajectory_nonnegative(self):
+        net = rybko_stolyar_network(1.0, 0.1, 0.6)
+        fm = FluidModel.from_network(net)
+        _, levels = fluid_trajectory(fm, [1, 0, 1, 0], horizon=5, dt=0.002)
+        assert np.all(levels >= -1e-12)
+
+    def test_virtual_station_validation(self):
+        net = rybko_stolyar_network()
+        with pytest.raises(ValueError):
+            FluidModel.from_network(net, virtual_stations=((99,),))
+
+    def test_allocation_respects_capacity(self):
+        net = rybko_stolyar_network(1.0, 0.1, 0.6)
+        fm = FluidModel.from_network(net)
+        u = fm.allocation(np.array([1.0, 1.0, 1.0, 1.0]))
+        assert u[0] + u[3] <= 1 + 1e-9
+        assert u[1] + u[2] <= 1 + 1e-9

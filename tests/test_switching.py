@@ -1,0 +1,107 @@
+"""E9 tests: bandits with switching penalties (Asawa–Teneketzis)."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import (
+    evaluate_switching_policy,
+    gittins_with_hysteresis,
+    optimal_switching_value,
+    plain_gittins_switch_policy,
+    random_project,
+    switching_bandit_mdp,
+)
+
+
+class TestModel:
+    def test_zero_cost_reduces_to_classical(self):
+        rng = np.random.default_rng(0)
+        projects = [random_project(3, rng) for _ in range(2)]
+        beta = 0.85
+        from repro.bandits import optimal_bandit_value
+
+        classical = optimal_bandit_value(projects, beta)
+        with_zero = optimal_switching_value(projects, 0.0, beta)
+        assert with_zero == pytest.approx(classical, rel=1e-9)
+
+    def test_cost_lowers_value(self):
+        rng = np.random.default_rng(1)
+        projects = [random_project(3, rng) for _ in range(2)]
+        v0 = optimal_switching_value(projects, 0.0, 0.85)
+        v1 = optimal_switching_value(projects, 0.5, 0.85)
+        assert v1 <= v0 + 1e-12
+
+    def test_negative_cost_rejected(self):
+        rng = np.random.default_rng(0)
+        projects = [random_project(2, rng) for _ in range(2)]
+        with pytest.raises(ValueError):
+            switching_bandit_mdp(projects, -1.0)
+
+    def test_first_engagement_free(self):
+        """With one project and any cost, the value equals the no-cost value
+        (no switching ever occurs)."""
+        rng = np.random.default_rng(2)
+        projects = [random_project(3, rng)]
+        v = optimal_switching_value(projects, 5.0, 0.8)
+        from repro.bandits import optimal_bandit_value
+
+        assert v == pytest.approx(optimal_bandit_value(projects, 0.8), rel=1e-9)
+
+
+class TestPolicies:
+    def test_policies_bracket_optimum(self):
+        rng = np.random.default_rng(3)
+        projects = [random_project(3, rng) for _ in range(2)]
+        beta, cost = 0.85, 0.6
+        opt = optimal_switching_value(projects, cost, beta)
+        plain = evaluate_switching_policy(
+            projects, cost, beta, plain_gittins_switch_policy(projects, beta)
+        )
+        hyst = evaluate_switching_policy(
+            projects, cost, beta, gittins_with_hysteresis(projects, cost, beta)
+        )
+        assert plain <= opt + 1e-9
+        assert hyst <= opt + 1e-9
+
+    def test_gittins_strictly_suboptimal_somewhere(self):
+        """The survey's point: Gittins is no longer optimal with switching
+        penalties. Search a few random instances for a strict gap."""
+        found = False
+        for seed in range(60):
+            rng = np.random.default_rng(seed)
+            projects = [random_project(3, rng) for _ in range(2)]
+            beta, cost = 0.9, 1.0
+            opt = optimal_switching_value(projects, cost, beta)
+            plain = evaluate_switching_policy(
+                projects, cost, beta, plain_gittins_switch_policy(projects, beta)
+            )
+            if plain < opt - 1e-6:
+                found = True
+                break
+        assert found, "plain Gittins was optimal on every instance"
+
+    def test_hysteresis_recovers_some_gap_on_average(self):
+        """Across instances, the hysteresis heuristic should be at least as
+        good as plain Gittins in total value."""
+        total_plain, total_hyst = 0.0, 0.0
+        for seed in range(25):
+            rng = np.random.default_rng(100 + seed)
+            projects = [random_project(3, rng) for _ in range(2)]
+            beta, cost = 0.9, 1.0
+            total_plain += evaluate_switching_policy(
+                projects, cost, beta, plain_gittins_switch_policy(projects, beta)
+            )
+            total_hyst += evaluate_switching_policy(
+                projects, cost, beta, gittins_with_hysteresis(projects, cost, beta)
+            )
+        assert total_hyst >= total_plain - 1e-6
+
+    def test_infinite_stickiness_never_switches(self):
+        """With a huge stickiness bonus the policy locks onto its first
+        choice; its value is the single-project lock-in value."""
+        rng = np.random.default_rng(4)
+        projects = [random_project(2, rng) for _ in range(2)]
+        beta, cost = 0.8, 0.2
+        locked = gittins_with_hysteresis(projects, cost, beta, stickiness=1e9)
+        v = evaluate_switching_policy(projects, cost, beta, locked)
+        assert np.isfinite(v)

@@ -1,0 +1,199 @@
+"""Tests for repro.utils: RNG streams, statistics, validation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    BatchMeans,
+    RandomStreams,
+    RunningStats,
+    as_generator,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_probability_matrix,
+    check_substochastic_matrix,
+    mean_confidence_interval,
+    spawn_generators,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int_is_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_spawn_generators_independent(self):
+        gens = spawn_generators(7, 3)
+        draws = [g.random(4) for g in gens]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_reproducible(self):
+        a = [g.random() for g in spawn_generators(1, 4)]
+        b = [g.random() for g in spawn_generators(1, 4)]
+        assert a == b
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_streams_same_name_same_generator(self):
+        s = RandomStreams(seed=3)
+        assert s.get("arrivals") is s.get("arrivals")
+
+    def test_streams_name_order_independent(self):
+        s1 = RandomStreams(seed=3)
+        _ = s1.get("a")
+        x1 = s1.get("b").random()
+        s2 = RandomStreams(seed=3)
+        x2 = s2.get("b").random()  # requested first this time
+        assert x1 == x2
+
+    def test_streams_names(self):
+        s = RandomStreams(seed=0)
+        s.get("x")
+        s.get("y")
+        assert set(s.names()) == {"x", "y"}
+
+
+class TestRunningStats:
+    def test_mean_variance_match_numpy(self):
+        xs = np.random.default_rng(0).normal(3.0, 2.0, size=500)
+        rs = RunningStats()
+        rs.extend(xs)
+        assert rs.count == 500
+        assert rs.mean == pytest.approx(xs.mean(), rel=1e-12)
+        assert rs.variance == pytest.approx(xs.var(), rel=1e-9)
+        assert rs.sample_variance == pytest.approx(xs.var(ddof=1), rel=1e-9)
+
+    def test_weighted_mean(self):
+        rs = RunningStats()
+        rs.push(1.0, weight=1.0)
+        rs.push(3.0, weight=3.0)
+        assert rs.mean == pytest.approx(2.5)
+
+    def test_zero_weight_ignored(self):
+        rs = RunningStats()
+        rs.push(5.0)
+        rs.push(100.0, weight=0.0)
+        assert rs.mean == pytest.approx(5.0)
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            RunningStats().push(1.0, weight=-1.0)
+
+    def test_min_max(self):
+        rs = RunningStats()
+        rs.extend([3.0, -1.0, 7.0])
+        assert rs.minimum == -1.0
+        assert rs.maximum == 7.0
+
+    def test_empty_is_nan(self):
+        rs = RunningStats()
+        assert math.isnan(rs.mean)
+        assert math.isnan(rs.variance)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_property(self, xs):
+        rs = RunningStats()
+        rs.extend(xs)
+        assert rs.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+
+
+class TestConfidenceInterval:
+    def test_interval_contains_true_mean_usually(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for _ in range(100):
+            samples = rng.normal(10.0, 2.0, size=30)
+            ci = mean_confidence_interval(samples, level=0.95)
+            hits += ci.contains(10.0)
+        assert hits >= 85  # ~95 expected
+
+    def test_single_sample_infinite_width(self):
+        ci = mean_confidence_interval([4.0])
+        assert ci.mean == 4.0
+        assert math.isinf(ci.half_width)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], level=1.5)
+
+    def test_bounds(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert ci.lower < ci.mean < ci.upper
+        assert ci.mean == pytest.approx(2.0)
+
+
+class TestBatchMeans:
+    def test_iid_interval_covers_mean(self):
+        rng = np.random.default_rng(2)
+        hits = 0
+        for _ in range(20):
+            bm = BatchMeans(n_batches=10, warmup_fraction=0.0)
+            bm.extend(rng.normal(5.0, 1.0, size=2000))
+            hits += bm.confidence_interval().contains(5.0)
+        assert hits >= 16  # ~19 expected at the 95% level
+
+    def test_warmup_discarded(self):
+        bm = BatchMeans(n_batches=2, warmup_fraction=0.5)
+        bm.extend([1000.0] * 50 + [1.0] * 50)
+        assert bm.confidence_interval().mean == pytest.approx(1.0)
+
+    def test_too_few_observations_raises(self):
+        bm = BatchMeans(n_batches=10)
+        bm.extend([1.0, 2.0])
+        with pytest.raises(ValueError):
+            bm.batch_means()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BatchMeans(n_batches=1)
+        with pytest.raises(ValueError):
+            BatchMeans(warmup_fraction=1.0)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive(2.0, "x") == 2.0
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative(-1.0, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+    def test_probability_matrix(self):
+        P = np.array([[0.5, 0.5], [0.0, 1.0]])
+        assert check_probability_matrix(P) is not None
+        with pytest.raises(ValueError):
+            check_probability_matrix(np.array([[0.5, 0.6], [0.0, 1.0]]))
+        with pytest.raises(ValueError):
+            check_probability_matrix(np.ones((2, 3)))
+
+    def test_substochastic_matrix(self):
+        P = np.array([[0.2, 0.3], [0.0, 0.0]])
+        assert check_substochastic_matrix(P) is not None
+        with pytest.raises(ValueError):
+            check_substochastic_matrix(np.array([[0.9, 0.6], [0.0, 0.0]]))
