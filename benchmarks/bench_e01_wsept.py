@@ -1,59 +1,37 @@
 """E1 — WSEPT minimises expected weighted flowtime on one machine
 (Rothkopf [34] / Smith [37]).
 
-Claim: the static index rule w_i / p_i is exactly optimal among all
-nonanticipative nonpreemptive policies; computable in O(n log n).
+Driven by the experiment registry: the workload lives in
+``repro.experiments.scenarios.simulate_e1`` and this benchmark replicates
+it through the shared runner, asserting the scenario's shape checks plus
+the original exactness bound.
 """
 
-import numpy as np
 import pytest
 
-from repro.batch import (
-    brute_force_optimal_sequence,
-    expected_weighted_flowtime,
-    fifo_order,
-    random_exponential_batch,
-    random_order,
-    wsept_order,
-)
+from repro.experiments import get_scenario, run_scenario
+
+SC = get_scenario("E1")
 
 
 def test_e01_wsept_optimality(benchmark, report):
-    rng = np.random.default_rng(1)
+    res = run_scenario(SC, replications=12, seed=1, workers=1)
+    m = res.means()
 
-    # exact-optimality check on brute-forceable sizes
-    gaps = []
-    for seed in range(12):
-        jobs = random_exponential_batch(7, np.random.default_rng(seed))
-        _, best = brute_force_optimal_sequence(jobs)
-        val = expected_weighted_flowtime(jobs, wsept_order(jobs))
-        gaps.append(val / best - 1.0)
-
-    # policy comparison at production size
-    jobs = random_exponential_batch(200, rng)
-    wsept_val = expected_weighted_flowtime(jobs, wsept_order(jobs))
-    fifo_val = expected_weighted_flowtime(jobs, fifo_order(jobs))
-    rnd_val = np.mean(
-        [
-            expected_weighted_flowtime(jobs, random_order(jobs, np.random.default_rng(s)))
-            for s in range(20)
-        ]
-    )
-
-    # benchmark the index computation + evaluation kernel
-    benchmark(lambda: expected_weighted_flowtime(jobs, wsept_order(jobs)))
+    benchmark(lambda: SC.run_once(seed=0))
 
     report(
-        "E1: WSEPT on a single machine (n=200 exponential jobs)",
+        "E1: WSEPT on a single machine (12 replications, registry scenario)",
         [
-            ("WSEPT", wsept_val, 1.0),
-            ("FIFO", fifo_val, fifo_val / wsept_val),
-            ("RANDOM (avg 20)", float(rnd_val), float(rnd_val) / wsept_val),
-            ("max |gap| vs brute force (n=7, 12 inst)", float(max(gaps)), 0.0),
+            ("WSEPT (mean)", m["wsept"], 1.0),
+            ("FIFO (mean)", m["fifo"], m["fifo_ratio"]),
+            ("RANDOM (mean)", m["random"], m["random_ratio"]),
+            ("max |gap| vs brute force", res.metrics["brute_gap"].maximum, 0.0),
         ],
         header=("policy", "E[sum w C]", "vs WSEPT"),
     )
 
-    assert max(gaps) < 1e-12  # exactly optimal
-    assert wsept_val < fifo_val
-    assert wsept_val < rnd_val
+    assert res.all_checks_pass, res.checks
+    assert res.metrics["brute_gap"].maximum < 1e-12  # exactly optimal
+    assert m["fifo_ratio"] > 1.0
+    assert m["random_ratio"] > 1.0

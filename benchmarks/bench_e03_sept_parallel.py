@@ -1,46 +1,49 @@
 """E3 — SEPT minimises total expected flowtime on identical parallel
 machines for exponential jobs (Glazebrook [20]); extends to stochastically
 ordered families (Weber–Varaiya–Walrand [43]).
+
+Driven by the experiment registry (scenario E3): random instances come
+from the replication seeds, and the per-instance SEPT/LEPT/OPT gaps are
+aggregated by the shared runner.
 """
 
-import numpy as np
 import pytest
 
-from repro.batch import flowtime_dp, policy_flowtime_dp
-from repro.distributions import Exponential, is_stochastically_ordered_family
+from repro.experiments import get_scenario, run_scenario
+
+SC = get_scenario("E3")
 
 
 def test_e03_sept_parallel_flowtime(benchmark, report):
-    rng = np.random.default_rng(3)
     rows = []
     worst_gap = 0.0
-    for m in (2, 3):
-        for seed in range(6):
-            rates = np.random.default_rng(100 + seed).uniform(0.3, 3.0, size=9)
-            opt = flowtime_dp(rates, m)
-            sept = policy_flowtime_dp(rates, m, "sept")
-            lept = policy_flowtime_dp(rates, m, "lept")
-            worst_gap = max(worst_gap, sept / opt - 1.0)
-            if seed == 0:
-                rows.append((f"m={m} OPT (DP)", opt, 1.0))
-                rows.append((f"m={m} SEPT", sept, sept / opt))
-                rows.append((f"m={m} LEPT", lept, lept / opt))
+    for m_machines in (2, 3):
+        res = run_scenario(
+            SC,
+            replications=6,
+            seed=100 + m_machines,
+            workers=1,
+            params={"m": m_machines, "n_jobs": 9},
+        )
+        worst_gap = max(worst_gap, res.metrics["sept_gap"].maximum)
+        mm = res.means()
+        rows.append((f"m={m_machines} OPT (mean)", mm["opt"], 1.0))
+        rows.append(
+            (f"m={m_machines} SEPT gap (max)", res.metrics["sept_gap"].maximum, 0.0)
+        )
+        rows.append(
+            (f"m={m_machines} LEPT ratio (mean)", mm["lept_ratio"], mm["lept_ratio"])
+        )
+        assert res.all_checks_pass, res.checks
+        assert mm["family_ordered"] == 1.0
 
-    # the distributions form a stochastically ordered family (exponential
-    # families always are) — the hypothesis of the general theorem
-    fam = [Exponential(r) for r in (0.5, 1.0, 2.0)]
-    ordered = is_stochastically_ordered_family(fam)
-
-    rates = np.random.default_rng(0).uniform(0.3, 3.0, size=11)
-    benchmark(lambda: policy_flowtime_dp(rates, 2, "sept"))
+    benchmark(lambda: SC.run_once(seed=0, overrides={"n_jobs": 9}))
 
     rows.append(("worst SEPT gap (12 inst)", worst_gap, 0.0))
-    rows.append(("family st-ordered?", float(ordered), 1.0))
     report(
         "E3: SEPT on identical parallel machines (exponential, n=9)",
         rows,
         header=("case", "E[sum C]", "vs OPT"),
     )
 
-    assert worst_gap < 1e-12  # SEPT exactly optimal
-    assert ordered
+    assert worst_gap < 1e-12  # SEPT exactly optimal on every instance

@@ -1,35 +1,46 @@
 """E4 — LEPT minimises expected makespan on identical parallel machines for
 exponential jobs (Bruno–Downey–Frederickson [10]).
+
+Driven by the experiment registry (scenario E4): per-instance LEPT/SEPT
+gaps against the exact DP are aggregated by the shared runner.
 """
 
-import numpy as np
 import pytest
 
-from repro.batch import makespan_dp, policy_makespan_dp
+from repro.experiments import get_scenario, run_scenario
+
+SC = get_scenario("E4")
 
 
 def test_e04_lept_makespan(benchmark, report):
     rows = []
     worst_gap = 0.0
     sept_penalties = []
-    for m in (2, 3):
-        for seed in range(6):
-            rates = np.random.default_rng(200 + seed).uniform(0.3, 3.0, size=9)
-            opt = makespan_dp(rates, m)
-            lept = policy_makespan_dp(rates, m, "lept")
-            sept = policy_makespan_dp(rates, m, "sept")
-            worst_gap = max(worst_gap, lept / opt - 1.0)
-            sept_penalties.append(sept / opt - 1.0)
-            if seed == 0:
-                rows.append((f"m={m} OPT (DP)", opt, 1.0))
-                rows.append((f"m={m} LEPT", lept, lept / opt))
-                rows.append((f"m={m} SEPT", sept, sept / opt))
+    for m_machines in (2, 3):
+        res = run_scenario(
+            SC,
+            replications=6,
+            seed=200 + m_machines,
+            workers=1,
+            params={"m": m_machines, "n_jobs": 9},
+        )
+        worst_gap = max(worst_gap, res.metrics["lept_gap"].maximum)
+        sept_penalties.append(res.means()["sept_penalty"])
+        mm = res.means()
+        rows.append((f"m={m_machines} OPT (mean)", mm["opt"], 1.0))
+        rows.append(
+            (f"m={m_machines} LEPT gap (max)", res.metrics["lept_gap"].maximum, 0.0)
+        )
+        rows.append(
+            (f"m={m_machines} SEPT penalty (mean)", mm["sept_penalty"], 0.0)
+        )
+        assert res.all_checks_pass, res.checks
 
-    rates = np.random.default_rng(0).uniform(0.3, 3.0, size=11)
-    benchmark(lambda: policy_makespan_dp(rates, 2, "lept"))
+    benchmark(lambda: SC.run_once(seed=0, overrides={"n_jobs": 9}))
 
+    mean_penalty = sum(sept_penalties) / len(sept_penalties)
     rows.append(("worst LEPT gap (12 inst)", worst_gap, 0.0))
-    rows.append(("mean SEPT penalty", float(np.mean(sept_penalties)), 0.0))
+    rows.append(("mean SEPT penalty", mean_penalty, 0.0))
     report(
         "E4: LEPT for expected makespan (exponential, n=9)",
         rows,
@@ -37,4 +48,4 @@ def test_e04_lept_makespan(benchmark, report):
     )
 
     assert worst_gap < 1e-12  # LEPT exactly optimal
-    assert np.mean(sept_penalties) > 0.005  # the opposite rule visibly loses
+    assert mean_penalty > 0.005  # the opposite rule visibly loses

@@ -4,53 +4,36 @@ two-point processing times on two machines (Coffman–Hofri–Weiss [13]).
 With two-point jobs the expected flowtime of a nonpreemptive list schedule
 depends on the full distributions, not just the means: SEPT (which the E3
 theorems certify under exponential / stochastically-ordered assumptions)
-is strictly suboptimal. All values here are *exact* (enumeration over the
-2^n realisations) — no Monte-Carlo noise.
+is strictly suboptimal.  All values are *exact* (enumeration over the 2^n
+realisations), so the registry scenario is deterministic and one
+replication suffices.
 """
 
-import itertools
-
-import numpy as np
 import pytest
 
-from repro.batch import Job, sept_order
-from repro.batch.parallel import exact_two_point_list_flowtime
-from repro.distributions import TwoPoint
+from repro.experiments import get_scenario
 
-# instance found by exact search: means are ordered one way, the optimal
-# sequence another (see EXPERIMENTS.md)
-JOBS = [
-    Job(0, TwoPoint(1.016, 11.897, 0.935)),
-    Job(1, TwoPoint(1.343, 7.954, 0.609)),
-    Job(2, TwoPoint(1.832, 7.195, 0.556)),
-    Job(3, TwoPoint(0.932, 15.481, 0.749)),
-]
-M = 2
+SC = get_scenario("E5")
 
 
 def test_e05_twopoint_breaks_sept(benchmark, report):
-    sept = tuple(sept_order(JOBS))
-    values = {
-        perm: exact_two_point_list_flowtime(JOBS, M, list(perm))
-        for perm in itertools.permutations(range(4))
-    }
-    best = min(values, key=values.get)
+    m = SC.run_once(seed=0)
 
-    benchmark(lambda: exact_two_point_list_flowtime(JOBS, M, list(best)))
+    benchmark(lambda: SC.run_once(seed=0))
 
     report(
         "E5: two-point jobs on 2 machines — SEPT is no longer optimal (exact)",
         [
-            (f"SEPT order {sept}", values[sept], values[sept] / values[best]),
-            (f"optimal order {best}", values[best], 1.0),
-            ("SEPT excess (absolute)", values[sept] - values[best], 0.0),
-            ("n orders strictly better than SEPT",
-             float(sum(v < values[sept] - 1e-9 for v in values.values())), 0.0),
+            ("SEPT order", m["sept_value"], m["sept_ratio"]),
+            ("optimal order", m["best_value"], 1.0),
+            ("SEPT excess (absolute)", m["sept_value"] - m["best_value"], 0.0),
+            ("n orders strictly better than SEPT", m["n_better_orders"], 0.0),
         ],
         header=("order", "E[sum C] exact", "vs best"),
     )
 
-    assert values[sept] > values[best] * 1.02  # >2% strict suboptimality
-    # sanity: the job means really are SEPT-ordered as claimed
-    means = [j.mean for j in JOBS]
-    assert sorted(range(4), key=lambda i: means[i]) == list(sept)
+    checks = SC.evaluate_checks(m)
+    assert all(checks.values()), checks
+    assert m["sept_ratio"] > 1.02  # >2% strict suboptimality
+    # determinism: the exact computation is seed-independent
+    assert SC.run_once(seed=123) == m

@@ -1,53 +1,38 @@
 """E16 — HLF (Highest Level First) is asymptotically optimal for expected
 makespan of i.i.d. exponential jobs under in-tree precedence on parallel
 machines (Papadimitriou–Tsitsiklis [31]).
+
+Driven by the experiment registry (scenario E16): where the old benchmark
+hand-rolled a 400-run averaging loop per tree size, one registry
+replication now measures a single HLF-vs-random draw at every size and the
+shared runner supplies the averaging.
 """
 
-import numpy as np
 import pytest
 
-from repro.batch import random_intree, simulate_intree_makespan
-from repro.batch.precedence import hlf_policy, random_policy
-from repro.sim.replication import run_replications
+from repro.experiments import get_scenario, run_scenario
 
-
-def _mean_makespan(tree, m, policy_factory, n_reps, seed):
-    def run(rng):
-        return simulate_intree_makespan(tree, m, 1.0, policy_factory(rng), rng)
-
-    return run_replications(run, n_reps, seed=seed)
+SC = get_scenario("E16")
 
 
 def test_e16_hlf_asymptotic_optimality(benchmark, report):
-    m = 3
-    rows = []
-    ratios = []
-    for k, n in enumerate((20, 60, 180)):
-        tree = random_intree(n, 1000 + k)
-        # HLF vs random eligible-set policy; lower bound: work / m and the
-        # longest chain (level + 1), both valid for every policy
-        hlf = _mean_makespan(tree, m, lambda rng: hlf_policy(tree), 400, 2 * k)
-        rnd = _mean_makespan(tree, m, lambda rng: random_policy(rng), 400, 2 * k + 1)
-        lb = max(n / m, float(tree.levels().max() + 1))
-        rows.append((f"n={n} HLF", hlf.mean, hlf.mean / lb))
-        rows.append((f"n={n} random", rnd.mean, rnd.mean / lb))
-        ratios.append(hlf.mean / lb)
+    res = run_scenario(SC, replications=80, seed=16, workers=1)
+    m = res.means()
 
-    tree = random_intree(60, 0)
-    benchmark(
-        lambda: simulate_intree_makespan(
-            tree, m, 1.0, hlf_policy(tree), np.random.default_rng(0)
-        )
-    )
+    benchmark(lambda: SC.run_once(seed=0, overrides={"sizes": (20, 60)}))
 
-    rows.append(("HLF/LB trend", float(ratios[0]), float(ratios[-1])))
+    rows = [
+        (f"n={n} HLF/LB", m[f"hlf_ratio_n{n}"], m[f"random_ratio_n{n}"])
+        for n in SC.defaults["sizes"]
+    ]
+    rows.append(("HLF/LB trend", m["hlf_ratio_small"], m["hlf_ratio_large"]))
     report(
-        "E16: in-tree precedence, m=3 — expected makespan vs lower bound",
+        "E16: in-tree precedence, m=3 — makespan/LB (80 replications)",
         rows,
-        header=("case", "E[makespan]", "vs lower bound"),
+        header=("case", "HLF ratio", "random ratio"),
     )
 
-    # HLF no worse than random everywhere, and its ratio to the universal
-    # lower bound improves with size (asymptotic optimality)
-    assert ratios[-1] <= ratios[0] + 0.02
-    assert ratios[-1] < 1.35
+    assert res.all_checks_pass, res.checks
+    # HLF's ratio to the universal lower bound improves with size
+    assert m["hlf_ratio_large"] <= m["hlf_ratio_small"] + 0.02
+    assert m["hlf_ratio_large"] < 1.35

@@ -2,53 +2,37 @@
 Righter [33], Coffman et al. [12]): optimal policies have threshold
 structure — slow machines should sometimes idle — and the exact DP
 quantifies when the SEPT-to-fastest greedy heuristic loses.
+
+Driven by the experiment registry (scenario E18, fully deterministic study
+instances).
 """
 
-import numpy as np
 import pytest
 
-from repro.batch.uniform_machines import (
-    greedy_assignment,
-    uniform_flowtime_dp,
-    uniform_policy_flowtime_dp,
-)
+from repro.experiments import get_scenario
+
+SC = get_scenario("E18")
 
 
 def test_e18_uniform_machines(benchmark, report):
-    # identical unweighted jobs: greedy (use every machine) is optimal
-    rates_id = np.array([1.0, 1.0, 1.0])
-    speeds = np.array([1.0, 0.15])
-    opt_id = uniform_flowtime_dp(rates_id, speeds)
-    greedy_id = uniform_policy_flowtime_dp(
-        rates_id, speeds, greedy_assignment(rates_id, speeds)
-    )
+    m = SC.run_once(seed=0)
 
-    # weighted heterogeneous jobs: the DP strictly improves on greedy
-    rates_w = np.array([1.4950, 0.3967, 0.2793, 4.1037])
-    speeds_w = np.array([0.9171, 0.6263])
-    weights = np.array([3.6745, 2.7638, 4.6819, 4.0977])
-    opt_w = uniform_flowtime_dp(rates_w, speeds_w, weights=weights)
-    greedy_w = uniform_policy_flowtime_dp(
-        rates_w, speeds_w, greedy_assignment(rates_w, speeds_w), weights=weights
-    )
-
-    # speed dominance: faster second machine always helps
-    opt_faster = uniform_flowtime_dp(rates_id, np.array([1.0, 0.6]))
-
-    benchmark(lambda: uniform_flowtime_dp(rates_w, speeds_w, weights=weights))
+    benchmark(lambda: SC.run_once(seed=0))
 
     report(
         "E18: uniform machines — exact DP vs SEPT-to-fastest greedy",
         [
-            ("identical jobs: OPT", opt_id, 1.0),
-            ("identical jobs: greedy", greedy_id, greedy_id / opt_id),
-            ("weighted hetero: OPT", opt_w, 1.0),
-            ("weighted hetero: greedy", greedy_w, greedy_w / opt_w),
-            ("speedup s2 0.15 -> 0.6", opt_faster, opt_faster / opt_id),
+            ("identical jobs: greedy gap", m["greedy_identical_gap"], 0.0),
+            ("weighted hetero: greedy/OPT", m["greedy_weighted_ratio"], 1.0),
+            ("speedup s2 0.15 -> 0.6 ratio", m["speedup_ratio"], 1.0),
         ],
-        header=("case", "E[sum w C]", "ratio"),
+        header=("case", "value", "target"),
     )
 
-    assert greedy_id == pytest.approx(opt_id, rel=1e-12)  # greedy fine here
-    assert greedy_w > opt_w * 1.01  # threshold/matching structure matters
-    assert opt_faster < opt_id  # monotone in machine speed
+    checks = SC.evaluate_checks(m)
+    assert all(checks.values()), checks
+    assert m["greedy_identical_gap"] < 1e-12  # greedy fine here
+    assert m["greedy_weighted_ratio"] > 1.01  # threshold structure matters
+    assert m["speedup_ratio"] < 1.0  # monotone in machine speed
+    # determinism: the study instances are fixed
+    assert SC.run_once(seed=99) == m

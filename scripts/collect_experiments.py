@@ -1,228 +1,58 @@
 #!/usr/bin/env python
-"""Assemble EXPERIMENTS.md from a captured benchmark log.
+"""Assemble EXPERIMENTS.md by running the experiment registry directly.
+
+Historically this script scraped claim-vs-measured tables out of a captured
+``pytest benchmarks/`` log with regexes.  That path is gone: scenarios are
+now first-class objects in :mod:`repro.experiments`, so this is a thin
+wrapper over the ``repro-experiments`` CLI that runs every registered
+scenario and renders the same report from structured results.
 
 Usage:
-    pytest benchmarks/ --benchmark-only 2>&1 | tee bench.log
-    python scripts/collect_experiments.py bench.log > EXPERIMENTS.md
+    python scripts/collect_experiments.py [--replications N] [--workers K]
+        [--seed S] [--json results.json] [--out EXPERIMENTS.md] [IDS ...]
 
-The benchmark `report` fixture prints each experiment's claim-vs-measured
-table between lines of '=' characters; this script extracts those blocks
-and pairs them with the per-experiment commentary below.
+With no IDS, all registered scenarios (E1–E19) are run.  Equivalent CLI:
+
+    repro-experiments run all --replications N --workers K \\
+        --json results.json --markdown EXPERIMENTS.md
 """
 
 from __future__ import annotations
 
-import re
+import argparse
 import sys
 
-CLAIMS = {
-    "E1": (
-        "WSEPT minimises expected weighted flowtime on one machine "
-        "(Rothkopf [34] / Smith [37]).",
-        "Reproduced exactly: zero gap to brute force on every instance; "
-        "FIFO and random orders lose by the expected margins.",
-    ),
-    "E2": (
-        "Sevcik's preemptive index is optimal with preemption [35] and "
-        "strictly beats nonpreemptive WSEPT for high-variance (DHR) jobs.",
-        "Reproduced: the index policy matches the exact DAG optimum to "
-        "1e-9 relative; WSEPT pays a >3% premium under DHR and nothing "
-        "under memoryless jobs, as the theory predicts.",
-    ),
-    "E3": (
-        "SEPT minimises total flowtime on identical parallel machines for "
-        "exponential jobs (Glazebrook [20]); the general version needs "
-        "stochastic ordering (Weber–Varaiya–Walrand [43]).",
-        "Reproduced exactly against the subset DP on every instance "
-        "(worst gap < 1e-12); the instances provably satisfy the ordering "
-        "hypothesis.",
-    ),
-    "E4": (
-        "LEPT minimises expected makespan on identical parallel machines "
-        "for exponential jobs (Bruno–Downey–Frederickson [10]).",
-        "Reproduced exactly; the opposite rule (SEPT) pays a visible "
-        "makespan penalty.",
-    ),
-    "E5": (
-        "Outside the assumptions the simple rules fail: two-point "
-        "processing times on two machines (Coffman–Hofri–Weiss [13]).",
-        "Reproduced with exact enumeration: SEPT is >2% above the optimal "
-        "order on the study instance; several orders strictly beat it.",
-    ),
-    "E6": (
-        "Weiss's turnpike [46]: WSEPT's absolute gap on parallel machines "
-        "is bounded in n, so its relative gap vanishes.",
-        "Reproduced with exact DP values: the optimum grows ~n^2 while the "
-        "gap stays in the 1e-2 range; relative gap < 1% everywhere.",
-    ),
-    "E7": (
-        "The Gittins index rule is optimal for classical bandits "
-        "(Gittins–Jones [19]); indices are efficiently computable [40].",
-        "Reproduced: the index policy matches product-space DP to 1e-8 on "
-        "every instance; two independent index algorithms agree to 1e-6; "
-        "the myopic rule is strictly suboptimal on generic instances.",
-    ),
-    "E8": (
-        "Whittle's restless index [48] is near-optimal and asymptotically "
-        "optimal as N grows with m/N fixed (Weber–Weiss [44]); the LP "
-        "relaxation [7] bounds every policy.",
-        "Reproduced: the bound dominates simulation everywhere; the "
-        "per-project gap shrinks with N and ends within 5% of the bound.",
-    ),
-    "E9": (
-        "With switching penalties the Gittins rule loses optimality "
-        "(Asawa–Teneketzis [2]).",
-        "Reproduced: plain Gittins is strictly suboptimal on found "
-        "instances; the hysteresis heuristic recovers the bulk of the gap.",
-    ),
-    "E10": (
-        "The cµ rule is optimal for the multiclass M/G/1 [15]; the "
-        "achievable region is a polytope with priority-rule vertices "
-        "[14, 17].",
-        "Reproduced: cµ selects the best of all 3! orders; simulation "
-        "matches Cobham's formulas; simulated waits satisfy the strong "
-        "conservation laws. The uniformized MDP further shows cµ optimal "
-        "over all stationary preemptive policies (tests).",
-    ),
-    "E11": (
-        "Klimov's index rule is optimal for the M/G/1 with Markovian "
-        "feedback [24] and reduces to cµ without feedback.",
-        "Reproduced: Klimov's order is best among all simulated priority "
-        "orders (within Monte-Carlo noise) and the no-feedback reduction "
-        "is exact.",
-    ),
-    "E12": (
-        "On parallel servers the cµ/Klimov heuristic is asymptotically "
-        "optimal in heavy traffic (Glazebrook–Niño-Mora [22]).",
-        "Reproduced: the cost ratio to the pooled preemptive-cµ lower "
-        "bound decreases towards 1 as rho -> 1.",
-    ),
-    "E13": (
-        "Stability is subtle in multiclass networks [9]: a priority policy "
-        "can diverge with every station underloaded (Rybko–Stolyar).",
-        "Reproduced: exit-priority diverges at virtual load 1.2 while "
-        "FIFO and the virtual-load-0.8 variant stay stable; the naive "
-        "fluid model misses the instability and the virtual-station "
-        "augmented fluid catches it.",
-    ),
-    "E14": (
-        "Fluid-model heuristics guide good MQN policies [11, 3].",
-        "Reproduced: fluid drain analysis and stochastic simulation rank "
-        "the candidate policies consistently.",
-    ),
-    "E15": (
-        "Changeover times change optimal control (polling systems [25]).",
-        "Reproduced: exhaustive <= gated <= limited in weighted waits; the "
-        "Boxma–Groenendijk pseudo-conservation law matches simulation at "
-        "both switchover levels; longer setups hurt every policy.",
-    ),
-    "E16": (
-        "HLF is asymptotically optimal for in-tree precedence "
-        "(Papadimitriou–Tsitsiklis [31]).",
-        "Reproduced: HLF's makespan ratio to the universal lower bound "
-        "improves with batch size and beats the random eligible-set "
-        "policy.",
-    ),
-    "E17": (
-        "Stochastic flow shops (Wie–Pinedo [49]): Talwar's rule is optimal "
-        "for the 2-machine exponential flow shop; blocking only hurts.",
-        "Reproduced: Talwar matches the empirically best permutation, "
-        "beats its reverse, and blocking increases the makespan; "
-        "Johnson's rule is exactly optimal in the deterministic limit.",
-    ),
-    "E18": (
-        "Uniform machines [1, 12, 33]: optimal policies have "
-        "threshold/matching structure beyond naive greedy.",
-        "Reproduced: greedy is exactly optimal for identical unweighted "
-        "jobs but strictly loses on weighted heterogeneous instances; "
-        "values are monotone in machine speed.",
-    ),
-    "E19": (
-        "Heterogeneous restless fleets: LP/Lagrangian relaxations and "
-        "index heuristics (Bertsimas–Niño-Mora [7]).",
-        "Reproduced: the Lagrangian dual bound dominates simulation; the "
-        "Whittle policy operates within ~15% of the bound and at or above "
-        "the myopic policy.",
-    ),
-    "A1": (
-        "Ablation: VWB vs restart-in-state Gittins algorithms.",
-        "Agreement to 1e-6 at every tested size.",
-    ),
-    "A2": (
-        "Ablation: event-engine throughput and M/M/1 accuracy anchor.",
-        "Simulator matches closed forms within Monte-Carlo tolerance.",
-    ),
-    "A3": (
-        "Ablation: achievable-region LP route to cµ.",
-        "The LP reproduces the interchange-argument rule and value "
-        "exactly at every class count tested.",
-    ),
-}
 
-HEADER = """# EXPERIMENTS — paper claims vs measured results
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("ids", nargs="*", help="scenario ids (default: all)")
+    parser.add_argument("--replications", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=0, help="0 = all cores")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", help="also write JSON results")
+    parser.add_argument(
+        "--out", metavar="PATH", default="EXPERIMENTS.md", help="Markdown output path"
+    )
+    args = parser.parse_args(argv)
 
-The reproduced paper (Niño-Mora, *Stochastic Scheduling*, Encyclopedia of
-Optimization 2001) is a survey with **no numbered tables or figures**; its
-evaluation-equivalent content is the set of landmark results it surveys.
-Each experiment below reproduces one claim. Tables are the verbatim output
-of `pytest benchmarks/ --benchmark-only` (see DESIGN.md for the experiment
-index and benchmarks/ for the code). Absolute numbers are produced by this
-library's simulators and exact solvers; the *shape* of every claim (who
-wins, by what order, where the crossovers are) is asserted programmatically
-inside each benchmark.
-"""
+    from repro.experiments.cli import main as cli_main
 
-
-def extract_tables(log_text: str) -> dict[str, str]:
-    """Map experiment id ('E1', 'A2', ...) to its printed table."""
-    tables: dict[str, str] = {}
-    lines = log_text.splitlines()
-    i = 0
-    while i < len(lines):
-        if re.fullmatch(r"={60,}", lines[i].strip()) and i + 1 < len(lines):
-            title = lines[i + 1].strip()
-            m = re.match(r"(E\d+|A\d+)[ab]?:", title)
-            if m:
-                # layout: ===== / title / ===== / header+rows... / =====
-                block = [lines[i], lines[i + 1]]
-                j = i + 2
-                if j < len(lines) and re.fullmatch(r"={60,}", lines[j].strip()):
-                    block.append(lines[j])
-                    j += 1
-                while j < len(lines) and not re.fullmatch(r"={60,}", lines[j].strip()):
-                    block.append(lines[j])
-                    j += 1
-                if j < len(lines):
-                    block.append(lines[j])
-                key = m.group(1)
-                tables.setdefault(key, "")
-                tables[key] += "\n".join(block) + "\n"
-                i = j + 1
-                continue
-        i += 1
-    return tables
-
-
-def main() -> None:
-    if len(sys.argv) != 2:
-        sys.exit(__doc__)
-    log_text = open(sys.argv[1], encoding="utf-8", errors="replace").read()
-    tables = extract_tables(log_text)
-    out = [HEADER]
-    for key, (claim, verdict) in CLAIMS.items():
-        out.append(f"\n## {key}\n")
-        out.append(f"**Paper claim.** {claim}\n")
-        table = tables.get(key)
-        if table:
-            out.append("**Measured.**\n")
-            out.append("```")
-            out.append(table.rstrip())
-            out.append("```\n")
-        else:
-            out.append("*(table missing from the supplied log)*\n")
-        out.append(f"**Verdict.** {verdict}\n")
-    print("\n".join(out))
+    cli_args = [
+        "run",
+        *(args.ids or ["all"]),
+        "--replications",
+        str(args.replications),
+        "--workers",
+        str(args.workers),
+        "--seed",
+        str(args.seed),
+        "--markdown",
+        args.out,
+    ]
+    if args.json:
+        cli_args += ["--json", args.json]
+    return cli_main(cli_args)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -30,14 +30,16 @@ __all__ = [
     "mdp",
     "sim",
     "utils",
+    "experiments",
     "__version__",
 ]
 
 
 def __getattr__(name):
-    # bandits and queueing are imported lazily so a partial checkout of the
-    # light subpackages stays importable.
-    if name in ("bandits", "queueing"):
+    # bandits, queueing and experiments are imported lazily so a partial
+    # checkout of the light subpackages stays importable (experiments pulls
+    # in every subsystem through its scenario catalogue).
+    if name in ("bandits", "queueing", "experiments"):
         import importlib
 
         return importlib.import_module(f"repro.{name}")

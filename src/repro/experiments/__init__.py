@@ -1,0 +1,65 @@
+"""Experiment registry and parallel replication runner — the public API
+for reproducing the survey's claims.
+
+This package turns the E1–E19 benchmark workloads into first-class,
+discoverable objects:
+
+* :mod:`repro.experiments.registry` — the declarative
+  :class:`~repro.experiments.registry.Scenario` registry: each scenario
+  bundles a per-replication ``simulate`` function with the paper claim it
+  validates, default parameters, and named *shape checks*.
+* :mod:`repro.experiments.scenarios` — the built-in catalogue (E1–E19),
+  registered on import.
+* :mod:`repro.experiments.runner` — batched replications with multiprocess
+  fan-out over spawned seed streams and vectorised aggregation; results
+  are bit-identical for every worker count.
+* :mod:`repro.experiments.report` — structured JSON documents and the
+  Markdown claim-vs-measured report.
+* :mod:`repro.experiments.cli` — the ``repro-experiments`` console script.
+
+Typical use::
+
+    from repro.experiments import get_scenario, run_scenario
+
+    result = run_scenario("E1", replications=200, workers=4, seed=0)
+    assert result.all_checks_pass
+    print(result.metrics["fifo_ratio"].mean)
+"""
+
+from repro.experiments.registry import (
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register,
+    scenario,
+    scenario_ids,
+)
+from repro.experiments.runner import (
+    MetricSummary,
+    ScenarioResult,
+    run_scenario,
+    run_scenarios,
+)
+from repro.experiments.report import (
+    generate_markdown,
+    load_results,
+    results_to_document,
+    results_to_json,
+)
+
+__all__ = [
+    "Scenario",
+    "scenario",
+    "register",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_ids",
+    "MetricSummary",
+    "ScenarioResult",
+    "run_scenario",
+    "run_scenarios",
+    "generate_markdown",
+    "load_results",
+    "results_to_document",
+    "results_to_json",
+]

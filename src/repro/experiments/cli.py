@@ -1,0 +1,224 @@
+"""The ``repro-experiments`` command-line interface.
+
+Runs any subset of the registered scenarios with parallel replications and
+emits structured JSON and/or a Markdown claim-vs-measured report::
+
+    repro-experiments --list
+    repro-experiments run E1 E2 --replications 200 --workers 4
+    repro-experiments run all --replications 20 --json results.json \\
+        --markdown EXPERIMENTS.md
+    repro-experiments run E10 E11 --param horizon=2000 --seed 7
+
+Without an installed entry point the module form works identically::
+
+    python -m repro.experiments.cli --list
+
+Results are deterministic in the root ``--seed``: for a fixed seed the
+point estimates are bit-identical for every ``--workers`` value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Any, Sequence
+
+from repro.experiments.registry import get_scenario, list_scenarios, scenario_ids
+from repro.experiments.report import generate_markdown, results_to_json
+from repro.experiments.runner import run_scenarios
+
+__all__ = ["main", "build_parser", "CliError"]
+
+
+class CliError(Exception):
+    """A user-facing CLI error (printed without a traceback, exit 2)."""
+
+
+def _parse_param(text: str) -> tuple[str, Any]:
+    """Parse a ``key=value`` override; the value is a Python literal when
+    possible, else kept as a string."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"parameter override {text!r} is not of the form key=value"
+        )
+    key, raw = text.split("=", 1)
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key.strip(), value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Run registered stochastic-scheduling experiments.",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_only",
+        help="list registered scenarios and exit",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    lst = sub.add_parser("list", help="list registered scenarios")
+    lst.add_argument("--tag", action="append", default=[], help="filter by tag")
+
+    run = sub.add_parser("run", help="run a subset of scenarios")
+    run.add_argument(
+        "scenarios",
+        nargs="+",
+        help="scenario ids (e.g. E1 E2), or 'all'",
+    )
+    run.add_argument(
+        "--replications", type=int, default=10, help="replications per scenario"
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 = all cores); results are identical "
+        "for every worker count",
+    )
+    run.add_argument("--seed", type=int, default=0, help="root seed")
+    run.add_argument(
+        "--level", type=float, default=0.95, help="confidence level"
+    )
+    run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        type=_parse_param,
+        metavar="KEY=VALUE",
+        help="parameter override, applied to scenarios declaring KEY "
+        "(repeatable)",
+    )
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the JSON results document to PATH ('-' for stdout)",
+    )
+    run.add_argument(
+        "--markdown",
+        metavar="PATH",
+        help="write the Markdown report to PATH ('-' for stdout)",
+    )
+    run.add_argument(
+        "--include-samples",
+        action="store_true",
+        help="embed raw per-replication samples in the JSON output",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress the progress table"
+    )
+    return parser
+
+
+def _cmd_list(tags: Sequence[str]) -> int:
+    scenarios = list_scenarios(tuple(tags) or None)
+    width = max((len(sc.scenario_id) for sc in scenarios), default=2)
+    for sc in scenarios:
+        tag_str = f"  [{', '.join(sc.tags)}]" if sc.tags else ""
+        print(f"{sc.scenario_id:<{width}}  {sc.title}{tag_str}")
+    return 0
+
+
+def _resolve_ids(requested: Sequence[str]) -> list[str]:
+    if any(r.lower() == "all" for r in requested):
+        return scenario_ids()
+    # validate early so typos fail before any work is done
+    try:
+        return [get_scenario(r).scenario_id for r in requested]
+    except KeyError as exc:
+        raise CliError(exc.args[0]) from exc
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = _resolve_ids(args.scenarios)
+    params = dict(args.param)
+    if args.replications < 1:
+        raise CliError("--replications must be at least 1")
+    # every override must be meaningful for at least one selected scenario
+    known = {k for sid in ids for k in get_scenario(sid).defaults}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise CliError(
+            f"--param key(s) {', '.join(unknown)} not declared by any "
+            f"selected scenario; known parameters: {sorted(known)}"
+        )
+    results = []
+    for sid in ids:
+        res = run_scenarios(
+            [sid],
+            replications=args.replications,
+            seed=args.seed,
+            workers=args.workers,
+            params=params,
+            level=args.level,
+        )[0]
+        results.append(res)
+        if not args.quiet:
+            status = "PASS" if res.all_checks_pass else "FAIL"
+            failing = [k for k, ok in res.checks.items() if not ok]
+            extra = f"  failing: {', '.join(failing)}" if failing else ""
+            print(
+                f"{res.scenario_id:>4}  {status}  "
+                f"{res.n_replications} reps in {res.elapsed_seconds:.2f}s{extra}",
+                file=sys.stderr,
+            )
+
+    config = {
+        "replications": args.replications,
+        "seed": args.seed,
+        "workers": args.workers,
+        "level": args.level,
+        "params": {k: repr(v) for k, v in params.items()},
+    }
+    if args.json:
+        text = results_to_json(
+            results, config=config, include_samples=args.include_samples
+        )
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+    if args.markdown:
+        text = generate_markdown(results)
+        if args.markdown == "-":
+            print(text)
+        else:
+            with open(args.markdown, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+    return 0 if all(r.all_checks_pass for r in results) else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro-experiments`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.list_only or args.command == "list":
+            return _cmd_list(getattr(args, "tag", []))
+        if args.command == "run":
+            return _cmd_run(args)
+        parser.print_help()
+        return 2
+    except CliError as exc:
+        print(f"repro-experiments: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. `repro-experiments --list | head`);
+        # suppress the traceback and exit like a well-behaved filter.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

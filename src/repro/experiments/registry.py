@@ -1,0 +1,221 @@
+"""Declarative registry of reproduction scenarios.
+
+A :class:`Scenario` is one paper claim packaged as a runnable experiment:
+a per-replication ``simulate`` function, default parameters, the claim text
+it validates, and *shape checks* — named predicates over the measured
+metrics that encode "who wins, by what order" rather than absolute numbers.
+
+Scenarios register themselves at import time via the :func:`scenario`
+decorator, mirroring the endpoint-registry idiom: everything downstream
+(the replication runner, the CLI, the report generator, the benchmarks)
+discovers experiments by id through :func:`get_scenario` /
+:func:`list_scenarios` instead of hard-coding workloads.
+
+The per-replication contract is::
+
+    def simulate(ss: np.random.SeedSequence, params: Mapping[str, Any]) -> dict[str, float]
+
+``ss`` is a dedicated child seed sequence for this replication; the
+scenario derives whatever streams it needs from it (independent streams
+via ``spawn``, or common-random-number streams via
+:func:`repro.utils.rng.crn_generators` when comparing policies on the same
+draws).  The return value maps metric names to floats; boolean facts are
+encoded as 0.0/1.0 so every metric aggregates uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.utils.rng import as_seed_sequence
+
+__all__ = [
+    "Scenario",
+    "scenario",
+    "register",
+    "is_registered",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_ids",
+]
+
+SimulateFn = Callable[[np.random.SeedSequence, Mapping[str, Any]], "dict[str, float]"]
+CheckFn = Callable[[Mapping[str, float]], bool]
+
+_REGISTRY: dict[str, "Scenario"] = {}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered experiment: a paper claim plus the code measuring it.
+
+    Attributes
+    ----------
+    scenario_id:
+        Canonical id (``"E1"`` … ``"E19"`` for the survey claims).
+    title:
+        One-line human title shown in listings and report headings.
+    claim:
+        The paper claim this scenario reproduces (verbatim-ish, with the
+        survey's reference numbers).
+    verdict:
+        The expected outcome summary written into generated reports.
+    simulate:
+        Per-replication measurement function (see module docstring).
+    defaults:
+        Default parameter values; CLI/benchmark overrides are merged on top.
+    checks:
+        Named shape predicates over a metrics mapping.  They are evaluated
+        on aggregated means by the runner and may equally be applied to a
+        single replication's metrics by tests/benchmarks.
+    tags:
+        Free-form labels (subsystem names, ``"exact"`` vs ``"simulation"``)
+        used for subset selection.
+    """
+
+    scenario_id: str
+    title: str
+    claim: str
+    verdict: str
+    simulate: SimulateFn
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    checks: Mapping[str, CheckFn] = field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+
+    def params(self, overrides: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Defaults merged with ``overrides``; unknown keys are rejected."""
+        merged = dict(self.defaults)
+        for key, value in (overrides or {}).items():
+            if key not in merged:
+                raise KeyError(
+                    f"{self.scenario_id} has no parameter {key!r}; "
+                    f"known: {sorted(merged)}"
+                )
+            merged[key] = value
+        return merged
+
+    def run_once(
+        self,
+        seed: int | np.random.SeedSequence | None = None,
+        overrides: Mapping[str, Any] | None = None,
+    ) -> dict[str, float]:
+        """Run a single replication with the given seed and overrides."""
+        return self.simulate(as_seed_sequence(seed), self.params(overrides))
+
+    def evaluate_checks(self, metrics: Mapping[str, float]) -> dict[str, bool]:
+        """Evaluate every shape check against a metrics mapping.
+
+        A check that references a metric absent from ``metrics`` (e.g.
+        because parameter overrides changed which metrics the scenario
+        emits) counts as failed rather than raising."""
+        out = {}
+        for name, fn in self.checks.items():
+            try:
+                out[name] = bool(fn(metrics))
+            except KeyError:
+                out[name] = False
+        return out
+
+
+def register(sc: Scenario) -> Scenario:
+    """Add a scenario to the registry; duplicate ids are an error."""
+    key = sc.scenario_id.upper()
+    if key in _REGISTRY:
+        raise ValueError(f"scenario {sc.scenario_id!r} already registered")
+    _REGISTRY[key] = sc
+    return sc
+
+
+def scenario(
+    scenario_id: str,
+    *,
+    title: str,
+    claim: str,
+    verdict: str,
+    defaults: Mapping[str, Any] | None = None,
+    checks: Mapping[str, CheckFn] | None = None,
+    tags: tuple[str, ...] = (),
+) -> Callable[[SimulateFn], SimulateFn]:
+    """Decorator registering a simulate function as a :class:`Scenario`.
+
+    Returns the function unchanged so it stays a plain module-level callable
+    (and therefore picklable for the multiprocess runner).
+    """
+
+    def decorate(fn: SimulateFn) -> SimulateFn:
+        register(
+            Scenario(
+                scenario_id=scenario_id,
+                title=title,
+                claim=claim,
+                verdict=verdict,
+                simulate=fn,
+                defaults=dict(defaults or {}),
+                checks=dict(checks or {}),
+                tags=tuple(tags),
+            )
+        )
+        return fn
+
+    return decorate
+
+
+_BUILTINS_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    # The built-in scenarios live in repro.experiments.scenarios and
+    # register on import; defer that import so registry <-> scenarios does
+    # not cycle and ad-hoc Scenario objects can be registered first.
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        from repro.experiments import scenarios  # noqa: F401
+
+
+def is_registered(sc: Scenario) -> bool:
+    """Whether ``sc`` is the instance the registry holds under its id.
+
+    The parallel runner uses this to decide whether a worker process can
+    re-resolve the scenario by id (registered) or must receive the
+    ``simulate`` callable directly (ad-hoc object)."""
+    _ensure_loaded()
+    return _REGISTRY.get(sc.scenario_id.upper()) is sc
+
+
+def get_scenario(scenario_id: str) -> Scenario:
+    """Look up a scenario by id (case-insensitive)."""
+    _ensure_loaded()
+    key = scenario_id.upper()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown scenario {scenario_id!r}; available: {scenario_ids()}"
+        )
+    return _REGISTRY[key]
+
+
+def _sort_key(sid: str) -> tuple:
+    # E2 before E10: split the id into its alpha prefix and numeric suffix.
+    head = sid.rstrip("0123456789")
+    tail = sid[len(head):]
+    return (head, int(tail) if tail else -1)
+
+
+def scenario_ids() -> list[str]:
+    """All registered ids in natural order (E1, E2, …, E10, …)."""
+    _ensure_loaded()
+    return sorted(_REGISTRY, key=_sort_key)
+
+
+def list_scenarios(tags: tuple[str, ...] | None = None) -> list[Scenario]:
+    """All registered scenarios, optionally filtered to those bearing
+    every tag in ``tags``."""
+    _ensure_loaded()
+    out = [_REGISTRY[k] for k in scenario_ids()]
+    if tags:
+        wanted = set(tags)
+        out = [sc for sc in out if wanted <= set(sc.tags)]
+    return out

@@ -1,0 +1,187 @@
+"""Structured output for experiment runs: JSON documents and Markdown
+reports.
+
+This replaces the old log-scraping pipeline (``pytest … | tee bench.log``
+followed by regex extraction): the runner hands over
+:class:`~repro.experiments.runner.ScenarioResult` objects, which serialise
+to a stable JSON schema, and the Markdown generator renders the same
+claim-vs-measured report directly from that JSON — no terminal capture
+involved.
+
+The JSON document looks like::
+
+    {
+      "schema": "repro.experiments/v1",
+      "generated_by": "repro x.y.z",
+      "config": {"replications": ..., "seed": ..., "workers": ...},
+      "results": [ {scenario result…}, … ]
+    }
+
+``load_results`` accepts both the document form and a bare list of scenario
+results, so downstream tooling can consume either.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Mapping, Sequence
+
+import repro
+from repro.experiments.runner import ScenarioResult
+
+__all__ = [
+    "results_to_document",
+    "results_to_json",
+    "load_results",
+    "generate_markdown",
+]
+
+SCHEMA = "repro.experiments/v1"
+
+_HEADER = """# EXPERIMENTS — paper claims vs measured results
+
+The reproduced paper (Niño-Mora, *Stochastic Scheduling*, Encyclopedia of
+Optimization 2001) is a survey with **no numbered tables or figures**; its
+evaluation-equivalent content is the set of landmark results it surveys.
+Each experiment below reproduces one claim.  Metrics are aggregated over
+independent replications by `repro-experiments` (point estimate ± Student-t
+confidence half-width); the *shape* of every claim (who wins, by what
+order, where the crossovers are) is encoded as named checks evaluated
+against the aggregated metrics.
+"""
+
+
+def _json_safe(value: Any) -> Any:
+    """Replace non-finite floats with ``None`` so the document stays valid
+    RFC 8259 JSON (``json.dumps`` would otherwise emit the non-standard
+    ``Infinity``/``NaN`` tokens, e.g. for the infinite half-width of a
+    single-replication run)."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, Mapping):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def results_to_document(
+    results: Sequence[ScenarioResult | Mapping[str, Any]],
+    *,
+    config: Mapping[str, Any] | None = None,
+    include_samples: bool = False,
+) -> dict[str, Any]:
+    """Wrap scenario results in the versioned JSON document structure.
+
+    Non-finite floats are mapped to ``null`` for strict-parser safety.
+    """
+    rows = [
+        r.to_dict(include_samples=include_samples)
+        if isinstance(r, ScenarioResult)
+        else dict(r)
+        for r in results
+    ]
+    return _json_safe(
+        {
+            "schema": SCHEMA,
+            "generated_by": f"repro {repro.__version__}",
+            "config": dict(config or {}),
+            "results": rows,
+        }
+    )
+
+
+def results_to_json(
+    results: Sequence[ScenarioResult | Mapping[str, Any]],
+    *,
+    config: Mapping[str, Any] | None = None,
+    include_samples: bool = False,
+    indent: int | None = 2,
+) -> str:
+    """Serialise results to a JSON string (strictly RFC 8259 valid)."""
+    return json.dumps(
+        results_to_document(
+            results, config=config, include_samples=include_samples
+        ),
+        indent=indent,
+        allow_nan=False,
+    )
+
+
+def load_results(text_or_obj: str | Mapping[str, Any] | Sequence) -> list[dict[str, Any]]:
+    """Parse a results document (or bare result list) back to dicts.
+
+    Accepts a JSON string, an already-parsed document, or a bare list of
+    result dicts; validates the schema tag when present.
+    """
+    obj = json.loads(text_or_obj) if isinstance(text_or_obj, str) else text_or_obj
+    if isinstance(obj, Mapping):
+        schema = obj.get("schema")
+        if schema is not None and schema != SCHEMA:
+            raise ValueError(f"unsupported results schema {schema!r}")
+        rows = obj.get("results", [])
+    else:
+        rows = obj
+    return [dict(r) for r in rows]
+
+
+def _fmt(x: Any) -> str:
+    if x is None:
+        return "—"  # sanitised non-finite value (e.g. single-rep half-width)
+    if isinstance(x, bool):
+        return "yes" if x else "no"
+    if isinstance(x, (int, float)):
+        return f"{x:.6g}"
+    return str(x)
+
+
+def _result_section(res: Mapping[str, Any]) -> list[str]:
+    out = [f"\n## {res['scenario_id']} — {res.get('title', '')}\n"]
+    out.append(f"**Paper claim.** {res.get('claim', '')}\n")
+    n = res.get("n_replications")
+    seed = res.get("seed")
+    out.append(f"**Measured** ({n} replications, seed {seed}):\n")
+    out.append("| metric | mean | ±hw (95%) | min | max |")
+    out.append("|---|---|---|---|---|")
+    for name, m in sorted(res.get("metrics", {}).items()):
+        out.append(
+            f"| {name} | {_fmt(m['mean'])} | {_fmt(m['half_width'])} "
+            f"| {_fmt(m['min'])} | {_fmt(m['max'])} |"
+        )
+    checks = res.get("checks", {})
+    if checks:
+        out.append("\n**Shape checks.**")
+        for name, ok in sorted(checks.items()):
+            out.append(f"- {'✅' if ok else '❌'} `{name}`")
+    all_pass = res.get("all_checks_pass", all(checks.values()) if checks else True)
+    if all_pass:
+        out.append(f"\n**Verdict.** {res.get('verdict', '')}\n")
+    else:
+        failed = sorted(name for name, ok in checks.items() if not ok)
+        out.append(
+            f"\n**Verdict.** ⚠️ NOT reproduced in this run: "
+            f"{len(failed)} of {len(checks)} shape checks failed "
+            f"({', '.join(f'`{f}`' for f in failed)}). "
+            f"Expected on a conforming run: {res.get('verdict', '')}\n"
+        )
+    return out
+
+
+def generate_markdown(
+    results: Sequence[ScenarioResult | Mapping[str, Any]],
+    *,
+    header: str = _HEADER,
+) -> str:
+    """Render the claim-vs-measured Markdown report."""
+    rows = [
+        r.to_dict() if isinstance(r, ScenarioResult) else r for r in results
+    ]
+    out = [header]
+    passed = sum(1 for r in rows if r.get("all_checks_pass"))
+    out.append(
+        f"\n**Summary:** {passed}/{len(rows)} scenarios pass all shape checks.\n"
+    )
+    for res in rows:
+        out.extend(_result_section(res))
+    return "\n".join(out)

@@ -1,0 +1,274 @@
+"""Batched replication runner for registered scenarios.
+
+Executes a scenario's per-replication ``simulate`` function over many
+independent seed streams — serially or fanned out across worker processes
+— and aggregates every metric into a point estimate with a Student-t
+confidence interval.
+
+Determinism contract: the replication seeds are spawned *once* from the
+root seed and only then partitioned into chunks, and results are
+reassembled in replication order.  The sample matrix — and therefore every
+point estimate and interval — is bit-identical for any worker count.
+
+Workers receive ``(scenario_id, params, seeds)`` rather than the scenario
+object itself: the id is looked up in the registry inside the worker, so
+only plain data crosses the process boundary and scenarios may freely use
+lambdas in their check tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+from scipy import stats as _sps
+
+from repro.experiments.registry import Scenario, get_scenario, is_registered
+from repro.sim.replication import map_seed_chunks
+from repro.utils.rng import spawn_seed_sequences
+
+__all__ = ["MetricSummary", "ScenarioResult", "run_scenario", "run_scenarios"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregated statistics for one named metric across replications."""
+
+    name: str
+    mean: float
+    half_width: float
+    std: float
+    minimum: float
+    maximum: float
+    level: float
+    n: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for JSON serialisation."""
+        return {
+            "name": self.name,
+            "mean": self.mean,
+            "half_width": self.half_width,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "level": self.level,
+            "n": self.n,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything measured for one scenario run."""
+
+    scenario_id: str
+    title: str
+    claim: str
+    verdict: str
+    n_replications: int
+    seed: int | None
+    params: dict[str, Any]
+    metrics: dict[str, MetricSummary]
+    checks: dict[str, bool]
+    elapsed_seconds: float
+    samples: dict[str, list[float]] = field(default_factory=dict, repr=False)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """Whether every registered shape check holds for the aggregated
+        metrics."""
+        return all(self.checks.values())
+
+    def means(self) -> dict[str, float]:
+        """Metric name → point estimate."""
+        return {name: s.mean for name, s in self.metrics.items()}
+
+    def to_dict(self, *, include_samples: bool = False) -> dict[str, Any]:
+        """Plain-dict form for JSON serialisation."""
+        out: dict[str, Any] = {
+            "scenario_id": self.scenario_id,
+            "title": self.title,
+            "claim": self.claim,
+            "verdict": self.verdict,
+            "n_replications": self.n_replications,
+            "seed": self.seed,
+            "params": _jsonable(self.params),
+            "metrics": {k: v.to_dict() for k, v in self.metrics.items()},
+            "checks": dict(self.checks),
+            "all_checks_pass": self.all_checks_pass,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if include_samples:
+            out["samples"] = {k: list(v) for k, v in self.samples.items()}
+        return out
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays and tuples to JSON types."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+def _simulate_chunk(
+    payload: tuple,
+    seeds: Sequence[np.random.SeedSequence],
+) -> list[dict[str, float]]:
+    """Worker body: run a chunk of replications for one scenario.
+
+    ``payload`` is ``(scenario_id, None, params)`` for registered scenarios
+    — the id is re-resolved inside the worker, so only plain data crosses
+    the process boundary and the registry is re-populated by the import
+    inside :func:`get_scenario` even under the ``spawn`` start method — or
+    ``(scenario_id, simulate_fn, params)`` for ad-hoc :class:`Scenario`
+    objects that exist only in the calling process (their ``simulate`` must
+    then itself be picklable).
+    """
+    scenario_id, simulate, params = payload
+    if simulate is None:
+        simulate = get_scenario(scenario_id).simulate
+    return [simulate(ss, params) for ss in seeds]
+
+
+def _aggregate(
+    rows: list[dict[str, float]], level: float
+) -> tuple[dict[str, MetricSummary], dict[str, list[float]]]:
+    """Vectorised aggregation: one (n_reps, n_metrics) matrix, statistics
+    computed per column in single numpy passes."""
+    names = sorted({k for row in rows for k in row})
+    matrix = np.full((len(rows), len(names)), np.nan)
+    for i, row in enumerate(rows):
+        for j, name in enumerate(names):
+            if name in row:
+                matrix[i, j] = row[name]
+    n = matrix.shape[0]
+    means = np.nanmean(matrix, axis=0)
+    mins = np.nanmin(matrix, axis=0)
+    maxs = np.nanmax(matrix, axis=0)
+    if n > 1:
+        stds = np.nanstd(matrix, axis=0, ddof=1)
+        t = float(_sps.t.ppf(0.5 + level / 2, df=n - 1))
+        half = t * stds / np.sqrt(n)
+    else:
+        stds = np.zeros(len(names))
+        half = np.full(len(names), np.inf)
+    metrics = {
+        name: MetricSummary(
+            name=name,
+            mean=float(means[j]),
+            half_width=float(half[j]),
+            std=float(stds[j]),
+            minimum=float(mins[j]),
+            maximum=float(maxs[j]),
+            level=level,
+            n=n,
+        )
+        for j, name in enumerate(names)
+    }
+    samples = {name: matrix[:, j].tolist() for j, name in enumerate(names)}
+    return metrics, samples
+
+
+def run_scenario(
+    scenario: Scenario | str,
+    *,
+    replications: int = 10,
+    seed: int | None = 0,
+    workers: int | None = 1,
+    params: Mapping[str, Any] | None = None,
+    level: float = 0.95,
+) -> ScenarioResult:
+    """Run one scenario for ``replications`` independent replications.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`~repro.experiments.registry.Scenario` or its id.
+    replications:
+        Number of independent replications.
+    seed:
+        Root seed; replication ``i`` always sees the same stream for a
+        given root seed, independent of ``workers``.
+    workers:
+        Process count for the fan-out; ``None``/0 means all cores, 1 runs
+        serially in-process.
+    params:
+        Overrides merged over the scenario's declared defaults.
+    level:
+        Confidence level for the per-metric intervals.
+    """
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    merged = sc.params(params)
+    seeds = spawn_seed_sequences(seed, replications)
+    # Registered scenarios ship only their id (workers re-resolve it, which
+    # survives the spawn start method); ad-hoc Scenario objects ship their
+    # simulate callable directly.
+    payload = (sc.scenario_id, None if is_registered(sc) else sc.simulate, merged)
+
+    start = time.perf_counter()
+    rows = map_seed_chunks(_simulate_chunk, payload, seeds, workers=workers)
+    elapsed = time.perf_counter() - start
+
+    metrics, samples = _aggregate(rows, level)
+    checks = sc.evaluate_checks({k: v.mean for k, v in metrics.items()})
+    return ScenarioResult(
+        scenario_id=sc.scenario_id,
+        title=sc.title,
+        claim=sc.claim,
+        verdict=sc.verdict,
+        n_replications=replications,
+        seed=seed,
+        params=dict(merged),
+        metrics=metrics,
+        checks=checks,
+        elapsed_seconds=elapsed,
+        samples=samples,
+    )
+
+
+def run_scenarios(
+    scenario_ids: Sequence[str | Scenario],
+    *,
+    replications: int = 10,
+    seed: int | None = 0,
+    workers: int | None = 1,
+    params: Mapping[str, Any] | None = None,
+    level: float = 0.95,
+) -> list[ScenarioResult]:
+    """Run several scenarios in sequence with a shared configuration.
+
+    Each scenario derives its replication seeds from the same root seed;
+    parameter overrides in ``params`` are applied only where a scenario
+    declares the parameter (unknown keys for a given scenario are skipped,
+    so a shared ``horizon`` override can target just the simulation-backed
+    scenarios).
+    """
+    results = []
+    for item in scenario_ids:
+        sc = get_scenario(item) if isinstance(item, str) else item
+        overrides = {
+            k: v for k, v in (params or {}).items() if k in sc.defaults
+        }
+        results.append(
+            run_scenario(
+                sc,
+                replications=replications,
+                seed=seed,
+                workers=workers,
+                params=overrides,
+                level=level,
+            )
+        )
+    return results

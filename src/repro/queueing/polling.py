@@ -78,6 +78,12 @@ class PollingSystem:
         self.services = tuple(services)
         self.switchovers = tuple(switchovers)
         self.policy = policy
+        # Degenerate-at-zero switchovers (mean and variance both 0) are the
+        # only case in which an empty sweep cannot advance the clock; the
+        # simulator then idles to the next arrival instead of spinning.
+        self._switchover_always_zero = all(
+            s.mean == 0 and s.variance == 0 for s in self.switchovers
+        )
         rho = float(np.sum(self.arrival_rates * [s.mean for s in self.services]))
         if rho >= 1:
             raise ValueError(f"unstable: total service load rho = {rho:.3f} >= 1")
@@ -153,6 +159,29 @@ class PollingSystem:
                     raise RuntimeError("polling simulation diverged")
             i = (i + 1) % n
             if i == 0:
+                if (
+                    self._switchover_always_zero
+                    and t == cycle_start
+                    and not any(pending)
+                ):
+                    # Zero-length sweep with a.s.-zero switchovers: the
+                    # server would spin at this instant forever (with merely
+                    # an atom at 0 the next sweep's draws can still advance
+                    # the clock, so no jump is taken there). Idle until the
+                    # next arrival, and do not record the sweep as a cycle
+                    # (a stream of 0.0 durations would bias the mean cycle
+                    # time).
+                    nxt = min(
+                        (
+                            float(arrivals[j][heads[j]])
+                            for j in range(n)
+                            if heads[j] < arrivals[j].size
+                        ),
+                        default=np.inf,
+                    )
+                    t = min(max(t, nxt), horizon)
+                    cycle_start = t
+                    continue
                 if cycles > 0:
                     cycle_durations.append(t - cycle_start)
                 cycle_start = t

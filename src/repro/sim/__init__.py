@@ -9,7 +9,13 @@ replication runner producing confidence intervals.
 
 from repro.sim.engine import Event, EventQueue, Simulator
 from repro.sim.monitor import TimeWeightedMonitor, TallyMonitor
-from repro.sim.replication import ReplicationResult, run_replications
+from repro.sim.replication import (
+    PairedReplicationResult,
+    ReplicationResult,
+    run_paired_replications,
+    run_replications,
+    run_replications_parallel,
+)
 
 __all__ = [
     "Event",
@@ -18,5 +24,8 @@ __all__ = [
     "TimeWeightedMonitor",
     "TallyMonitor",
     "ReplicationResult",
+    "PairedReplicationResult",
     "run_replications",
+    "run_replications_parallel",
+    "run_paired_replications",
 ]

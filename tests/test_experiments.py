@@ -1,0 +1,354 @@
+"""Tests for the experiment registry, the parallel replication runner, and
+the structured report pipeline."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Scenario,
+    generate_markdown,
+    get_scenario,
+    list_scenarios,
+    load_results,
+    results_to_json,
+    run_scenario,
+    run_scenarios,
+    scenario_ids,
+)
+from repro.experiments.cli import main as cli_main
+from repro.sim.replication import (
+    run_paired_replications,
+    run_replications,
+    run_replications_parallel,
+)
+from repro.utils.rng import as_seed_sequence, crn_generators, spawn_seed_sequences
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def test_registry_has_all_survey_scenarios():
+    ids = scenario_ids()
+    assert ids == [f"A{i}" for i in range(1, 4)] + [f"E{i}" for i in range(1, 20)]
+    for sc in list_scenarios():
+        assert sc.claim
+        assert sc.verdict
+        assert sc.title
+        assert sc.checks, f"{sc.scenario_id} has no shape checks"
+        assert sc.simulate.__doc__ is None or isinstance(sc.simulate.__doc__, str)
+
+
+def test_get_scenario_case_insensitive_and_unknown():
+    assert get_scenario("e1") is get_scenario("E1")
+    with pytest.raises(KeyError, match="unknown scenario"):
+        get_scenario("E99")
+
+
+def test_scenario_ids_natural_order():
+    ids = scenario_ids()
+    assert ids.index("E2") < ids.index("E10")
+
+
+def test_param_merge_rejects_unknown_keys():
+    sc = get_scenario("E1")
+    merged = sc.params({"n_jobs": 10})
+    assert merged["n_jobs"] == 10
+    assert merged["n_brute"] == sc.defaults["n_brute"]
+    with pytest.raises(KeyError, match="no parameter"):
+        sc.params({"bogus": 1})
+
+
+def test_list_scenarios_tag_filter():
+    batch = list_scenarios(tags=("batch",))
+    assert batch and all("batch" in sc.tags for sc in batch)
+    assert list_scenarios(tags=("no-such-tag",)) == []
+
+
+def test_run_once_is_seed_deterministic():
+    sc = get_scenario("E1")
+    a = sc.run_once(seed=5)
+    b = sc.run_once(seed=5)
+    c = sc.run_once(seed=6)
+    assert a == b
+    assert a != c
+    assert set(a) >= {"brute_gap", "wsept", "fifo_ratio", "random_ratio"}
+
+
+def test_duplicate_registration_rejected():
+    sc = get_scenario("E1")
+    with pytest.raises(ValueError, match="already registered"):
+        from repro.experiments.registry import register
+
+        register(sc)
+
+
+# ---------------------------------------------------------------------------
+# runner: determinism across worker counts (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def test_run_scenario_identical_across_worker_counts():
+    serial = run_scenario("E1", replications=8, seed=42, workers=1)
+    parallel = run_scenario("E1", replications=8, seed=42, workers=2)
+    assert serial.samples == parallel.samples
+    assert serial.means() == parallel.means()
+    for name in serial.metrics:
+        assert serial.metrics[name].half_width == parallel.metrics[name].half_width
+    assert serial.checks == parallel.checks
+
+
+def test_run_scenario_seed_sensitivity_and_aggregation():
+    res = run_scenario("E1", replications=6, seed=0, workers=1)
+    assert res.n_replications == 6
+    assert res.all_checks_pass, res.checks
+    gap = res.metrics["brute_gap"]
+    assert gap.n == 6
+    assert gap.minimum <= gap.mean <= gap.maximum
+    assert len(res.samples["wsept"]) == 6
+    # a different seed draws different instances
+    other = run_scenario("E1", replications=6, seed=1, workers=1)
+    assert other.samples != res.samples
+
+
+def test_run_scenarios_scopes_param_overrides():
+    # n_jobs exists on E1 but not on E5; the shared override must only
+    # reach the scenario declaring it.
+    results = run_scenarios(
+        ["E1", "E5"], replications=2, seed=0, workers=1, params={"n_jobs": 12}
+    )
+    assert results[0].params["n_jobs"] == 12
+    assert "n_jobs" not in results[1].params
+
+
+def test_single_replication_interval_is_infinite():
+    res = run_scenario("E5", replications=1, seed=0, workers=1)
+    assert res.metrics["sept_ratio"].half_width == np.inf
+
+
+def _adhoc_simulate(ss, params):
+    rng = np.random.default_rng(ss)
+    return {"value": float(rng.uniform()) * params["scale"]}
+
+
+def test_run_scenario_accepts_unregistered_scenario_object():
+    sc = Scenario(
+        scenario_id="ZZ",
+        title="ad-hoc",
+        claim="-",
+        verdict="-",
+        simulate=_adhoc_simulate,
+        defaults={"scale": 2.0},
+        checks={"in_range": lambda m: 0.0 <= m["value"] <= 2.0},
+    )
+    serial = run_scenario(sc, replications=6, seed=1, workers=1)
+    assert serial.all_checks_pass
+    assert serial.params["scale"] == 2.0
+    # the ad-hoc simulate function is shipped to workers directly
+    fanned = run_scenario(sc, replications=6, seed=1, workers=2)
+    assert fanned.samples == serial.samples
+
+
+# ---------------------------------------------------------------------------
+# replication layer
+# ---------------------------------------------------------------------------
+
+
+def _toy_experiment(rng):
+    return float(rng.normal())
+
+
+def test_parallel_replications_match_serial():
+    serial = run_replications(_toy_experiment, 16, seed=3)
+    fanned = run_replications_parallel(_toy_experiment, 16, seed=3, workers=2)
+    np.testing.assert_array_equal(serial.samples, fanned.samples)
+    assert serial.mean == fanned.mean
+    assert serial.half_width == fanned.half_width
+
+
+def test_parallel_replications_workers_one_allows_lambdas():
+    res = run_replications_parallel(
+        lambda rng: float(rng.uniform()), 4, seed=0, workers=1
+    )
+    assert res.samples.shape == (4,)
+
+
+def test_paired_replications_crn_streams():
+    # identical experiments under CRN produce identical samples and a
+    # zero-width difference interval
+    paired = run_paired_replications(
+        {"a": _toy_experiment, "b": _toy_experiment}, 10, seed=1, workers=1
+    )
+    np.testing.assert_array_equal(
+        paired.results["a"].samples, paired.results["b"].samples
+    )
+    diff = paired.difference("a", "b")
+    assert diff.mean == 0.0
+    assert diff.half_width == 0.0
+
+
+def test_paired_replications_parallel_matches_serial():
+    serial = run_paired_replications(
+        {"a": _toy_experiment, "b": _shifted_experiment}, 12, seed=5, workers=1
+    )
+    fanned = run_paired_replications(
+        {"a": _toy_experiment, "b": _shifted_experiment}, 12, seed=5, workers=2
+    )
+    np.testing.assert_array_equal(
+        serial.results["b"].samples, fanned.results["b"].samples
+    )
+    assert serial.difference("a", "b").mean == fanned.difference("a", "b").mean
+
+
+def _shifted_experiment(rng):
+    return float(rng.normal()) + 1.0
+
+
+def test_crn_generators_share_stream():
+    g1, g2 = crn_generators(123, 2)
+    assert g1 is not g2
+    np.testing.assert_array_equal(g1.normal(size=5), g2.normal(size=5))
+
+
+def test_spawn_seed_sequences_partition_invariant():
+    whole = spawn_seed_sequences(9, 6)
+    again = spawn_seed_sequences(9, 6)
+    for a, b in zip(whole, again):
+        assert np.random.default_rng(a).integers(1 << 30) == np.random.default_rng(
+            b
+        ).integers(1 << 30)
+
+
+def test_as_seed_sequence_passthrough():
+    ss = np.random.SeedSequence(4)
+    assert as_seed_sequence(ss) is ss
+
+
+# ---------------------------------------------------------------------------
+# report pipeline
+# ---------------------------------------------------------------------------
+
+
+def test_json_roundtrip_and_markdown():
+    results = [run_scenario("E5", replications=2, seed=0, workers=1)]
+    text = results_to_json(results, config={"replications": 2})
+    doc = json.loads(text)
+    assert doc["schema"] == "repro.experiments/v1"
+    assert doc["config"]["replications"] == 2
+    loaded = load_results(text)
+    assert loaded[0]["scenario_id"] == "E5"
+    assert loaded[0]["all_checks_pass"] is True
+    assert loaded[0]["metrics"]["sept_ratio"]["n"] == 2
+
+    md = generate_markdown(loaded)
+    assert "## E5 —" in md
+    assert "sept_ratio" in md
+    assert "Paper claim." in md
+    assert "1/1 scenarios pass" in md
+
+
+def test_json_includes_samples_when_asked():
+    results = [run_scenario("E5", replications=3, seed=0, workers=1)]
+    doc = json.loads(results_to_json(results, include_samples=True))
+    assert len(doc["results"][0]["samples"]["sept_ratio"]) == 3
+
+
+def test_load_results_rejects_unknown_schema():
+    with pytest.raises(ValueError, match="unsupported results schema"):
+        load_results({"schema": "bogus/v9", "results": []})
+
+
+def test_markdown_verdict_flags_failed_checks():
+    res = run_scenario("E5", replications=2, seed=0, workers=1).to_dict()
+    res["checks"]["sept_strictly_suboptimal"] = False
+    res["all_checks_pass"] = False
+    md = generate_markdown([res])
+    assert "NOT reproduced in this run" in md
+    assert "sept_strictly_suboptimal" in md
+    # a conforming run keeps the scenario's verdict text
+    ok = generate_markdown([run_scenario("E5", replications=2, seed=0, workers=1)])
+    assert "NOT reproduced" not in ok
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_list(capsys):
+    assert cli_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "E1" in out and "E19" in out and "A1" in out
+
+
+def test_json_is_strictly_valid_with_single_replication():
+    # one replication → infinite half-widths, which must serialise as null
+    text = results_to_json([run_scenario("E5", replications=1, seed=0, workers=1)])
+    assert "Infinity" not in text and "NaN" not in text
+    doc = json.loads(text)
+    assert doc["results"][0]["metrics"]["sept_ratio"]["half_width"] is None
+
+
+def test_cli_run_emits_json_and_markdown(tmp_path, capsys):
+    json_path = tmp_path / "results.json"
+    md_path = tmp_path / "report.md"
+    code = cli_main(
+        [
+            "run",
+            "E5",
+            "E18",
+            "--replications",
+            "2",
+            "--workers",
+            "1",
+            "--seed",
+            "0",
+            "--json",
+            str(json_path),
+            "--markdown",
+            str(md_path),
+        ]
+    )
+    assert code == 0
+    doc = json.loads(json_path.read_text())
+    assert [r["scenario_id"] for r in doc["results"]] == ["E5", "E18"]
+    md = md_path.read_text()
+    assert "## E5 —" in md and "## E18 —" in md
+
+
+def test_cli_param_override(tmp_path):
+    json_path = tmp_path / "results.json"
+    code = cli_main(
+        [
+            "run",
+            "E1",
+            "--replications",
+            "2",
+            "--param",
+            "n_jobs=11",
+            "--json",
+            str(json_path),
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    doc = json.loads(json_path.read_text())
+    assert doc["results"][0]["params"]["n_jobs"] == 11
+
+
+def test_cli_unknown_scenario_errors(capsys):
+    assert cli_main(["run", "E99", "--replications", "1"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cli_unknown_param_key_errors(capsys):
+    assert cli_main(["run", "E1", "--replications", "1", "--param", "bogus=1"]) == 2
+    assert "bogus" in capsys.readouterr().err
+
+
+def test_cli_zero_replications_errors(capsys):
+    assert cli_main(["run", "E1", "--replications", "0"]) == 2
+    assert "--replications" in capsys.readouterr().err

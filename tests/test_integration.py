@@ -140,9 +140,14 @@ class TestIndexUnification:
         from repro.queueing.mg1 import cmu_rule
 
         jobs = random_exponential_batch(4, np.random.default_rng(6))
+        # two projects so that items 0 and 1 both exist for the Gittins rule
+        projects = [
+            random_project(2, np.random.default_rng(7)),
+            random_project(2, np.random.default_rng(8)),
+        ]
         rules = [
             wsept_rule(jobs),
-            gittins_policy([random_project(2, np.random.default_rng(7))], 0.9).rule,
+            gittins_policy(projects, 0.9).rule,
             cmu_rule([1.0, 2.0], [1.0, 1.0]),
             klimov_rule([1.0, 2.0], [1.0, 1.0], np.zeros((2, 2))),
         ]

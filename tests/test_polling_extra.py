@@ -66,3 +66,61 @@ class TestAsymmetricSystems:
             pseudo_conservation_rhs(
                 [0.1], [Exponential(1.0)], [Deterministic(0.1)], "limited"
             )
+
+
+class TestZeroSwitchover:
+    def test_zero_switchover_terminates(self):
+        """With zero switchover times the server must idle to the next
+        arrival instead of spinning through empty queues at one instant
+        (regression: this used to hang the simulator forever)."""
+        lam = [0.25, 0.25]
+        svc = [Exponential(1.0), Exponential(1.0)]
+        sw = [Deterministic(0.0), Deterministic(0.0)]
+        ps = PollingSystem(lam, svc, sw, "exhaustive")
+        res = ps.simulate(5_000, np.random.default_rng(7))
+        assert res.served.sum() > 0
+
+    def test_zero_switchover_is_work_conserving_mg1(self):
+        """Zero switchover + exhaustive service is a work-conserving M/G/1:
+        the weighted wait sum matches the conservation identity."""
+        lam = [0.25, 0.25]
+        svc = [Exponential(1.0), Exponential(1.0)]
+        sw = [Deterministic(0.0), Deterministic(0.0)]
+        ps = PollingSystem(lam, svc, sw, "exhaustive")
+        res = ps.simulate(40_000, np.random.default_rng(5))
+        rho = 0.5
+        w0 = float(np.sum(np.asarray(lam) * 2.0 / 2))  # lam * E[B^2] / 2
+        assert res.weighted_wait_sum == pytest.approx(rho * w0 / (1 - rho), rel=0.1)
+
+    def test_zero_switchover_all_queues_empty_after_horizon(self):
+        """Zero arrivals + zero switchover must also terminate."""
+        ps = PollingSystem(
+            [0.0], [Exponential(1.0)], [Deterministic(0.0)], "exhaustive"
+        )
+        res = ps.simulate(100.0, np.random.default_rng(0))
+        assert res.served[0] == 0
+
+    def test_zero_switchover_cycle_time_not_biased_by_idle_sweeps(self):
+        """Idle jumps must not be recorded as zero-length cycles: the mean
+        cycle time reflects busy cycles, not idle spins."""
+        lam = [0.3, 0.3]
+        svc = [Exponential(1.5), Exponential(1.5)]
+        sw = [Deterministic(0.0), Deterministic(0.0)]
+        ps = PollingSystem(lam, svc, sw, "exhaustive")
+        res = ps.simulate(20_000, np.random.default_rng(11))
+        assert res.cycle_time > 0.1  # would be ~0 with idle sweeps counted
+
+    def test_atom_at_zero_switchover_not_teleported(self):
+        """A stochastic switchover with an atom at 0 is not almost-surely
+        zero: the process advances by itself, so the idle jump must not
+        fire (it would bias waits low)."""
+        from repro.distributions import TwoPoint
+
+        lam = [0.25, 0.25]
+        svc = [Exponential(1.0), Exponential(1.0)]
+        sw = [TwoPoint(0.0, 0.2, 0.5), TwoPoint(0.0, 0.2, 0.5)]
+        ps = PollingSystem(lam, svc, sw, "exhaustive")
+        assert not ps._switchover_always_zero
+        res = ps.simulate(40_000, np.random.default_rng(12))
+        rhs = pseudo_conservation_rhs(lam, svc, sw, "exhaustive")
+        assert res.weighted_wait_sum == pytest.approx(rhs, rel=0.12)
