@@ -5,31 +5,33 @@ recursion (O(n^4) worst case, one pass) and the Katehakis–Veinott
 restart-in-state formulation (n value-iteration solves). They must agree to
 numerical precision; VWB is the production default because it is
 deterministic-time, while restart's iteration count depends on beta.
+
+Driven by the experiment registry (scenario A1, random instances per
+replication); the per-size timing sweep keeps its direct form.
 """
 
 import numpy as np
-import pytest
 
-from repro.bandits import gittins_indices_restart, gittins_indices_vwb, random_project
+from repro.bandits import gittins_indices_vwb, random_project
+from repro.experiments import get_scenario, run_scenario
+
+SC = get_scenario("A1")
 
 
-@pytest.mark.parametrize("n_states", [5, 20, 50])
-def test_a01_gittins_algorithms_agree(benchmark, report, n_states):
-    beta = 0.9
-    proj = random_project(n_states, np.random.default_rng(n_states))
-    g_vwb = gittins_indices_vwb(proj, beta)
-    g_restart = gittins_indices_restart(proj, beta, tol=1e-11)
-    diff = float(np.max(np.abs(g_vwb - g_restart)))
+def test_a01_gittins_algorithms_agree(benchmark, report):
+    res = run_scenario(SC, replications=20, seed=1, workers=1)
 
-    benchmark(lambda: gittins_indices_vwb(proj, beta))
+    proj = random_project(50, np.random.default_rng(50))
+    benchmark(lambda: gittins_indices_vwb(proj, 0.9))
 
     report(
-        f"A1: Gittins algorithms, {n_states} states",
+        "A1: Gittins algorithms, 20 random 20-state instances",
         [
-            ("max |VWB - restart|", diff, 0.0),
-            ("top index", float(np.max(g_vwb)), float(np.max(proj.R))),
+            ("worst |VWB - restart|", res.metrics["algo_diff"].maximum, 0.0),
+            ("worst top-index error", res.metrics["top_index_err"].maximum, 0.0),
         ],
         header=("check", "value", "reference"),
     )
-    assert diff < 1e-6
-    assert np.max(g_vwb) == pytest.approx(np.max(proj.R), abs=1e-9)
+    assert res.all_checks_pass, res.checks
+    assert res.metrics["algo_diff"].maximum < 1e-6
+    assert res.metrics["top_index_err"].maximum < 1e-8

@@ -3,12 +3,17 @@
 Measures raw event throughput of the simulation substrate on the M/M/1
 workload every queueing experiment rests on, and cross-checks accuracy
 against the closed form (the engine must not trade correctness for speed).
+
+Driven by the experiment registry (scenario A2): the accuracy anchor runs
+as replications through the shared runner; the throughput measurement
+keeps its direct event-engine form.
 """
 
 import numpy as np
 import pytest
 
 from repro.distributions import Exponential
+from repro.experiments import get_scenario, run_scenario
 from repro.queueing.mg1 import mm1_metrics
 from repro.queueing.network import (
     ClassConfig,
@@ -17,6 +22,8 @@ from repro.queueing.network import (
     simulate_network,
 )
 
+SC = get_scenario("A2")
+
 
 def test_a02_event_engine_throughput(benchmark, report):
     net = QueueingNetwork(
@@ -24,22 +31,21 @@ def test_a02_event_engine_throughput(benchmark, report):
         [StationConfig(discipline="priority", priority=(0,))],
     )
     horizon = 5_000.0  # ~ 2 * 0.7 * 5000 = 7k events per run
+    benchmark(lambda: simulate_network(net, horizon, np.random.default_rng(0)))
 
-    result = benchmark(
-        lambda: simulate_network(net, horizon, np.random.default_rng(0))
-    )
-
-    # accuracy on a longer run
-    res = simulate_network(net, 100_000, np.random.default_rng(1))
-    theory = mm1_metrics(0.7, 1.0)
+    res = run_scenario(SC, replications=5, seed=2, workers=1)
+    m = res.means()
+    theory = mm1_metrics(SC.defaults["rho"], 1.0)
     report(
-        "A2: event engine — M/M/1 accuracy (rho = 0.7)",
+        "A2: event engine — M/M/1 accuracy (rho = 0.7, 5 replications)",
         [
-            ("L simulated", float(res.mean_queue_lengths[0]), theory["L"]),
-            ("Wq simulated", float(res.mean_waits[0]), theory["Wq"]),
-            ("events per run (t=5000)", 2 * 0.7 * horizon, 0.0),
+            ("L simulated", m["L_sim"], theory["L"]),
+            ("Wq simulated", m["Wq_sim"], theory["Wq"]),
+            ("worst |L rel err|", res.metrics["L_abs_rel_err"].maximum, 0.0),
+            ("events per bench run (t=5000)", 2 * 0.7 * horizon, 0.0),
         ],
         header=("metric", "measured", "theory"),
     )
-    assert res.mean_queue_lengths[0] == pytest.approx(theory["L"], rel=0.05)
-    assert res.mean_waits[0] == pytest.approx(theory["Wq"], rel=0.05)
+    assert res.all_checks_pass, res.checks
+    assert m["L_sim"] == pytest.approx(theory["L"], rel=0.05)
+    assert m["Wq_sim"] == pytest.approx(theory["Wq"], rel=0.05)

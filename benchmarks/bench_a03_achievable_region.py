@@ -3,37 +3,42 @@
 The survey presents two independent derivations of the cµ rule: interchange
 arguments (implemented in repro.queueing.mg1 via Cobham evaluation) and the
 achievable-region LP over the conservation-law polytope. This bench runs
-the LP route and checks it lands on the same rule and value, with timing as
-the class count grows (2^N constraints).
+the LP route and checks it lands on the same rule and value.
+
+Driven by the experiment registry (scenario A3, random instances per
+replication).
 """
 
 import numpy as np
-import pytest
 
 from repro.core import achievable_region_lp
-from repro.distributions import Exponential
-from repro.queueing.mg1 import cmu_order, optimal_average_cost
+from repro.experiments import get_scenario, run_scenario
+
+SC = get_scenario("A3")
 
 
-@pytest.mark.parametrize("n", [3, 5, 8])
-def test_a03_achievable_region_derives_cmu(benchmark, report, n):
-    rng = np.random.default_rng(n)
+def test_a03_achievable_region_lp(benchmark, report):
+    res = run_scenario(SC, replications=40, seed=3, workers=1)
+    m = res.means()
+
+    rng = np.random.default_rng(0)
+    n = 5
     lam = rng.uniform(0.02, 0.8 / n, size=n)
-    svcs = [Exponential(rng.uniform(0.8, 3.0)) for _ in range(n)]
-    ms = [s.mean for s in svcs]
-    m2 = [s.second_moment for s in svcs]
+    ms = rng.uniform(0.4, 1.2, size=n)
+    m2 = 2 * ms**2
     c = rng.uniform(0.3, 3.0, size=n)
+    benchmark(lambda: achievable_region_lp(lam, ms, m2, c))
 
-    sol = benchmark(lambda: achievable_region_lp(lam, ms, m2, c))
-
-    exact, order = optimal_average_cost(lam, svcs, c)
     report(
-        f"A3: achievable-region LP, N={n} classes ({2**n - 1} constraints)",
+        "A3: achievable-region LP vs interchange/Cobham cµ "
+        "(40 random 5-class instances)",
         [
-            ("LP optimal cost", sol.optimal_cost, exact),
-            ("orders match", float(list(sol.priority_order) == list(order)), 1.0),
+            ("worst |LP/Cobham - 1|", res.metrics["cost_rel_gap"].maximum, 0.0),
+            ("orders agree (fraction)", m["orders_match"], 1.0),
+            ("mean LP optimal cost", m["lp_cost"], 0.0),
         ],
-        header=("check", "LP", "interchange/Cobham"),
+        header=("check", "value", "reference"),
     )
-    assert sol.optimal_cost == pytest.approx(exact, rel=1e-7)
-    assert list(sol.priority_order) == list(order)
+    assert res.all_checks_pass, res.checks
+    assert res.metrics["cost_rel_gap"].maximum < 1e-7
+    assert m["orders_match"] == 1.0

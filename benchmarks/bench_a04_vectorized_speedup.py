@@ -1,0 +1,92 @@
+"""Ablation A4 — vectorized-vs-event backend throughput.
+
+For every scenario with a vectorized kernel, measure wall-clock for the
+same replication batch through both backends and report the speedup.
+The two backends are bit-for-bit equivalent (``test_backend_equivalence``
+proves it), so this table is pure performance: it shows what batching the
+replications through numpy buys over the per-replication event loop, and
+it is the canary for a kernel silently degenerating to the slow path.
+
+``batched``-mode kernels genuinely vectorize the replication loop and
+must beat the event backend outright; ``cached``-mode kernels only hoist
+replication-invariant work (for E10/E11 that is the exact cµ/Klimov
+analysis in front of event-driven network simulation), so their speedup
+is bounded by the hoisted fraction and asserted only not to regress.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import get_scenario, kernel_ids
+from repro.experiments.backends import simulate_scenario_batch
+from repro.sim.vectorized import get_kernel
+from repro.utils.rng import spawn_seed_sequences
+
+# batch sizes / parameter trims so every measurement stays around a second
+BATCH = {
+    "E1": (32, None),
+    "E3": (32, None),
+    "E4": (32, None),
+    "E5": (64, None),
+    "E7": (8, None),
+    "E8": (6, {"horizon": 300, "warmup": 50, "fleet_sizes": (10, 40)}),
+    "E9": (24, None),
+    "E10": (3, {"horizon": 800.0}),
+    "E11": (3, {"horizon": 600.0}),
+    "E16": (24, None),
+    "E18": (64, None),
+}
+
+# cached kernels that still spend most of each replication in the event
+# engine: only guard against regression, don't demand a speedup
+_EVENT_BOUND_FLOOR = 0.7
+
+
+def _measure(sid: str) -> tuple[float, float]:
+    sc = get_scenario(sid)
+    reps, overrides = BATCH[sid]
+    params = sc.params(overrides)
+    t0 = time.perf_counter()
+    for ss in spawn_seed_sequences(4, reps):
+        sc.simulate(ss, params)
+    t_event = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    simulate_scenario_batch(sid, spawn_seed_sequences(4, reps), params)
+    t_vec = time.perf_counter() - t0
+    return t_event, t_vec
+
+
+def test_a04_vectorized_speedup(benchmark, report):
+    assert set(BATCH) == set(kernel_ids()), "keep BATCH in sync with the registry"
+    rows = []
+    speedups = {}
+    for sid in kernel_ids():
+        t_event, t_vec = _measure(sid)
+        speedups[sid] = t_event / t_vec
+        rows.append(
+            (f"{sid} [{get_kernel(sid).mode}]", t_event, t_vec, t_event / t_vec)
+        )
+
+    sc = get_scenario("E1")
+    params = sc.params()
+    seeds = spawn_seed_sequences(0, 16)
+    benchmark(lambda: simulate_scenario_batch("E1", seeds, params))
+
+    report(
+        "A4: vectorized kernels vs the event backend (same seeds, same results)",
+        rows,
+        header=("kernel", "event s", "vectorized s", "speedup"),
+    )
+
+    for sid, speedup in speedups.items():
+        if get_kernel(sid).mode == "batched" or sid in ("E5", "E18"):
+            assert speedup >= 1.0, (
+                f"{sid}: vectorized backend no faster than event "
+                f"({speedup:.2f}x) — kernel degenerated to the slow path?"
+            )
+        else:
+            assert speedup >= _EVENT_BOUND_FLOOR, (
+                f"{sid}: cached kernel slower than the event path it wraps "
+                f"({speedup:.2f}x)"
+            )

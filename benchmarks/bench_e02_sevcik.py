@@ -1,78 +1,38 @@
 """E2 — Sevcik's preemptive index is optimal when preemption is allowed
 [35]; it strictly beats nonpreemptive WSEPT for DHR (high-variance) jobs
 and coincides with it for memoryless jobs.
+
+Driven by the experiment registry: the workload lives in
+``repro.experiments.scenarios.simulate_e2`` (random DHR instances per
+replication) and this benchmark replicates it through the shared runner.
 """
 
-import numpy as np
-import pytest
+from repro.experiments import get_scenario, run_scenario
 
-from repro.batch.sevcik import (
-    DiscreteJob,
-    GittinsJobIndex,
-    discretize_distribution,
-    evaluate_index_policy_dp,
-    nonpreemptive_wsept_cost,
-    preemptive_single_machine_mdp,
-)
-from repro.distributions import Exponential, HyperExponential
-
-
-def _dhr_instance():
-    """Three two-pointish (hyperexponential) jobs, quantised."""
-    jobs = []
-    for j, scv in enumerate((8.0, 5.0, 10.0)):
-        dist = HyperExponential.balanced_from_mean_scv(2.0, scv)
-        jobs.append(
-            DiscreteJob(
-                id=j,
-                pmf=discretize_distribution(dist, 0.8, 14),
-                weight=1.0 + 0.3 * j,
-            )
-        )
-    return jobs
-
-
-def _memoryless_instance():
-    jobs = []
-    for j, mean in enumerate((1.0, 2.0, 3.0)):
-        jobs.append(
-            DiscreteJob(
-                id=j,
-                pmf=discretize_distribution(Exponential.from_mean(mean), 0.5, 14),
-                weight=1.0,
-            )
-        )
-    return jobs
+SC = get_scenario("E2")
 
 
 def test_e02_sevcik_preemptive_index(benchmark, report):
-    dhr = _dhr_instance()
-    mem = _memoryless_instance()
+    res = run_scenario(SC, replications=8, seed=2, workers=1)
+    m = res.means()
 
-    opt_dhr, _ = preemptive_single_machine_mdp(dhr)
-    gittins_dhr = evaluate_index_policy_dp(dhr, GittinsJobIndex(dhr))
-    wsept_dhr = nonpreemptive_wsept_cost(dhr)
-
-    opt_mem, _ = preemptive_single_machine_mdp(mem)
-    gittins_mem = evaluate_index_policy_dp(mem, GittinsJobIndex(mem))
-    wsept_mem = nonpreemptive_wsept_cost(mem)
-
-    benchmark(lambda: GittinsJobIndex(dhr))
+    benchmark(lambda: SC.run_once(seed=0, overrides={"n_quanta": 8}))
 
     report(
-        "E2: preemptive single machine — Sevcik/Gittins index vs WSEPT",
+        "E2: preemptive single machine — Sevcik/Gittins index vs WSEPT "
+        "(8 replications, registry scenario)",
         [
-            ("DHR: exact optimum", opt_dhr, 1.0),
-            ("DHR: Gittins index", gittins_dhr, gittins_dhr / opt_dhr),
-            ("DHR: nonpreempt WSEPT", wsept_dhr, wsept_dhr / opt_dhr),
-            ("memoryless: optimum", opt_mem, 1.0),
-            ("memoryless: Gittins", gittins_mem, gittins_mem / opt_mem),
-            ("memoryless: WSEPT", wsept_mem, wsept_mem / opt_mem),
+            ("DHR: exact optimum", m["opt_dhr"], 1.0),
+            ("DHR: Gittins gap", m["gittins_dhr_gap"], 0.0),
+            ("DHR: WSEPT premium", m["wsept_dhr_premium"], 0.0),
+            ("memoryless: optimum", m["opt_mem"], 1.0),
+            ("memoryless: Gittins gap", m["gittins_mem_gap"], 0.0),
+            ("memoryless: WSEPT premium", m["wsept_mem_premium"], 0.0),
         ],
-        header=("case / policy", "E[sum w C] (quanta)", "vs optimum"),
+        header=("case / policy", "value", "reference"),
     )
 
-    assert gittins_dhr == pytest.approx(opt_dhr, rel=1e-9)  # index is optimal
-    assert wsept_dhr > opt_dhr * 1.03  # preemption strictly helps under DHR
-    assert gittins_mem == pytest.approx(opt_mem, rel=1e-9)
-    assert wsept_mem == pytest.approx(opt_mem, rel=0.03)  # no gain memoryless
+    assert res.all_checks_pass, res.checks
+    assert m["gittins_dhr_gap"] < 1e-8  # index policy exactly optimal
+    assert m["wsept_dhr_premium"] > 0.01  # preemption strictly helps under DHR
+    assert abs(m["wsept_mem_premium"]) < 0.05  # and not under memorylessness

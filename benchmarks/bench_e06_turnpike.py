@@ -2,35 +2,34 @@
 parallel machines is bounded independent of n, so the relative gap
 vanishes as the batch grows.
 
-Measured exactly against the exponential subset DP (no bound slack).
+Driven by the experiment registry: each replication runs an exact DP gap
+sweep over the scenario's batch sizes on a fresh random instance.
 """
 
-import numpy as np
-import pytest
+from repro.experiments import get_scenario, run_scenario
 
-from repro.batch.turnpike import exact_gap_sweep
+SC = get_scenario("E6")
 
 
 def test_e06_weiss_turnpike(benchmark, report):
-    ns = [4, 6, 8, 10, 12]
-    points = exact_gap_sweep(ns, m=2, seed=0)
+    res = run_scenario(SC, replications=6, seed=6, workers=1)
+    m = res.means()
 
-    benchmark(lambda: exact_gap_sweep([8], m=2, seed=0))
+    benchmark(lambda: SC.run_once(seed=0, overrides={"ns": (4, 8)}))
 
-    rows = [
-        (f"n={p.n}", p.optimal_value, p.wsept_value, p.absolute_gap, p.relative_gap)
-        for p in points
-    ]
     report(
-        "E6: WSEPT turnpike on m=2 machines (exact DP values)",
-        rows,
-        header=("batch", "OPT", "WSEPT", "abs gap", "rel gap"),
+        "E6: WSEPT turnpike on m=2 machines (exact DP values, 6 replications)",
+        [
+            ("OPT growth (largest/smallest n)", m["opt_growth"], 3.0),
+            ("max absolute gap", m["max_abs_gap"], 0.5),
+            ("min absolute gap", m["min_abs_gap"], 0.0),
+            ("relative gap at largest n", m["last_rel_gap"], 0.01),
+        ],
+        header=("quantity", "measured", "bound"),
     )
 
-    absg = [p.absolute_gap for p in points]
-    opts = [p.optimal_value for p in points]
-    # the optimum grows ~n^2; the gap stays O(1)
-    assert opts[-1] > 3 * opts[0]
-    assert max(absg) < 0.5
-    assert all(g >= -1e-9 for g in absg)
-    assert points[-1].relative_gap < 0.01
+    assert res.all_checks_pass, res.checks
+    # the optimum grows ~n^2 while the gap stays O(1)
+    assert m["opt_growth"] > 3.0
+    assert m["max_abs_gap"] < 0.5
+    assert m["last_rel_gap"] < 0.01

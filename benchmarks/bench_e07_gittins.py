@@ -1,60 +1,41 @@
 """E7 — the Gittins index rule is optimal for classical multi-armed
 bandits (Gittins–Jones [19]); the index is computable in polynomial time
 while the joint DP state space grows exponentially.
+
+Driven by the experiment registry: each replication draws random projects,
+solves the exact product-space DP, and cross-checks the two independent
+index algorithms.  E7 has a vectorized kernel, so the replications run
+through the batched backend by default.
 """
 
 import numpy as np
-import pytest
 
-from repro.bandits import (
-    evaluate_priority_policy,
-    gittins_indices_restart,
-    gittins_indices_vwb,
-    gittins_policy,
-    optimal_bandit_value,
-    random_project,
-)
-from repro.core.indices import StaticIndexRule
+from repro.bandits import gittins_indices_vwb, random_project
+from repro.experiments import get_scenario, run_scenario
+
+SC = get_scenario("E7")
 
 
 def test_e07_gittins_optimality(benchmark, report):
-    beta = 0.9
-    worst_gap = 0.0
-    myopic_losses = []
-    show = []
-    for seed in range(10):
-        rng = np.random.default_rng(seed)
-        projects = [random_project(3, rng) for _ in range(3)]
-        opt = optimal_bandit_value(projects, beta)
-        git = evaluate_priority_policy(projects, gittins_policy(projects, beta).rule, beta)
-        myop_table = {
-            (pid, s): float(projects[pid].R[s]) for pid in range(3) for s in range(3)
-        }
-        myop = evaluate_priority_policy(projects, StaticIndexRule(myop_table), beta)
-        worst_gap = max(worst_gap, abs(git / opt - 1.0))
-        myopic_losses.append(1.0 - myop / opt)
-        if seed < 3:
-            show.append((f"inst {seed}: OPT", opt, 1.0))
-            show.append((f"inst {seed}: Gittins", git, git / opt))
-            show.append((f"inst {seed}: myopic", myop, myop / opt))
+    res = run_scenario(SC, replications=40, seed=7, workers=1)
+    m = res.means()
 
-    # agreement of the two index algorithms
     proj = random_project(8, np.random.default_rng(99))
-    g1 = gittins_indices_vwb(proj, beta)
-    g2 = gittins_indices_restart(proj, beta)
-    algo_diff = float(np.max(np.abs(g1 - g2)))
+    benchmark(lambda: gittins_indices_vwb(proj, 0.9))
 
-    benchmark(lambda: gittins_indices_vwb(proj, beta))
-
-    show.append(("worst |Gittins/OPT - 1|", worst_gap, 0.0))
-    show.append(("mean myopic loss", float(np.mean(myopic_losses)), 0.0))
-    show.append(("VWB vs restart max diff", algo_diff, 0.0))
     report(
-        "E7: Gittins rule vs exact product-space DP (3 projects x 3 states)",
-        show,
-        header=("case", "value", "vs OPT"),
+        "E7: Gittins rule vs exact product-space DP "
+        "(3 projects x 3 states, 40 random instances)",
+        [
+            ("mean OPT value", m["opt"], 1.0),
+            ("worst |Gittins/OPT - 1|", res.metrics["gittins_gap"].maximum, 0.0),
+            ("mean myopic loss", m["myopic_loss"], 0.0),
+            ("worst VWB-vs-restart diff", res.metrics["algo_diff"].maximum, 0.0),
+        ],
+        header=("case", "value", "reference"),
     )
 
-    assert worst_gap < 1e-8
-    assert algo_diff < 1e-6
-    assert np.mean(myopic_losses) >= 0.0
+    assert res.all_checks_pass, res.checks
+    assert res.metrics["gittins_gap"].maximum < 1e-8  # optimal on every instance
+    assert res.metrics["algo_diff"].maximum < 1e-6  # the two algorithms agree
+    assert m["myopic_loss"] >= 0.0

@@ -1,69 +1,47 @@
 """E8 — restless bandits: Whittle's index heuristic [48] is near-optimal
 and asymptotically optimal as N grows with m/N fixed (Weber–Weiss [44]);
 the LP relaxation [7] upper-bounds every policy.
+
+Driven by the experiment registry: each replication simulates the Whittle
+and myopic fleets at every size against the shared LP bound.  E8 has a
+vectorized kernel (shared bound/index tables + lockstep rollouts), so the
+replications run through the batched backend by default.
 """
 
-import numpy as np
-import pytest
+from repro.bandits import is_indexable
+from repro.experiments import get_scenario, run_scenario
+from repro.experiments.scenarios import _e8_project
 
-from repro.bandits import (
-    average_relaxation_bound,
-    is_indexable,
-    myopic_rule,
-    simulate_restless,
-    whittle_rule,
-)
-from repro.bandits.restless import RestlessProject, whittle_indices
-
-
-def _project():
-    """A 4-state deteriorating/recovering machine (see tests)."""
-    K = 4
-    P0 = np.zeros((K, K))
-    for s in range(K):
-        P0[s, max(s - 1, 0)] += 0.35
-        P0[s, s] += 0.65
-    P1 = np.zeros((K, K))
-    for s in range(K):
-        P1[s, K - 1] += 0.8
-        P1[s, min(s + 1, K - 1)] += 0.2
-    R0 = np.linspace(0.0, 1.0, K)
-    R1 = np.full(K, -0.05)
-    return RestlessProject(P0=P0, P1=P1, R0=R0, R1=R1)
+SC = get_scenario("E8")
 
 
 def test_e08_whittle_asymptotic_optimality(benchmark, report):
-    proj = _project()
-    alpha = 0.3
+    proj = _e8_project()
     assert is_indexable(proj, criterion="average")
-    bound, _ = average_relaxation_bound(proj, alpha)
 
-    w_rule = whittle_rule(proj)
-    m_rule = myopic_rule(proj)
+    res = run_scenario(SC, replications=6, seed=8, workers=1)
+    m = res.means()
 
-    rows = [("LP relaxation bound", bound, 1.0)]
-    gaps = []
-    for k, N in enumerate((10, 40, 160, 640)):
-        m = int(alpha * N)
-        got = simulate_restless(
-            proj, N, m, w_rule, 6000, np.random.default_rng(10 + k), warmup=600
+    benchmark(
+        lambda: SC.run_once(
+            seed=0, overrides={"horizon": 200, "warmup": 40, "fleet_sizes": (5, 9)}
         )
-        gaps.append(bound - got)
-        rows.append((f"Whittle N={N}", got, got / bound))
-    myop = simulate_restless(
-        proj, 160, int(alpha * 160), m_rule, 6000, np.random.default_rng(99), warmup=600
     )
-    rows.append(("myopic N=160", myop, myop / bound))
-
-    benchmark(lambda: whittle_indices(proj, criterion="average"))
 
     report(
-        "E8: Whittle index — per-project reward vs the relaxation bound",
-        rows,
+        "E8: Whittle index — per-project reward vs the relaxation bound "
+        "(6 replications)",
+        [
+            ("LP relaxation bound", m["bound"], 1.0),
+            ("bound - Whittle, smallest N", m["first_gap"], 0.0),
+            ("bound - Whittle, largest N", m["last_gap"], 0.0),
+            ("Whittle at largest N", m["whittle_large_n"], m["whittle_large_n"] / m["bound"]),
+            ("myopic at largest N", m["myopic"], m["myopic"] / m["bound"]),
+        ],
         header=("case", "avg reward/project", "frac of bound"),
     )
 
-    # bound dominates; gap shrinks as N grows (allow MC noise)
-    assert all(g > -0.01 for g in gaps)
-    assert gaps[-1] <= gaps[0] + 0.005
-    assert gaps[-1] < 0.05 * bound  # within 5% of the unbeatable bound
+    assert res.all_checks_pass, res.checks
+    assert m["min_gap"] > -0.02  # the bound dominates simulation
+    assert m["last_gap"] <= m["first_gap"] + 0.01  # and the gap shrinks with N
+    assert m["last_gap"] < 0.05 * m["bound"]  # within 5% of the unbeatable bound

@@ -1,56 +1,38 @@
 """E9 — with switching penalties the Gittins rule is no longer optimal
 (Asawa–Teneketzis [2]); a hysteresis index heuristic recovers most of the
 gap while exact computation blows up exponentially.
+
+Driven by the experiment registry: each replication draws a random
+two-project instance and compares plain Gittins and hysteresis against
+the exact switching MDP.  E9 has a vectorized kernel (batched MDP
+assembly + shared index tables), so the replications run through the
+batched backend by default.
 """
 
-import numpy as np
-import pytest
+from repro.experiments import get_scenario, run_scenario
 
-from repro.bandits import (
-    evaluate_switching_policy,
-    gittins_with_hysteresis,
-    optimal_switching_value,
-    plain_gittins_switch_policy,
-    random_project,
-)
+SC = get_scenario("E9")
 
 
 def test_e09_switching_costs(benchmark, report):
-    beta, cost = 0.9, 1.0
-    n_inst = 30
-    plains, hysts, opts = [], [], []
-    worst_plain = 1.0
-    for seed in range(n_inst):
-        rng = np.random.default_rng(seed)
-        projects = [random_project(3, rng) for _ in range(2)]
-        opt = optimal_switching_value(projects, cost, beta)
-        plain = evaluate_switching_policy(
-            projects, cost, beta, plain_gittins_switch_policy(projects, beta)
-        )
-        hyst = evaluate_switching_policy(
-            projects, cost, beta, gittins_with_hysteresis(projects, cost, beta)
-        )
-        opts.append(opt)
-        plains.append(plain)
-        hysts.append(hyst)
-        worst_plain = min(worst_plain, plain / opt)
+    res = run_scenario(SC, replications=60, seed=9, workers=1)
+    m = res.means()
 
-    projects = [random_project(3, np.random.default_rng(0)) for _ in range(2)]
-    benchmark(lambda: optimal_switching_value(projects, cost, beta))
+    benchmark(lambda: SC.run_once(seed=0))
 
-    mean_plain = float(np.mean(np.array(plains) / np.array(opts)))
-    mean_hyst = float(np.mean(np.array(hysts) / np.array(opts)))
     report(
-        f"E9: switching cost c={cost} (beta={beta}, {n_inst} instances)",
+        f"E9: switching cost c={SC.defaults['cost']} "
+        f"(beta={SC.defaults['beta']}, 60 random instances)",
         [
-            ("exact optimum (mean)", float(np.mean(opts)), 1.0),
-            ("plain Gittins (mean frac)", float(np.mean(plains)), mean_plain),
-            ("hysteresis (mean frac)", float(np.mean(hysts)), mean_hyst),
-            ("worst plain-Gittins frac", worst_plain, 0.0),
+            ("exact optimum (mean)", m["opt"], 1.0),
+            ("plain Gittins (mean frac of OPT)", m["plain_frac"], 1.0),
+            ("hysteresis (mean frac of OPT)", m["hyst_frac"], 1.0),
+            ("worst plain-Gittins frac", res.metrics["plain_frac"].minimum, 0.0),
         ],
-        header=("policy", "value", "frac of OPT"),
+        header=("policy", "value", "reference"),
     )
 
-    assert worst_plain < 0.999  # Gittins strictly suboptimal somewhere
-    assert mean_hyst >= mean_plain - 1e-9  # hysteresis never hurts on average
-    assert mean_hyst > 0.97  # and is close to optimal
+    assert res.all_checks_pass, res.checks
+    assert res.metrics["plain_frac"].minimum < 0.999  # strictly suboptimal somewhere
+    assert m["hyst_frac"] >= m["plain_frac"] - 1e-9  # hysteresis never hurts on average
+    assert m["hyst_frac"] > 0.97  # and is close to optimal

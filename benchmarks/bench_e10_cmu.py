@@ -2,71 +2,43 @@
 achievable performance region is a polytope whose vertices are the strict
 priority rules [14, 17], so simulation, Cobham's formulas, and the
 conservation laws must all agree.
+
+Driven by the experiment registry: each replication simulates the cµ and
+worst priority orders under common random numbers and checks strong
+conservation on the simulated waits; the exact Cobham/polytope analysis
+is shared (the E10 kernel hoists it out of the replication loop).
 """
 
-import itertools
+from repro.experiments import get_scenario, run_scenario
+from repro.queueing import optimal_average_cost
+from repro.experiments.scenarios import _E10_ARRIVAL, _E10_COSTS, _e10_services
 
-import numpy as np
-import pytest
-
-from repro.core.conservation import (
-    check_strong_conservation,
-    performance_polytope_vertices,
-)
-from repro.distributions import Erlang, Exponential, HyperExponential
-from repro.queueing import optimal_average_cost, order_average_cost, simulate_network
-from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
-
-ARRIVAL = [0.2, 0.25, 0.15]
-SERVICES = [Exponential(1.2), Erlang(2, 2.0), HyperExponential.balanced_from_mean_scv(0.9, 3.0)]
-COSTS = [1.0, 2.5, 1.8]
+SC = get_scenario("E10")
 
 
 def test_e10_cmu_rule(benchmark, report):
-    opt_cost, cmu = optimal_average_cost(ARRIVAL, SERVICES, COSTS)
+    res = run_scenario(SC, replications=8, seed=10, workers=1)
+    m = res.means()
 
-    rows = []
-    exact = {}
-    for perm in itertools.permutations(range(3)):
-        exact[perm] = order_average_cost(ARRIVAL, SERVICES, COSTS, perm)
-    best_perm = min(exact, key=exact.get)
-
-    # simulate the cmu order and one bad order
-    worst_perm = max(exact, key=exact.get)
-    sims = {}
-    for k, perm in enumerate((tuple(cmu), worst_perm)):
-        net = QueueingNetwork(
-            [
-                ClassConfig(0, SERVICES[j], arrival_rate=ARRIVAL[j], cost=COSTS[j])
-                for j in range(3)
-            ],
-            [StationConfig(discipline="priority", priority=perm)],
-        )
-        res = simulate_network(net, 60_000, np.random.default_rng(20 + k))
-        sims[perm] = res
-
-    # conservation-law check on the simulated cmu waits
-    ms = np.array([s.mean for s in SERVICES])
-    m2 = np.array([s.second_moment for s in SERVICES])
-    conserved = check_strong_conservation(
-        ARRIVAL, ms, m2, sims[tuple(cmu)].mean_waits, rtol=0.12
+    benchmark(
+        lambda: optimal_average_cost(list(_E10_ARRIVAL), _e10_services(), list(_E10_COSTS))
     )
 
-    benchmark(lambda: optimal_average_cost(ARRIVAL, SERVICES, COSTS))
-
-    rows.append(("cmu exact (Cobham)", opt_cost, 1.0))
-    rows.append(("cmu simulated", sims[tuple(cmu)].cost_rate, sims[tuple(cmu)].cost_rate / opt_cost))
-    rows.append((f"worst order {worst_perm} exact", exact[worst_perm], exact[worst_perm] / opt_cost))
-    rows.append((f"worst order simulated", sims[worst_perm].cost_rate, sims[worst_perm].cost_rate / opt_cost))
-    rows.append(("conservation laws hold (sim)", float(conserved), 1.0))
     report(
-        "E10: multiclass M/G/1 — cmu rule optimality + achievable region",
-        rows,
-        header=("case", "cost rate", "vs cmu"),
+        "E10: multiclass M/G/1 — cmu rule optimality + achievable region "
+        "(8 CRN replications)",
+        [
+            ("cmu exact (Cobham)", m["opt_cost"], 1.0),
+            ("cmu simulated / exact", m["cmu_sim_ratio"], 1.0),
+            ("worst order exact / cmu", m["worst_exact_ratio"], 1.0),
+            ("worst order simulated / cmu", m["worst_sim_ratio"], 1.0),
+            ("conservation holds (fraction)", m["conservation_ok"], 1.0),
+            ("polytope vertices", m["n_vertices"], 6.0),
+        ],
+        header=("case", "value", "reference"),
     )
 
-    assert tuple(cmu) == best_perm  # cmu picks the best vertex
-    assert sims[tuple(cmu)].cost_rate == pytest.approx(opt_cost, rel=0.08)
-    assert conserved
-    # the polytope has 3! = 6 vertices
-    assert len(performance_polytope_vertices(ARRIVAL, ms, m2)) == 6
+    assert res.all_checks_pass, res.checks
+    assert m["cmu_picks_best"] == 1.0  # cmu picks the best vertex
+    assert abs(m["cmu_sim_ratio"] - 1.0) < 0.08  # simulation matches Cobham
+    assert m["n_vertices"] == 6.0  # the polytope has 3! vertices

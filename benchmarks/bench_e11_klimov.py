@@ -1,75 +1,40 @@
 """E11 — Klimov's model [24]: with Markovian feedback the optimal policy is
 still a static priority rule, with indices from Klimov's N-step algorithm;
 it reduces to cµ without feedback and beats cµ-with-feedback-ignored.
+
+Driven by the experiment registry: each replication simulates all six
+priority orders under common random numbers; the Klimov/cµ index analysis
+is shared (the E11 kernel hoists it out of the replication loop).
 """
 
-import itertools
-
 import numpy as np
-import pytest
 
-from repro.distributions import Exponential
-from repro.queueing.klimov import klimov_indices, klimov_order
-from repro.queueing.mg1 import cmu_order
-from repro.queueing.network import (
-    ClassConfig,
-    QueueingNetwork,
-    StationConfig,
-    simulate_network,
-)
+from repro.experiments import get_scenario, run_scenario
+from repro.experiments.scenarios import _E11_COSTS, _E11_FEEDBACK, _E11_MUS
+from repro.queueing.klimov import klimov_order
 
-LAM = [0.25, 0.1, 0.0]
-MUS = [2.0, 1.5, 1.0]
-COSTS = [1.0, 3.0, 2.0]
-FEEDBACK = np.array(
-    [
-        [0.0, 0.3, 0.2],
-        [0.0, 0.0, 0.4],
-        [0.1, 0.0, 0.0],
-    ]
-)
-MEANS = [1.0 / m for m in MUS]
-
-
-def _simulate(order, seed, horizon=80_000):
-    net = QueueingNetwork(
-        [
-            ClassConfig(0, Exponential(MUS[j]), arrival_rate=LAM[j], cost=COSTS[j])
-            for j in range(3)
-        ],
-        [StationConfig(discipline="priority", priority=tuple(order))],
-        routing=FEEDBACK,
-    )
-    return simulate_network(net, horizon, np.random.default_rng(seed), warmup_fraction=0.2)
+SC = get_scenario("E11")
 
 
 def test_e11_klimov_rule(benchmark, report):
-    k_order = klimov_order(COSTS, MEANS, FEEDBACK)
-    naive = cmu_order(COSTS, MEANS)
+    res = run_scenario(SC, replications=6, seed=11, workers=1)
+    m = res.means()
 
-    results = {}
-    for k, perm in enumerate(itertools.permutations(range(3))):
-        results[perm] = _simulate(perm, 30 + k).cost_rate
-    best = min(results, key=results.get)
+    means = [1.0 / mu for mu in _E11_MUS]
+    benchmark(lambda: klimov_order(list(_E11_COSTS), means, np.array(_E11_FEEDBACK)))
 
-    # no-feedback reduction check
-    reduce_ok = np.allclose(
-        klimov_indices(COSTS, MEANS, np.zeros((3, 3))),
-        np.asarray(COSTS) / np.asarray(MEANS),
-    )
-
-    benchmark(lambda: klimov_indices(COSTS, MEANS, FEEDBACK))
-
-    rows = [(f"order {p}", v, v / results[tuple(k_order)]) for p, v in sorted(results.items(), key=lambda kv: kv[1])]
-    rows.append((f"Klimov order = {tuple(k_order)}", results[tuple(k_order)], 1.0))
-    rows.append((f"naive cmu order = {tuple(naive)}", results[tuple(naive)], results[tuple(naive)] / results[tuple(k_order)]))
-    rows.append(("reduces to cmu w/o feedback", float(reduce_ok), 1.0))
     report(
-        "E11: Klimov network — simulated cost rate of all priority orders",
-        rows,
-        header=("priority order", "cost rate", "vs Klimov"),
+        "E11: Klimov's M/G/1 with feedback — simulated priority orders "
+        "(6 CRN replications)",
+        [
+            ("Klimov order cost rate", m["klimov_cost"], 1.0),
+            ("best simulated order", m["best_cost"], m["klimov_vs_best"]),
+            ("naive cmu / Klimov", m["naive_cmu_ratio"], 1.0),
+            ("no-feedback reduction exact", m["reduction_exact"], 1.0),
+        ],
+        header=("case", "cost rate", "vs Klimov"),
     )
 
-    assert reduce_ok
-    # Klimov's order is (within noise) the best priority order
-    assert results[tuple(k_order)] <= results[best] * 1.05
+    assert res.all_checks_pass, res.checks
+    assert m["klimov_vs_best"] <= 1.05  # best among all orders, within MC noise
+    assert m["reduction_exact"] == 1.0  # reduces exactly to cµ without feedback

@@ -1,38 +1,38 @@
 """E12 — parallel scheduling of multiclass M/M/m queues
 (Glazebrook–Niño-Mora [22]): the cµ/Klimov heuristic's gap to the pooled
 (resource-pooling) lower bound vanishes in the heavy-traffic limit.
+
+Driven by the experiment registry: each replication sweeps the scenario's
+rho grid on fresh streams and measures the cost ratio to the pooled
+preemptive-cµ lower bound.
 """
 
-import numpy as np
-import pytest
+from repro.experiments import get_scenario, run_scenario
 
-from repro.queueing import parallel_server_experiment, pooled_lower_bound
+SC = get_scenario("E12")
 
 
-def test_e12_heavy_traffic(benchmark, report):
-    mu = [4.0, 1.0]
-    costs = [1.0, 2.0]
-    m = 2
-    rhos = [0.6, 0.8, 0.9, 0.95]
-    pts = parallel_server_experiment(
-        mu, costs, m, rhos, np.random.default_rng(12), horizon=60_000
+def test_e12_heavy_traffic_optimality(benchmark, report):
+    res = run_scenario(SC, replications=2, seed=12, workers=1)
+    m = res.means()
+
+    benchmark(
+        lambda: SC.run_once(seed=0, overrides={"rhos": (0.6,), "horizon": 800.0})
     )
 
-    benchmark(lambda: pooled_lower_bound([2.0, 0.5], mu, costs, m))
-
-    rows = [
-        (f"rho={p.rho}", p.cmu_cost, p.pooled_bound, p.ratio) for p in pts
-    ]
     report(
-        "E12: cmu on M/M/2 vs pooled lower bound as rho -> 1",
-        rows,
-        header=("traffic", "cmu cost", "pooled LB", "ratio"),
+        "E12: parallel servers — cmu cost / pooled bound along the rho grid "
+        "(2 replications)",
+        [
+            (f"ratio at rho={SC.defaults['rhos'][0]}", m["first_ratio"], 1.0),
+            (f"ratio at rho={SC.defaults['rhos'][-1]}", m["last_ratio"], 1.0),
+            ("minimum ratio", m["min_ratio"], 1.0),
+            ("pooled bound at top rho", m["last_bound"], 0.0),
+            ("cmu cost at top rho", m["last_cost"], 0.0),
+        ],
+        header=("case", "value", "reference"),
     )
 
-    ratios = [p.ratio for p in pts]
-    # bound respected everywhere (small MC slack)
-    assert all(r > 0.95 for r in ratios)
-    # heavy-traffic optimality: the last point is nearly tight, and the
-    # trend towards 1 is visible across the sweep
-    assert ratios[-1] < ratios[0]
-    assert ratios[-1] < 1.1
+    assert res.all_checks_pass, res.checks
+    assert m["min_ratio"] > 0.9  # the pooled bound is (essentially) respected
+    assert m["last_ratio"] < m["first_ratio"]  # the ratio falls towards 1

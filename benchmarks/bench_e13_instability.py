@@ -2,54 +2,40 @@
 policy can destabilise a network whose every station is nominally
 underloaded; FIFO survives; the naive fluid model misses it and the
 virtual-station augmented fluid predicts it.
+
+Driven by the experiment registry: each replication simulates the unstable
+exit-priority network, its FIFO twin and the safe variant, and runs both
+fluid models.
 """
 
-import numpy as np
-import pytest
+from repro.experiments import get_scenario, run_scenario
+from repro.queueing import rybko_stolyar_network, virtual_station_load
 
-from repro.queueing import (
-    FluidModel,
-    is_fluid_stable,
-    rybko_stolyar_network,
-    simulate_network,
-    virtual_station_load,
-)
+SC = get_scenario("E13")
 
 
 def test_e13_rybko_stolyar_instability(benchmark, report):
-    horizon = 4000
+    res = run_scenario(SC, replications=4, seed=13, workers=1)
+    m = res.means()
+
     bad = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=True)
-    fifo = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=False)
-    safe = rybko_stolyar_network(1.0, 0.1, 0.4, priority_to_exit=True)
-
-    res_bad = simulate_network(bad, horizon, np.random.default_rng(0))
-    res_fifo = simulate_network(fifo, horizon, np.random.default_rng(1))
-    res_safe = simulate_network(safe, horizon, np.random.default_rng(2))
-
-    naive_stable = is_fluid_stable(FluidModel.from_network(bad), horizon=80, dt=0.005)
-    aug_stable = is_fluid_stable(
-        FluidModel.from_network(bad, virtual_stations=((1, 3),)), horizon=80, dt=0.005
-    )
-
-    benchmark(
-        lambda: simulate_network(bad, 200, np.random.default_rng(3)).final_backlog
-    )
+    benchmark(lambda: virtual_station_load(bad))
 
     report(
-        "E13: Rybko–Stolyar network (station loads 0.7, virtual load 1.2)",
+        "E13: Rybko–Stolyar network (station loads 0.7, virtual load 1.2; "
+        "4 replications)",
         [
-            ("exit-priority backlog @t=4000", res_bad.final_backlog, virtual_station_load(bad)),
-            ("FIFO backlog @t=4000", res_fifo.final_backlog, 0.0),
-            ("exit-prio, virtual 0.8 backlog", res_safe.final_backlog, virtual_station_load(safe)),
-            ("naive fluid says stable", float(naive_stable), 1.0),
-            ("virtual-station fluid says stable", float(aug_stable), 0.0),
+            ("exit-priority backlog", m["bad_backlog"], m["virtual_load_bad"]),
+            ("FIFO backlog", m["fifo_backlog"], 0.0),
+            ("safe variant backlog", m["safe_backlog"], 0.0),
+            ("instability ratio", m["instability_ratio"], 10.0),
+            ("naive fluid says stable", m["naive_fluid_stable"], 1.0),
+            ("virtual-station fluid says stable", m["augmented_fluid_stable"], 0.0),
         ],
-        header=("case", "backlog", "virtual load"),
+        header=("case", "value", "reference"),
     )
 
-    # the headline phenomenon
-    assert res_bad.final_backlog > 30 * max(res_fifo.final_backlog, 1.0)
-    assert res_safe.final_backlog < 100
-    # the modelling subtlety the survey points to
-    assert naive_stable  # naive fluid misses the instability
-    assert not aug_stable  # augmented fluid catches it
+    assert res.all_checks_pass, res.checks
+    assert m["instability_ratio"] > 10.0  # the headline phenomenon
+    assert m["naive_fluid_stable"] == 1.0  # naive fluid misses it
+    assert m["augmented_fluid_stable"] == 0.0  # augmented fluid catches it

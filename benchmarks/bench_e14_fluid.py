@@ -1,71 +1,39 @@
 """E14 — fluid-model heuristics for MQN scheduling (Chen–Yao [11],
 Atkins–Chen [3]): fluid-stable priority policies perform well in the
 stochastic network, and fluid drain times predict relative policy quality.
+
+Driven by the experiment registry: each replication drains the fluid model
+for both candidate policies and simulates them under common random
+numbers.
 """
 
 import numpy as np
-import pytest
 
-from repro.distributions import Exponential
-from repro.queueing import (
-    FluidModel,
-    fluid_drain_time,
-    is_fluid_stable,
-    simulate_network,
-)
-from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
+from repro.experiments import get_scenario, run_scenario
 
-
-def _two_station_tandem(priority_a, priority_b):
-    """2 stations, 3 classes: 0 -> 1 -> 2, class 2 back at station 0."""
-    classes = [
-        ClassConfig(0, Exponential(3.0), arrival_rate=0.8, cost=1.0),
-        ClassConfig(1, Exponential(2.0), arrival_rate=0.0, cost=2.0),
-        ClassConfig(0, Exponential(2.5), arrival_rate=0.0, cost=4.0),
-    ]
-    routing = np.zeros((3, 3))
-    routing[0, 1] = 1.0
-    routing[1, 2] = 1.0
-    return QueueingNetwork(
-        classes,
-        [
-            StationConfig(discipline="priority", priority=tuple(priority_a)),
-            StationConfig(discipline="priority", priority=tuple(priority_b)),
-        ],
-        routing,
-    )
+SC = get_scenario("E14")
 
 
 def test_e14_fluid_guided_policies(benchmark, report):
-    # candidate priority policies for station 0 (classes 0 and 2)
-    nets = {
-        "exit-first (fluid/cmu choice)": _two_station_tandem((2, 0), (1,)),
-        "entry-first": _two_station_tandem((0, 2), (1,)),
-    }
-    rows = []
-    sim_costs = {}
-    drains = {}
-    for k, (name, net) in enumerate(nets.items()):
-        fm = FluidModel.from_network(net)
-        stable = is_fluid_stable(fm, horizon=120, dt=0.005)
-        drain = fluid_drain_time(fm, [1, 1, 1], horizon=120, dt=0.005)
-        res = simulate_network(net, 40_000, np.random.default_rng(40 + k))
-        sim_costs[name] = res.cost_rate
-        drains[name] = drain
-        rows.append((name, float(stable), drain, res.cost_rate))
+    res = run_scenario(SC, replications=6, seed=14, workers=1)
+    m = res.means()
 
-    fm = FluidModel.from_network(nets["exit-first (fluid/cmu choice)"])
-    benchmark(lambda: fluid_drain_time(fm, [1, 1, 1], horizon=120, dt=0.01))
-
-    report(
-        "E14: fluid analysis vs stochastic simulation (2-station network)",
-        rows,
-        header=("policy", "fluid stable", "drain time", "sim cost rate"),
+    benchmark(
+        lambda: SC.run_once(seed=0, overrides={"horizon": 500.0, "fluid_horizon": 40.0})
     )
 
-    # both policies are stable here; the fluid-preferred (faster-draining
-    # under holding-cost weighting) policy also wins in simulation
-    assert all(np.isfinite(d) for d in drains.values())
-    fluid_pref = min(drains, key=drains.get)
-    sim_pref = min(sim_costs, key=sim_costs.get)
-    assert sim_costs["exit-first (fluid/cmu choice)"] <= sim_costs["entry-first"] * 1.02
+    report(
+        "E14: fluid analysis vs stochastic simulation (2-station network, "
+        "6 CRN replications)",
+        [
+            ("exit-first drain time", m["drain_exit_first"], m["cost_exit_first"]),
+            ("entry-first drain time", m["drain_entry_first"], m["cost_entry_first"]),
+            ("sim cost ratio exit/entry", m["exit_vs_entry_cost"], 1.0),
+        ],
+        header=("policy", "fluid drain", "sim cost rate"),
+    )
+
+    assert res.all_checks_pass, res.checks
+    assert np.isfinite(m["drain_exit_first"]) and np.isfinite(m["drain_entry_first"])
+    # the fluid-preferred policy also wins (or ties) in simulation
+    assert m["exit_vs_entry_cost"] <= 1.02

@@ -2,56 +2,39 @@
 Levy–Sidi [25]): local service policies are ranked exhaustive <= gated <=
 limited in weighted waits, the pseudo-conservation law pins the simulator,
 and larger switchover times amplify the differences.
+
+Driven by the experiment registry: each replication simulates all six
+(policy, switchover) cases under common random numbers and records the
+worst pseudo-conservation error.
 """
 
-import numpy as np
-import pytest
+from repro.experiments import get_scenario, run_scenario
 
-from repro.distributions import Deterministic, Exponential
-from repro.queueing import PollingSystem, pseudo_conservation_rhs
-
-LAM = [0.3, 0.2]
-SVC = [Exponential(2.0), Exponential(1.5)]
+SC = get_scenario("E15")
 
 
 def test_e15_polling_policies(benchmark, report):
-    rows = []
-    measured = {}
-    for sw_mean in (0.1, 0.4):
-        sw = [Deterministic(sw_mean), Deterministic(sw_mean)]
-        for pol in ("exhaustive", "gated", "limited"):
-            ps = PollingSystem(LAM, SVC, sw, pol)
-            res = ps.simulate(50_000, np.random.default_rng(hash((pol, sw_mean)) % 2**31))
-            measured[(pol, sw_mean)] = res.weighted_wait_sum
-            rhs = (
-                pseudo_conservation_rhs(LAM, SVC, sw, pol)
-                if pol in ("exhaustive", "gated")
-                else float("nan")
-            )
-            rows.append((f"{pol} s={sw_mean}", res.weighted_wait_sum, rhs))
+    res = run_scenario(SC, replications=8, seed=15, workers=1)
+    m = res.means()
 
-    sw = [Deterministic(0.1), Deterministic(0.1)]
-    ps = PollingSystem(LAM, SVC, sw, "exhaustive")
-    benchmark(lambda: ps.simulate(2_000, np.random.default_rng(0)))
+    benchmark(lambda: SC.run_once(seed=0, overrides={"horizon": 2000.0}))
 
+    short, long_ = SC.defaults["switchover_means"]
     report(
-        "E15: cyclic polling with switchover — sum rho_i W_i",
-        rows,
-        header=("policy / switchover", "simulated", "pseudo-conservation"),
+        "E15: cyclic polling with switchover — sum rho_i W_i "
+        "(8 CRN replications)",
+        [
+            (f"exhaustive s={short} / s={long_}", m["exhaustive_short"], m["exhaustive_long"]),
+            (f"gated s={short} / s={long_}", m["gated_short"], m["gated_long"]),
+            (f"limited s={short} / s={long_}", m["limited_short"], m["limited_long"]),
+            ("worst pseudo-conservation error", m["max_conservation_err"], 0.0),
+        ],
+        header=("policy", "short switchover", "long switchover"),
     )
 
-    for sw_mean in (0.1, 0.4):
-        ex = measured[("exhaustive", sw_mean)]
-        ga = measured[("gated", sw_mean)]
-        li = measured[("limited", sw_mean)]
-        assert ex <= ga * 1.05
-        assert ga <= li * 1.05
-    # pseudo-conservation law validated at both switchover levels
-    for sw_mean in (0.1, 0.4):
-        sw = [Deterministic(sw_mean), Deterministic(sw_mean)]
-        for pol in ("exhaustive", "gated"):
-            rhs = pseudo_conservation_rhs(LAM, SVC, sw, pol)
-            assert measured[(pol, sw_mean)] == pytest.approx(rhs, rel=0.12)
-    # setups hurt: every policy is worse with the longer switchover
-    for pol in ("exhaustive", "gated", "limited"):
-        assert measured[(pol, 0.4)] > measured[(pol, 0.1)]
+    assert res.all_checks_pass, res.checks
+    # exhaustive <= gated <= limited at both switchover levels
+    assert m["exhaustive_short"] <= m["gated_short"] * 1.05
+    assert m["gated_short"] <= m["limited_short"] * 1.05
+    assert m["max_conservation_err"] < 0.15  # the law pins the simulator
+    assert m["exhaustive_long"] > m["exhaustive_short"]  # setups hurt

@@ -29,6 +29,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--replications", type=int, default=10)
     parser.add_argument("--workers", type=int, default=0, help="0 = all cores")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend",
+        choices=["event", "vectorized", "auto"],
+        default="auto",
+        help="simulation backend (bit-for-bit equivalent; auto = kernel "
+        "when one exists)",
+    )
     parser.add_argument("--json", metavar="PATH", help="also write JSON results")
     parser.add_argument(
         "--out", metavar="PATH", default="EXPERIMENTS.md", help="Markdown output path"
@@ -46,6 +53,8 @@ def main(argv: list[str] | None = None) -> int:
         str(args.workers),
         "--seed",
         str(args.seed),
+        "--backend",
+        args.backend,
         "--markdown",
         args.out,
     ]

@@ -85,13 +85,18 @@ def gittins_indices_restart(
     P, R = project.P, project.R
     n = project.n_states
     out = np.empty(n)
+    # `beta * P @ v` associates as `(beta * P) @ v`, so the scaled matrix
+    # can be hoisted out of the iteration without changing a single bit
+    bP = beta * P
     for s in range(n):
+        bPs = bP[s]
+        Rs = R[s]
         v = np.zeros(n)
         for _ in range(max_iter):
-            cont = R + beta * P @ v
-            rest = R[s] + beta * P[s] @ v  # scalar: restart from s
+            cont = R + bP @ v
+            rest = Rs + bPs @ v  # scalar: restart from s
             v_new = np.maximum(cont, rest)
-            if np.max(np.abs(v_new - v)) < tol * max(1.0, np.max(np.abs(v_new))):
+            if np.abs(v_new - v).max() < tol * max(1.0, np.abs(v_new).max()):
                 v = v_new
                 break
             v = v_new

@@ -9,18 +9,24 @@ from repro.distributions.continuous import Exponential, TwoPoint, Weibull
 from repro.utils.rng import as_generator
 
 __all__ = [
+    "DEFAULT_MEAN_RANGE",
+    "DEFAULT_WEIGHT_RANGE",
     "random_exponential_batch",
     "random_two_point_batch",
     "random_weibull_batch",
 ]
+
+# shared with the vectorized E1 kernel, which must replicate these draws
+DEFAULT_MEAN_RANGE = (0.5, 3.0)
+DEFAULT_WEIGHT_RANGE = (0.5, 2.0)
 
 
 def random_exponential_batch(
     n: int,
     rng: np.random.Generator | int | None = None,
     *,
-    mean_range: tuple[float, float] = (0.5, 3.0),
-    weight_range: tuple[float, float] = (0.5, 2.0),
+    mean_range: tuple[float, float] = DEFAULT_MEAN_RANGE,
+    weight_range: tuple[float, float] = DEFAULT_WEIGHT_RANGE,
     weighted: bool = True,
 ) -> list[Job]:
     """A batch of ``n`` jobs with independent exponential processing times,

@@ -13,6 +13,10 @@ discoverable objects:
 * :mod:`repro.experiments.runner` — batched replications with multiprocess
   fan-out over spawned seed streams and vectorised aggregation; results
   are bit-identical for every worker count.
+* :mod:`repro.experiments.backends` — the second simulation backend:
+  vectorized kernels that run all replications of a scenario at once on
+  batched numpy arrays, bit-for-bit equivalent to the event-driven path
+  (``backend="event" | "vectorized" | "auto"`` on the runner and CLI).
 * :mod:`repro.experiments.report` — structured JSON documents and the
   Markdown claim-vs-measured report.
 * :mod:`repro.experiments.cli` — the ``repro-experiments`` console script.
@@ -26,6 +30,12 @@ Typical use::
     print(result.metrics["fifo_ratio"].mean)
 """
 
+from repro.experiments.backends import (
+    BACKENDS,
+    has_kernel,
+    kernel_ids,
+    resolve_backend,
+)
 from repro.experiments.registry import (
     Scenario,
     get_scenario,
@@ -54,6 +64,10 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "scenario_ids",
+    "BACKENDS",
+    "has_kernel",
+    "kernel_ids",
+    "resolve_backend",
     "MetricSummary",
     "ScenarioResult",
     "run_scenario",

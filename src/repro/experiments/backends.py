@@ -1,0 +1,730 @@
+"""Simulation backends for registered scenarios.
+
+Every scenario has a trusted *event-driven* backend: its ``simulate``
+function, run one replication at a time.  Scenarios listed in the kernel
+registry additionally have a *vectorized* backend: a batched-numpy kernel
+(defined here, on top of the primitives in :mod:`repro.sim.vectorized`)
+that simulates **all replications at once** while consuming identical
+randomness per replication — so the two backends return bit-for-bit the
+same per-replication metrics for the same spawned seeds.
+
+Backend selection::
+
+    "event"       always the per-replication simulate function
+    "vectorized"  the kernel when one exists, else fall back to event
+    "auto"        the kernel when one exists (results are identical, so
+                  auto is safe), else event
+
+The seed-handling contract every kernel must obey:
+
+1. the kernel receives the exact child :class:`~numpy.random.SeedSequence`
+   list the runner spawned — one per replication, never re-spawned;
+2. whatever generators/children the event path derives from a
+   replication's seed (``default_rng(ss)``, ``ss.spawn(k)``,
+   ``crn_generators(ss, k)``), the kernel derives in the same order;
+3. every draw the event path makes from those generators, the kernel
+   makes with an equivalent call at the same position in the stream
+   (batching draws only where the consumed bit-stream is provably
+   unchanged, e.g. ``rng.random(2n)`` for ``2n`` successive uniforms).
+
+Kernels for deterministic or deterministic-dominated scenarios use the
+``cached`` mode: the computation shared by all replications is hoisted
+and evaluated once (for fully deterministic scenarios like E5/E18 that is
+the entire replication; for the queueing scenarios E10/E11 it is the
+exact cµ/Klimov/polytope analysis, while the event-driven network
+simulations still run per replication).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.sim.vectorized import (
+    batched_product_mdp,
+    batched_switching_mdp,
+    exponential_family_st_ordered,
+    get_kernel,
+    has_kernel,
+    kernel_ids,
+    lockstep_intree_makespans,
+    lockstep_restless_rollouts,
+    min_flowtime_over_permutations,
+    sequence_flowtime_batch,
+    subset_dp_batch,
+    vectorized_kernel,
+)
+
+__all__ = [
+    "BACKENDS",
+    "resolve_backend",
+    "simulate_scenario_batch",
+    "kernel_ids",
+    "has_kernel",
+    "get_kernel",
+]
+
+Params = Mapping[str, Any]
+Seeds = Sequence[np.random.SeedSequence]
+
+BACKENDS = ("event", "vectorized", "auto")
+
+
+def resolve_backend(scenario_id: str, backend: str) -> str:
+    """Resolve a requested backend to the one that will actually run.
+
+    ``"auto"`` and ``"vectorized"`` both resolve to ``"vectorized"``
+    exactly when a kernel is registered for ``scenario_id`` and to
+    ``"event"`` otherwise (the per-scenario fallback); ``"event"`` is
+    always honoured verbatim.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend == "event":
+        return "event"
+    return "vectorized" if has_kernel(scenario_id) else "event"
+
+
+def simulate_scenario_batch(
+    scenario_id: str, seeds: Seeds, params: Params
+) -> list[dict[str, float]]:
+    """Run all replications of ``scenario_id`` through its vectorized
+    kernel.  Raises ``KeyError`` when no kernel is registered."""
+    rows = get_kernel(scenario_id).fn(seeds, params)
+    if len(rows) != len(seeds):
+        raise RuntimeError(
+            f"kernel for {scenario_id} returned {len(rows)} rows for "
+            f"{len(seeds)} seeds"
+        )
+    return rows
+
+
+def _float_rows(columns: Mapping[str, np.ndarray], n: int) -> list[dict[str, float]]:
+    """Transpose column vectors (or scalars) into per-replication dicts of
+    plain floats — the event path's return type."""
+    out: list[dict[str, float]] = []
+    for r in range(n):
+        out.append(
+            {
+                k: float(v) if np.ndim(v) == 0 else float(v[r])
+                for k, v in columns.items()
+            }
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# E1 — single-machine WSEPT (batched brute force + list evaluation)
+# ---------------------------------------------------------------------------
+
+@vectorized_kernel(
+    "E1",
+    mode="batched",
+    note="brute force over all n! sequences evaluated as one (reps, perms, "
+    "jobs) cumsum instead of per-permutation Python loops",
+)
+def batch_e1(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.batch.instances import DEFAULT_MEAN_RANGE, DEFAULT_WEIGHT_RANGE
+
+    n_brute, n_jobs = int(params["n_brute"]), int(params["n_jobs"])
+    N = len(seeds)
+    raw = np.empty((N, 2 * (n_brute + n_jobs)))
+    perms = np.empty((N, n_jobs), dtype=np.intp)
+    for r, ss in enumerate(seeds):
+        rng = np.random.default_rng(ss)
+        # one block draw consumes the same doubles as the event path's
+        # interleaved uniform(mean_range)/uniform(weight_range) calls
+        raw[r] = rng.random(2 * (n_brute + n_jobs))
+        perms[r] = rng.permutation(n_jobs)
+
+    def instance(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        lo_m, hi_m = DEFAULT_MEAN_RANGE
+        lo_w, hi_w = DEFAULT_WEIGHT_RANGE
+        drawn_means = lo_m + (hi_m - lo_m) * block[:, 0::2]
+        weights = lo_w + (hi_w - lo_w) * block[:, 1::2]
+        # Job.mean round-trips through the exponential rate: 1/(1/mean)
+        means = 1.0 / (1.0 / drawn_means)
+        return means, weights
+
+    def wsept_orders(means: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        # stable argsort of -index == lexsort((arange, -index))
+        return np.argsort(-(weights / means), axis=1, kind="stable")
+
+    m_small, w_small = instance(raw[:, : 2 * n_brute])
+    best = min_flowtime_over_permutations(m_small, w_small)
+    wsept_small = sequence_flowtime_batch(
+        m_small, w_small, wsept_orders(m_small, w_small)
+    )
+    gap = wsept_small / best - 1.0
+
+    m_big, w_big = instance(raw[:, 2 * n_brute :])
+    fifo_order = np.broadcast_to(np.arange(n_jobs, dtype=np.intp), (N, n_jobs))
+    wsept = sequence_flowtime_batch(m_big, w_big, wsept_orders(m_big, w_big))
+    fifo = sequence_flowtime_batch(m_big, w_big, fifo_order)
+    rnd = sequence_flowtime_batch(m_big, w_big, perms)
+    return _float_rows(
+        {
+            "brute_gap": gap,
+            "wsept": wsept,
+            "fifo": fifo,
+            "random": rnd,
+            "fifo_ratio": fifo / wsept,
+            "random_ratio": rnd / wsept,
+        },
+        N,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E3 / E4 — parallel-machine subset DPs, batched across replications
+# ---------------------------------------------------------------------------
+
+
+def _uniform_rates(seeds: Seeds, params: Params) -> np.ndarray:
+    lo, hi = params["rate_range"]
+    n = int(params["n_jobs"])
+    rates = np.empty((len(seeds), n))
+    for r, ss in enumerate(seeds):
+        rates[r] = np.random.default_rng(ss).uniform(lo, hi, size=n)
+    return rates
+
+
+@vectorized_kernel(
+    "E3",
+    mode="batched",
+    note="subset DP evaluated once over all replications (vector-valued "
+    "states) plus a batched stochastic-order certification",
+)
+def batch_e3(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    rates = _uniform_rates(seeds, params)
+    m = int(params["m"])
+    opt = subset_dp_batch(rates, m, objective="flowtime")
+    sept = subset_dp_batch(rates, m, objective="flowtime", policy="sept")
+    lept = subset_dp_batch(rates, m, objective="flowtime", policy="lept")
+    ordered = exponential_family_st_ordered(rates)
+    return _float_rows(
+        {
+            "opt": opt,
+            "sept_gap": sept / opt - 1.0,
+            "lept_ratio": lept / opt,
+            "family_ordered": ordered.astype(float),
+        },
+        len(seeds),
+    )
+
+
+@vectorized_kernel(
+    "E4",
+    mode="batched",
+    note="makespan subset DP evaluated once over all replications",
+)
+def batch_e4(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    rates = _uniform_rates(seeds, params)
+    m = int(params["m"])
+    opt = subset_dp_batch(rates, m, objective="makespan")
+    lept = subset_dp_batch(rates, m, objective="makespan", policy="lept")
+    sept = subset_dp_batch(rates, m, objective="makespan", policy="sept")
+    return _float_rows(
+        {
+            "opt": opt,
+            "lept_gap": lept / opt - 1.0,
+            "sept_penalty": sept / opt - 1.0,
+        },
+        len(seeds),
+    )
+
+
+# ---------------------------------------------------------------------------
+# E5 / E18 — fully deterministic scenarios: compute once, broadcast
+# ---------------------------------------------------------------------------
+
+
+def _broadcast_deterministic(
+    scenario_id: str, seeds: Seeds, params: Params
+) -> list[dict[str, float]]:
+    """For a ``simulate`` that never touches its seed, every replication
+    is the same computation: run it once and replicate the row."""
+    from repro.experiments.registry import get_scenario
+
+    if not seeds:
+        return []
+    row = get_scenario(scenario_id).simulate(seeds[0], params)
+    return [dict(row) for _ in seeds]
+
+
+@vectorized_kernel(
+    "E5",
+    mode="cached",
+    note="the study instance is fixed and the enumeration exact — one "
+    "evaluation serves every replication",
+)
+def batch_e5(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    return _broadcast_deterministic("E5", seeds, params)
+
+
+@vectorized_kernel(
+    "E18",
+    mode="cached",
+    note="fixed study instances, fully deterministic DPs — one evaluation "
+    "serves every replication",
+)
+def batch_e18(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    return _broadcast_deterministic("E18", seeds, params)
+
+
+# ---------------------------------------------------------------------------
+# E7 — classical bandits: batched product-MDP assembly + policy tables
+# ---------------------------------------------------------------------------
+
+
+def _sequential_argmax(
+    values: np.ndarray, tie_rank: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Emulate ``max(range(A), key=lambda a: (values[:, a], tie_rank[a]))``
+    per row: a later action replaces the incumbent iff its key tuple is
+    strictly greater (value strictly greater, or exactly equal value and
+    strictly greater tie rank).  Returns (argmax, max values)."""
+    N, A = values.shape
+    best = np.zeros(N, dtype=np.int64)
+    best_val = values[:, 0].copy()
+    for a in range(1, A):
+        v = values[:, a]
+        better = (v > best_val) | ((v == best_val) & (tie_rank[a] > tie_rank[best]))
+        best = np.where(better, a, best)
+        best_val = np.where(better, v, best_val)
+    return best, best_val
+
+
+def _policy_values_batch(
+    T: np.ndarray, R: np.ndarray, policies: np.ndarray, beta: float
+) -> np.ndarray:
+    """Batched :meth:`FiniteMDP.policy_value`: exact discounted values of
+    per-replication deterministic policies, one LAPACK solve per slice
+    (bit-identical to the per-replication solve)."""
+    N, _, S, _ = T.shape
+    rows = np.arange(N)[:, None]
+    cols = np.arange(S)[None, :]
+    P_pi = T[rows, policies, cols]
+    r_pi = R[rows, policies, cols]
+    return np.linalg.solve(np.eye(S) - beta * P_pi, r_pi[..., None])[..., 0]
+
+
+@vectorized_kernel(
+    "E7",
+    mode="batched",
+    note="product MDPs assembled once for the whole batch and priority "
+    "policies evaluated by stacked linear solves; the per-replication "
+    "index-algorithm cross-check keeps its own exact control flow",
+)
+def batch_e7(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.bandits import (
+        gittins_indices_restart,
+        gittins_indices_vwb,
+        random_project,
+    )
+    from repro.mdp.core import FiniteMDP
+    from repro.mdp.solvers import policy_iteration
+
+    beta = float(params["beta"])
+    n_proj, n_states = int(params["n_projects"]), int(params["n_states"])
+    algo_states = int(params["algo_states"])
+    N = len(seeds)
+    projects = []
+    algo_projects = []
+    for ss in seeds:
+        rng = np.random.default_rng(ss)
+        projects.append([random_project(n_states, rng) for _ in range(n_proj)])
+        algo_projects.append(random_project(algo_states, rng))
+
+    Ps = [np.stack([projects[r][a].P for r in range(N)]) for a in range(n_proj)]
+    Rs = [np.stack([projects[r][a].R for r in range(N)]) for a in range(n_proj)]
+    T, R, states = batched_product_mdp(Ps, Rs)
+    start = states.index(tuple(0 for _ in range(n_proj)))
+
+    opt = np.empty(N)
+    for r in range(N):
+        mdp = FiniteMDP(T[r], R[r], validate=False)
+        opt[r] = policy_iteration(mdp, beta).value[start]
+
+    # Gittins priority policy: per-replication VWB indices, batched table
+    gammas = np.stack(
+        [
+            np.stack([gittins_indices_vwb(projects[r][a], beta) for a in range(n_proj)])
+            for r in range(N)
+        ]
+    )  # (N, n_proj, n_states)
+    tie_rank = -np.arange(n_proj)  # key (index, -a): ties to the lowest id
+    git_policy = np.empty((N, len(states)), dtype=np.int64)
+    myop_policy = np.empty((N, len(states)), dtype=np.int64)
+    for i, s in enumerate(states):
+        git_vals = np.stack(
+            [gammas[:, a, s[a]].astype(float) for a in range(n_proj)], axis=1
+        )
+        myop_vals = np.stack([Rs[a][:, s[a]] for a in range(n_proj)], axis=1)
+        git_policy[:, i] = _sequential_argmax(git_vals, tie_rank)[0]
+        myop_policy[:, i] = _sequential_argmax(myop_vals, tie_rank)[0]
+    git = _policy_values_batch(T, R, git_policy, beta)[:, start]
+    myop = _policy_values_batch(T, R, myop_policy, beta)[:, start]
+
+    algo_diff = np.empty(N)
+    for r in range(N):
+        proj = algo_projects[r]
+        algo_diff[r] = np.max(
+            np.abs(
+                gittins_indices_vwb(proj, beta) - gittins_indices_restart(proj, beta)
+            )
+        )
+    return _float_rows(
+        {
+            "opt": opt,
+            "gittins_gap": np.abs(git / opt - 1.0),
+            "myopic_loss": 1.0 - myop / opt,
+            "algo_diff": algo_diff,
+        },
+        N,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E8 — restless fleets: shared bound/index computation + lockstep rollouts
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E8",
+    mode="batched",
+    note="the LP bound and Whittle/myopic index tables are identical for "
+    "every replication and computed once; the fleet rollouts run in "
+    "lockstep across replications",
+)
+def batch_e8(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.bandits import average_relaxation_bound, myopic_rule, whittle_rule
+    from repro.experiments.scenarios import _e8_project
+
+    proj = _e8_project()
+    alpha = float(params["alpha"])
+    horizon, warmup = int(params["horizon"]), int(params["warmup"])
+    sizes = [int(n) for n in params["fleet_sizes"]]
+    N = len(seeds)
+
+    bound, _ = average_relaxation_bound(proj, alpha)
+    w_rule, m_rule = whittle_rule(proj), myopic_rule(proj)
+    K = proj.n_states
+    w_table = np.array([w_rule.index(0, s) for s in range(K)])
+    m_table = np.array([m_rule.index(0, s) for s in range(K)])
+    cum0 = np.cumsum(proj.P0, axis=1)
+    cum1 = np.cumsum(proj.P1, axis=1)
+
+    gens = [np.random.default_rng(ss).spawn(len(sizes) + 1) for ss in seeds]
+    gaps = np.empty((len(sizes), N))
+    whittle_large = np.zeros(N)
+    for i, n in enumerate(sizes):
+        got = lockstep_restless_rollouts(
+            cum0,
+            cum1,
+            proj.R0,
+            proj.R1,
+            w_table,
+            n,
+            int(alpha * n),
+            horizon,
+            [g[i] for g in gens],
+            warmup=warmup,
+        )
+        gaps[i] = bound - got
+        whittle_large = got
+    myop = lockstep_restless_rollouts(
+        cum0,
+        cum1,
+        proj.R0,
+        proj.R1,
+        m_table,
+        sizes[-1],
+        int(alpha * sizes[-1]),
+        horizon,
+        [g[-1] for g in gens],
+        warmup=warmup,
+    )
+    return _float_rows(
+        {
+            "bound": float(bound),
+            "first_gap": gaps[0],
+            "last_gap": gaps[-1],
+            # elementwise minimum replicates min() over the per-size floats
+            "min_gap": gaps.min(axis=0),
+            "whittle_large_n": whittle_large,
+            "myopic": myop,
+        },
+        N,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E9 — switching costs: batched switching-MDP assembly + policy tables
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E9",
+    mode="batched",
+    note="the joint switching MDP is assembled once for the whole batch "
+    "(the event path rebuilds it three times per replication) and both "
+    "heuristic policies share one set of VWB index tables",
+)
+def batch_e9(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.bandits import gittins_indices_vwb, random_project
+    from repro.mdp.core import FiniteMDP
+    from repro.mdp.solvers import policy_iteration
+
+    beta, cost = float(params["beta"]), float(params["cost"])
+    n_proj, n_states = int(params["n_projects"]), int(params["n_states"])
+    N = len(seeds)
+    # the event path draws every project from one generator in sequence
+    projects = []
+    for ss in seeds:
+        rng = np.random.default_rng(ss)
+        projects.append([random_project(n_states, rng) for _ in range(n_proj)])
+
+    Ps = [np.stack([projects[r][a].P for r in range(N)]) for a in range(n_proj)]
+    Rs = [np.stack([projects[r][a].R for r in range(N)]) for a in range(n_proj)]
+    T, R, states = batched_switching_mdp(Ps, Rs, cost)
+    start = states.index((tuple(0 for _ in range(n_proj)), -1))
+
+    opt = np.empty(N)
+    for r in range(N):
+        mdp = FiniteMDP(T[r], R[r], validate=False)
+        opt[r] = policy_iteration(mdp, beta).value[start]
+
+    gammas = np.stack(
+        [
+            np.stack([gittins_indices_vwb(projects[r][a], beta) for a in range(n_proj)])
+            for r in range(N)
+        ]
+    )
+    bonus = cost * (1.0 - beta)
+    plain_policy = np.empty((N, len(states)), dtype=np.int64)
+    hyst_policy = np.empty((N, len(states)), dtype=np.int64)
+    for i, (core, inc) in enumerate(states):
+        # key (value, incumbent flag, -a) -> integer tie rank
+        tie_rank = np.array(
+            [(1 if a == inc else 0) * n_proj + (n_proj - 1 - a) for a in range(n_proj)]
+        )
+        plain_vals = np.stack(
+            [gammas[:, a, core[a]].astype(float) for a in range(n_proj)], axis=1
+        )
+        hyst_vals = np.stack(
+            [
+                gammas[:, a, core[a]].astype(float) + (bonus if a == inc else 0.0)
+                for a in range(n_proj)
+            ],
+            axis=1,
+        )
+        plain_policy[:, i] = _sequential_argmax(plain_vals, tie_rank)[0]
+        hyst_policy[:, i] = _sequential_argmax(hyst_vals, tie_rank)[0]
+    plain = _policy_values_batch(T, R, plain_policy, beta)[:, start]
+    hyst = _policy_values_batch(T, R, hyst_policy, beta)[:, start]
+    return _float_rows(
+        {"opt": opt, "plain_frac": plain / opt, "hyst_frac": hyst / opt},
+        N,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E10 / E11 — multiclass M/G/1 and Klimov: shared exact analysis, event
+# simulations per replication
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E10",
+    mode="cached",
+    note="the cµ/Cobham/polytope analysis is deterministic and hoisted out "
+    "of the replication loop; the CRN network simulations remain "
+    "event-driven per replication",
+)
+def batch_e10(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.core.conservation import (
+        check_strong_conservation,
+        performance_polytope_vertices,
+    )
+    from repro.experiments.scenarios import _E10_ARRIVAL, _E10_COSTS, _e10_services
+    from repro.queueing import optimal_average_cost, order_average_cost, simulate_network
+    from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
+    from repro.utils.rng import crn_generators
+
+    services = _e10_services()
+    arrival, costs = list(_E10_ARRIVAL), list(_E10_COSTS)
+    horizon = float(params["horizon"])
+
+    opt_cost, cmu = optimal_average_cost(arrival, services, costs)
+    exact = {
+        perm: order_average_cost(arrival, services, costs, perm)
+        for perm in itertools.permutations(range(3))
+    }
+    best_perm = min(exact, key=exact.get)
+    worst_perm = max(exact, key=exact.get)
+    ms = np.array([s.mean for s in services])
+    m2 = np.array([s.second_moment for s in services])
+    n_vertices = float(len(performance_polytope_vertices(arrival, ms, m2)))
+    rtol = float(params["conservation_rtol"])
+
+    nets = {
+        perm: QueueingNetwork(
+            [
+                ClassConfig(0, services[j], arrival_rate=arrival[j], cost=costs[j])
+                for j in range(3)
+            ],
+            [StationConfig(discipline="priority", priority=perm)],
+        )
+        for perm in (tuple(cmu), worst_perm)
+    }
+    rows = []
+    for ss in seeds:
+        sims = {}
+        for perm, rng in zip((tuple(cmu), worst_perm), crn_generators(ss, 2)):
+            sims[perm] = simulate_network(nets[perm], horizon, rng)
+        conserved = check_strong_conservation(
+            arrival, ms, m2, sims[tuple(cmu)].mean_waits, rtol=rtol
+        )
+        rows.append(
+            {
+                "opt_cost": float(opt_cost),
+                "cmu_picks_best": float(tuple(cmu) == best_perm),
+                "cmu_sim_ratio": float(sims[tuple(cmu)].cost_rate / opt_cost),
+                "worst_exact_ratio": float(exact[worst_perm] / opt_cost),
+                "worst_sim_ratio": float(sims[worst_perm].cost_rate / opt_cost),
+                "conservation_ok": float(conserved),
+                "n_vertices": n_vertices,
+            }
+        )
+    return rows
+
+
+@vectorized_kernel(
+    "E11",
+    mode="cached",
+    note="Klimov/cµ index analysis and network construction hoisted out of "
+    "the replication loop; the six CRN simulations remain event-driven",
+)
+def batch_e11(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.distributions import Exponential
+    from repro.experiments.scenarios import (
+        _E11_COSTS,
+        _E11_FEEDBACK,
+        _E11_LAM,
+        _E11_MUS,
+    )
+    from repro.queueing.klimov import klimov_indices, klimov_order
+    from repro.queueing.mg1 import cmu_order
+    from repro.queueing.network import (
+        ClassConfig,
+        QueueingNetwork,
+        StationConfig,
+        simulate_network,
+    )
+    from repro.utils.rng import crn_generators
+
+    lam, mus, costs = list(_E11_LAM), list(_E11_MUS), list(_E11_COSTS)
+    feedback = np.array(_E11_FEEDBACK)
+    means = [1.0 / m for m in mus]
+    horizon = float(params["horizon"])
+
+    k_order = tuple(klimov_order(costs, means, feedback))
+    naive = tuple(cmu_order(costs, means))
+    perms = list(itertools.permutations(range(3)))
+    nets = {
+        perm: QueueingNetwork(
+            [
+                ClassConfig(0, Exponential(mus[j]), arrival_rate=lam[j], cost=costs[j])
+                for j in range(3)
+            ],
+            [StationConfig(discipline="priority", priority=perm)],
+            routing=feedback,
+        )
+        for perm in perms
+    }
+    reduce_ok = np.allclose(
+        klimov_indices(costs, means, np.zeros((3, 3))),
+        np.asarray(costs) / np.asarray(means),
+    )
+    rows = []
+    for ss in seeds:
+        results = {}
+        for perm, rng in zip(perms, crn_generators(ss, len(perms))):
+            results[perm] = simulate_network(
+                nets[perm], horizon, rng, warmup_fraction=0.2
+            ).cost_rate
+        best = min(results.values())
+        rows.append(
+            {
+                "klimov_cost": float(results[k_order]),
+                "best_cost": float(best),
+                "klimov_vs_best": float(results[k_order] / best),
+                "naive_cmu_ratio": float(results[naive] / results[k_order]),
+                "reduction_exact": float(reduce_ok),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E16 — in-tree precedence: lockstep HLF / random list scheduling
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E16",
+    mode="batched",
+    note="every batch of trees is simulated in lockstep (one completion "
+    "epoch per step across all replications); per-replication draws stay "
+    "on their own generators in the event path's order",
+)
+def batch_e16(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.batch import random_intree
+    from repro.utils.rng import crn_generators
+
+    m = int(params["m"])
+    sizes = [int(n) for n in params["sizes"]]
+    N = len(seeds)
+    main_rngs = [np.random.default_rng(ss) for ss in seeds]
+    children = [ss.spawn(len(sizes)) for ss in seeds]
+
+    columns: dict[str, np.ndarray] = {}
+    for si, n in enumerate(sizes):
+        parents = np.empty((N, n), dtype=np.int64)
+        levels = []
+        lb = np.empty(N)
+        for r in range(N):
+            seed_int = int(main_rngs[r].integers(0, 2**31 - 1))
+            tree = random_intree(n, seed_int)
+            parents[r] = tree.parent
+            lev = tree.levels()
+            levels.append(lev)
+            lb[r] = max(n / m, float(lev.max() + 1))
+        hlf_rngs, rnd_rngs, policy_rngs = [], [], []
+        for r in range(N):
+            h, w = crn_generators(children[r][si], 2)
+            hlf_rngs.append(h)
+            rnd_rngs.append(w)
+            policy_rngs.append(np.random.default_rng(children[r][si].spawn(1)[0]))
+
+        def hlf_select(r: int, ids: np.ndarray, m_: int) -> np.ndarray:
+            lev = levels[r][ids]
+            # stable argsort of -level == sorted(ids, key=(-level, id))
+            return ids[np.argsort(-lev, kind="stable")[:m_]]
+
+        def random_select(r: int, ids: np.ndarray, m_: int) -> np.ndarray:
+            k = min(m_, len(ids))
+            idx = policy_rngs[r].choice(len(ids), size=k, replace=False)
+            return ids[idx]
+
+        hlf = lockstep_intree_makespans(parents, m, 1.0, hlf_select, hlf_rngs)
+        rnd = lockstep_intree_makespans(parents, m, 1.0, random_select, rnd_rngs)
+        columns[f"hlf_ratio_n{n}"] = hlf / lb
+        columns[f"random_ratio_n{n}"] = rnd / lb
+    columns["hlf_ratio_small"] = columns[f"hlf_ratio_n{sizes[0]}"]
+    columns["hlf_ratio_large"] = columns[f"hlf_ratio_n{sizes[-1]}"]
+    columns["random_ratio_large"] = columns[f"random_ratio_n{sizes[-1]}"]
+    return _float_rows(columns, N)

@@ -85,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0, help="root seed")
     run.add_argument(
+        "--backend",
+        choices=["event", "vectorized", "auto"],
+        default="auto",
+        help="simulation backend: the per-replication event engine, the "
+        "batched vectorized kernels, or auto (kernel when one exists); "
+        "backends are bit-for-bit equivalent, so this only changes speed",
+    )
+    run.add_argument(
         "--level", type=float, default=0.95, help="confidence level"
     )
     run.add_argument(
@@ -158,6 +166,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             params=params,
             level=args.level,
+            backend=args.backend,
         )[0]
         results.append(res)
         if not args.quiet:
@@ -166,7 +175,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             extra = f"  failing: {', '.join(failing)}" if failing else ""
             print(
                 f"{res.scenario_id:>4}  {status}  "
-                f"{res.n_replications} reps in {res.elapsed_seconds:.2f}s{extra}",
+                f"{res.n_replications} reps in {res.elapsed_seconds:.2f}s "
+                f"[{res.backend}]{extra}",
                 file=sys.stderr,
             )
 
@@ -174,6 +184,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "replications": args.replications,
         "seed": args.seed,
         "workers": args.workers,
+        "backend": args.backend,
         "level": args.level,
         "params": {k: repr(v) for k, v in params.items()},
     }

@@ -14,6 +14,13 @@ Workers receive ``(scenario_id, params, seeds)`` rather than the scenario
 object itself: the id is looked up in the registry inside the worker, so
 only plain data crosses the process boundary and scenarios may freely use
 lambdas in their check tables.
+
+Backends: replications run through the scenario's event-driven
+``simulate`` function or, for scenarios with a registered vectorized
+kernel, through the batched kernel (see
+:mod:`repro.experiments.backends`).  The two backends are bit-for-bit
+equivalent per replication, so every statistic here is identical for any
+``backend`` choice — and, as before, for any worker count.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 from scipy import stats as _sps
 
+from repro.experiments.backends import resolve_backend, simulate_scenario_batch
 from repro.experiments.registry import Scenario, get_scenario, is_registered
 from repro.sim.replication import map_seed_chunks
 from repro.utils.rng import spawn_seed_sequences
@@ -74,6 +82,7 @@ class ScenarioResult:
     checks: dict[str, bool]
     elapsed_seconds: float
     samples: dict[str, list[float]] = field(default_factory=dict, repr=False)
+    backend: str = "event"  # the backend that actually ran (never "auto")
 
     @property
     def all_checks_pass(self) -> bool:
@@ -99,6 +108,7 @@ class ScenarioResult:
             "checks": dict(self.checks),
             "all_checks_pass": self.all_checks_pass,
             "elapsed_seconds": self.elapsed_seconds,
+            "backend": self.backend,
         }
         if include_samples:
             out["samples"] = {k: list(v) for k, v in self.samples.items()}
@@ -126,15 +136,21 @@ def _simulate_chunk(
 ) -> list[dict[str, float]]:
     """Worker body: run a chunk of replications for one scenario.
 
-    ``payload`` is ``(scenario_id, None, params)`` for registered scenarios
-    — the id is re-resolved inside the worker, so only plain data crosses
-    the process boundary and the registry is re-populated by the import
-    inside :func:`get_scenario` even under the ``spawn`` start method — or
-    ``(scenario_id, simulate_fn, params)`` for ad-hoc :class:`Scenario`
-    objects that exist only in the calling process (their ``simulate`` must
-    then itself be picklable).
+    ``payload`` is ``(scenario_id, None, params, backend)`` for registered
+    scenarios — the id is re-resolved inside the worker, so only plain
+    data crosses the process boundary and the registry is re-populated by
+    the import inside :func:`get_scenario` even under the ``spawn`` start
+    method — or ``(scenario_id, simulate_fn, params, backend)`` for ad-hoc
+    :class:`Scenario` objects that exist only in the calling process
+    (their ``simulate`` must then itself be picklable; ad-hoc scenarios
+    always run on the event backend).  ``backend`` is already resolved to
+    ``"event"`` or ``"vectorized"``.  A vectorized chunk is one kernel
+    call over the chunk's seeds — each replication still consumes only its
+    own seed's streams, so chunking cannot change results.
     """
-    scenario_id, simulate, params = payload
+    scenario_id, simulate, params, backend = payload
+    if backend == "vectorized" and simulate is None:
+        return simulate_scenario_batch(scenario_id, seeds, params)
     if simulate is None:
         simulate = get_scenario(scenario_id).simulate
     return [simulate(ss, params) for ss in seeds]
@@ -187,6 +203,7 @@ def run_scenario(
     workers: int | None = 1,
     params: Mapping[str, Any] | None = None,
     level: float = 0.95,
+    backend: str = "auto",
 ) -> ScenarioResult:
     """Run one scenario for ``replications`` independent replications.
 
@@ -206,16 +223,28 @@ def run_scenario(
         Overrides merged over the scenario's declared defaults.
     level:
         Confidence level for the per-metric intervals.
+    backend:
+        ``"event"``, ``"vectorized"`` or ``"auto"``.  Vectorized kernels
+        are bit-for-bit equivalent to the event path (enforced by the
+        cross-backend test harness), so ``"auto"`` — use the kernel when
+        one exists — never changes results, only wall-clock time.
+        Requesting ``"vectorized"`` for a scenario without a kernel (or
+        for an ad-hoc, unregistered scenario object) falls back to the
+        event engine.
     """
     if replications < 1:
         raise ValueError("need at least one replication")
     sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
     merged = sc.params(params)
     seeds = spawn_seed_sequences(seed, replications)
+    registered = is_registered(sc)
+    resolved = resolve_backend(sc.scenario_id, backend) if registered else "event"
+    if not registered and backend not in ("event", "vectorized", "auto"):
+        raise ValueError(f"unknown backend {backend!r}")
     # Registered scenarios ship only their id (workers re-resolve it, which
     # survives the spawn start method); ad-hoc Scenario objects ship their
     # simulate callable directly.
-    payload = (sc.scenario_id, None if is_registered(sc) else sc.simulate, merged)
+    payload = (sc.scenario_id, None if registered else sc.simulate, merged, resolved)
 
     start = time.perf_counter()
     rows = map_seed_chunks(_simulate_chunk, payload, seeds, workers=workers)
@@ -235,6 +264,7 @@ def run_scenario(
         checks=checks,
         elapsed_seconds=elapsed,
         samples=samples,
+        backend=resolved,
     )
 
 
@@ -246,6 +276,7 @@ def run_scenarios(
     workers: int | None = 1,
     params: Mapping[str, Any] | None = None,
     level: float = 0.95,
+    backend: str = "auto",
 ) -> list[ScenarioResult]:
     """Run several scenarios in sequence with a shared configuration.
 
@@ -269,6 +300,7 @@ def run_scenarios(
                 workers=workers,
                 params=overrides,
                 level=level,
+                backend=backend,
             )
         )
     return results

@@ -26,6 +26,10 @@ class FiniteMDP:
     action_sets:
         Optional list mapping each state to its allowed actions. Defaults to
         all actions allowed everywhere.
+    validate:
+        When False, skip the per-(state, action) stochasticity checks —
+        for callers (e.g. the vectorized experiment kernels) constructing
+        many MDPs from arrays already known to be valid.
     """
 
     def __init__(
@@ -33,6 +37,8 @@ class FiniteMDP:
         transitions: np.ndarray,
         rewards: np.ndarray,
         action_sets: Sequence[Sequence[int]] | None = None,
+        *,
+        validate: bool = True,
     ):
         T = np.asarray(transitions, dtype=float)
         R = np.asarray(rewards, dtype=float)
@@ -54,6 +60,8 @@ class FiniteMDP:
             for a in acts:
                 if not 0 <= a < A:
                     raise ValueError(f"action {a} out of range in state {s}")
+                if not validate:
+                    continue
                 row = T[a, s]
                 if np.any(row < -1e-9) or not np.isclose(row.sum(), 1.0, atol=1e-6):
                     raise ValueError(

@@ -16,6 +16,14 @@ from repro.sim.replication import (
     run_replications,
     run_replications_parallel,
 )
+from repro.sim.vectorized import (
+    VectorizedKernel,
+    get_kernel,
+    has_kernel,
+    kernel_ids,
+    register_kernel,
+    vectorized_kernel,
+)
 
 __all__ = [
     "Event",
@@ -28,4 +36,10 @@ __all__ = [
     "run_replications",
     "run_replications_parallel",
     "run_paired_replications",
+    "VectorizedKernel",
+    "vectorized_kernel",
+    "register_kernel",
+    "get_kernel",
+    "has_kernel",
+    "kernel_ids",
 ]

@@ -1,0 +1,556 @@
+"""Vectorized replication kernels: the second simulation backend.
+
+The event-driven path runs one replication at a time through a scenario's
+``simulate`` function.  A *vectorized kernel* runs **all replications of a
+scenario at once** on batched numpy arrays, while consuming exactly the
+same randomness per replication: each replication's draws still come from
+its own child :class:`numpy.random.SeedSequence` (the ones
+:func:`repro.utils.rng.spawn_seed_sequences` hands the runner), in the
+same order the event-driven path draws them.  The contract is therefore
+*bit-for-bit*: for the same spawned seeds a kernel must return exactly the
+per-replication metric dictionaries the event-driven backend returns —
+``tests/test_backend_equivalence.py`` enforces this for every registered
+kernel.
+
+Two ingredients live here:
+
+* the **kernel registry** — scenario kernels (defined in
+  :mod:`repro.experiments.backends`) register under their scenario id via
+  :func:`vectorized_kernel`; the runner and CLI discover them through
+  :func:`has_kernel` / :func:`get_kernel`;
+* **generic batched primitives** — scenario-agnostic numerics shared by
+  the kernels: batched sequence flowtimes and brute-force permutation
+  minima, the batched subset DP for exponential parallel machines,
+  lockstep (all replications advance one event per step) simulators for
+  in-tree list scheduling and restless-fleet rollouts, and batched
+  product-/switching-MDP assembly.
+
+Bitwise-equality rules the primitives rely on (verified by the
+equivalence tests, so a platform where one failed would fail loudly):
+
+* elementwise array ops replicate the identical scalar IEEE-754 ops;
+* ``np.cumsum`` accumulates left-to-right, matching ``t += x`` loops;
+* ``a.sum(axis=-1)`` on a C-contiguous array applies the same pairwise
+  reduction per row as ``row.sum()`` on the equal-length 1-D row;
+* ``np.argsort(key, kind="stable")`` equals
+  ``np.lexsort((np.arange(n), key))`` and
+  ``sorted(range(n), key=lambda j: (key[j], j))``;
+* boolean indexing of a 2-D array enumerates row-major, i.e. per row in
+  ascending column order — the order a per-replication boolean mask
+  produces;
+* ``np.linalg.solve`` on a stacked ``(N, S, S)`` system applies the same
+  LAPACK routine per slice as the ``(S, S)`` solve.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "VectorizedKernel",
+    "vectorized_kernel",
+    "register_kernel",
+    "has_kernel",
+    "get_kernel",
+    "kernel_ids",
+    "all_permutations",
+    "sequence_flowtime_batch",
+    "min_flowtime_over_permutations",
+    "subset_dp_batch",
+    "lockstep_intree_makespans",
+    "lockstep_restless_rollouts",
+    "batched_product_mdp",
+    "batched_switching_mdp",
+    "exponential_family_st_ordered",
+]
+
+BatchSimulateFn = Callable[
+    [Sequence[np.random.SeedSequence], Mapping[str, Any]], "list[dict[str, float]]"
+]
+
+KERNEL_MODES = ("batched", "cached")
+
+
+@dataclass(frozen=True)
+class VectorizedKernel:
+    """One registered kernel: the batch simulate function plus metadata.
+
+    ``mode`` is ``"batched"`` when the kernel genuinely vectorizes the
+    per-replication computation across replications (expect a large
+    speedup), or ``"cached"`` when the scenario is dominated by work that
+    is identical across replications — the kernel hoists that shared
+    computation out of the loop and leaves the per-replication stochastic
+    part on the event-driven machinery (expect a speedup proportional to
+    the hoisted fraction, which may be modest).  Both modes are
+    bit-for-bit equivalent to the event backend.
+    """
+
+    scenario_id: str
+    fn: BatchSimulateFn
+    mode: str
+    note: str = ""
+
+    def __post_init__(self):
+        if self.mode not in KERNEL_MODES:
+            raise ValueError(f"mode must be one of {KERNEL_MODES}, got {self.mode!r}")
+
+
+_KERNELS: dict[str, VectorizedKernel] = {}
+_BINDINGS_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    # The scenario kernels live in repro.experiments.backends and register
+    # on import; defer that import (mirroring the scenario registry) so
+    # sim <-> experiments does not cycle at module-import time.  The
+    # loaded flag is only set on success — and a partial registration is
+    # rolled back — so a failed import propagates now but stays retryable
+    # instead of silently reporting an empty kernel registry forever.
+    global _BINDINGS_LOADED
+    if not _BINDINGS_LOADED:
+        try:
+            from repro.experiments import backends  # noqa: F401
+        except BaseException:
+            _KERNELS.clear()
+            raise
+        _BINDINGS_LOADED = True
+
+
+def register_kernel(kernel: VectorizedKernel) -> VectorizedKernel:
+    """Add a kernel to the registry; duplicate scenario ids are an error."""
+    key = kernel.scenario_id.upper()
+    if key in _KERNELS:
+        raise ValueError(f"kernel for {kernel.scenario_id!r} already registered")
+    _KERNELS[key] = kernel
+    return kernel
+
+
+def vectorized_kernel(
+    scenario_id: str, *, mode: str, note: str = ""
+) -> Callable[[BatchSimulateFn], BatchSimulateFn]:
+    """Decorator registering a batch simulate function as the vectorized
+    kernel for ``scenario_id``.  Returns the function unchanged (so it
+    stays a plain picklable module-level callable)."""
+
+    def decorate(fn: BatchSimulateFn) -> BatchSimulateFn:
+        register_kernel(
+            VectorizedKernel(scenario_id=scenario_id, fn=fn, mode=mode, note=note)
+        )
+        return fn
+
+    return decorate
+
+
+def has_kernel(scenario_id: str) -> bool:
+    """Whether a vectorized kernel is registered for ``scenario_id``."""
+    _ensure_loaded()
+    return scenario_id.upper() in _KERNELS
+
+
+def get_kernel(scenario_id: str) -> VectorizedKernel:
+    """Look up the kernel for ``scenario_id`` (case-insensitive)."""
+    _ensure_loaded()
+    key = scenario_id.upper()
+    if key not in _KERNELS:
+        raise KeyError(
+            f"no vectorized kernel for {scenario_id!r}; available: {kernel_ids()}"
+        )
+    return _KERNELS[key]
+
+
+def kernel_ids() -> list[str]:
+    """All scenario ids with a registered kernel, in natural order."""
+    _ensure_loaded()
+
+    def _key(sid: str) -> tuple:
+        head = sid.rstrip("0123456789")
+        tail = sid[len(head):]
+        return (head, int(tail) if tail else -1)
+
+    return sorted(_KERNELS, key=_key)
+
+
+# ---------------------------------------------------------------------------
+# Batched single-machine sequencing
+# ---------------------------------------------------------------------------
+
+_PERM_CACHE: dict[int, np.ndarray] = {}
+
+
+def all_permutations(n: int) -> np.ndarray:
+    """All permutations of ``range(n)`` as an ``(n!, n)`` int array, in
+    ``itertools.permutations`` order (cached — reused across batches)."""
+    if n not in _PERM_CACHE:
+        if n > 10:
+            raise ValueError("permutation enumeration is limited to n <= 10")
+        _PERM_CACHE[n] = np.array(
+            list(itertools.permutations(range(n))), dtype=np.intp
+        )
+    return _PERM_CACHE[n]
+
+
+def sequence_flowtime_batch(
+    means: np.ndarray, weights: np.ndarray, orders: np.ndarray
+) -> np.ndarray:
+    """``E[sum_i w_i C_i]`` of serving jobs in the given orders on one
+    machine, batched over leading dimensions.
+
+    ``means``/``weights`` and ``orders`` broadcast against each other on
+    every axis but the last (job axis).  Bit-for-bit identical to the
+    sequential loop ``t += p; total += w * t`` of
+    :func:`repro.batch.single_machine.expected_weighted_flowtime`: the
+    completion times come from ``cumsum`` (left-to-right) and the weighted
+    total from the last element of a second ``cumsum``.
+    """
+    p = np.take_along_axis(means, orders, axis=-1)
+    w = np.take_along_axis(weights, orders, axis=-1)
+    t = np.cumsum(p, axis=-1)
+    return np.cumsum(w * t, axis=-1)[..., -1]
+
+
+def min_flowtime_over_permutations(
+    means: np.ndarray, weights: np.ndarray, *, block: int = 720
+) -> np.ndarray:
+    """Brute-force minimum expected weighted flowtime over all n!
+    sequences, batched over replications.
+
+    ``means``/``weights`` have shape ``(N, n)``; returns ``(N,)``.  The
+    permutation axis is processed in blocks to bound memory; the running
+    elementwise minimum is exact, so blocking cannot change the result.
+    """
+    means = np.asarray(means, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    n = means.shape[-1]
+    perms = all_permutations(n)
+    best = np.full(means.shape[0], np.inf)
+    for lo in range(0, perms.shape[0], block):
+        chunk = perms[lo : lo + block]
+        vals = sequence_flowtime_batch(
+            means[:, None, :], weights[:, None, :], chunk[None, :, :]
+        )
+        best = np.minimum(best, vals.min(axis=1))
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Batched subset DP for exponential jobs on identical parallel machines
+# ---------------------------------------------------------------------------
+
+
+def subset_dp_batch(
+    rates: np.ndarray,
+    m: int,
+    *,
+    objective: str = "flowtime",
+    weights: np.ndarray | None = None,
+    policy: str | None = None,
+) -> np.ndarray:
+    """Batched version of :func:`repro.batch.exponential_dp._dp`.
+
+    ``rates`` has shape ``(N, n)`` — one row of exponential rates per
+    replication; the DP over the ``2^n`` uncompleted-job bitmasks runs
+    once, with every state's value an ``(N,)`` vector.  ``objective`` is
+    ``"flowtime"`` (holding cost ``sum of weights of uncompleted jobs``)
+    or ``"makespan"`` (holding cost 1).  ``policy`` is ``None`` (optimise
+    over the ``C(|U|, k)`` actions), ``"sept"`` (largest rates first) or
+    ``"lept"`` (smallest rates first); policy ties break to the lowest job
+    id, exactly like :func:`repro.batch.exponential_dp.sept_action`.
+
+    Returns ``V[full mask]`` of shape ``(N,)``, bit-for-bit equal to
+    running the scalar DP per replication.
+    """
+    rates = np.asarray(rates, dtype=float)
+    if rates.ndim != 2:
+        raise ValueError("rates must be (N, n)")
+    N, n = rates.shape
+    if m < 1:
+        raise ValueError("need at least one machine")
+    if np.any(rates <= 0):
+        raise ValueError("rates must be positive")
+    if objective not in ("flowtime", "makespan"):
+        raise ValueError(f"unknown objective {objective!r}")
+    if policy not in (None, "sept", "lept"):
+        raise ValueError(f"unknown policy {policy!r}")
+    if objective == "flowtime":
+        w = np.ones_like(rates) if weights is None else np.asarray(weights, dtype=float)
+    rows = np.arange(N)
+    V = np.zeros((N, 1 << n))
+    masks = sorted(range(1, 1 << n), key=lambda msk: bin(msk).count("1"))
+    for mask in masks:
+        jobs = [i for i in range(n) if mask >> i & 1]
+        k = min(m, len(jobs))
+        if objective == "flowtime":
+            c = w[:, jobs].sum(axis=1)
+        else:
+            c = 1.0
+        if policy is None:
+            best = np.full(N, np.inf)
+            for chosen in itertools.combinations(jobs, k):
+                total = rates[:, chosen].sum(axis=1)
+                val = c / total
+                for j in chosen:
+                    val = val + (rates[:, j] / total) * V[:, mask & ~(1 << j)]
+                best = np.minimum(best, val)
+            V[:, mask] = best
+        else:
+            r_jobs = rates[:, jobs]
+            key = -r_jobs if policy == "sept" else r_jobs
+            # stable argsort == sorted(jobs, key=(key, job id))
+            chosen = np.asarray(jobs, dtype=np.intp)[
+                np.argsort(key, axis=1, kind="stable")[:, :k]
+            ]  # (N, k) job ids, in per-replication policy order
+            total = np.take_along_axis(rates, chosen, axis=1).sum(axis=1)
+            val = c / total
+            for pos in range(k):
+                j = chosen[:, pos]
+                val = val + (rates[rows, j] / total) * V[rows, mask & ~(1 << j)]
+            V[:, mask] = val
+    return V[:, (1 << n) - 1]
+
+
+# ---------------------------------------------------------------------------
+# Lockstep in-tree list scheduling (E16 family)
+# ---------------------------------------------------------------------------
+
+
+def lockstep_intree_makespans(
+    parents: np.ndarray,
+    m: int,
+    rate: float,
+    select: Callable[[int, np.ndarray, int], Sequence[int]],
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Simulate i.i.d. exponential(rate) in-tree batches for all
+    replications in lockstep.
+
+    ``parents`` has shape ``(N, n)`` (one in-tree per replication, -1 for
+    roots); ``select(r, available_ids, m)`` returns the ids to run for
+    replication ``r`` — ``available_ids`` is ascending, exactly the
+    ``sorted(available)`` list :func:`simulate_intree_makespan` passes its
+    policy.  Per replication the generator in ``rngs`` is consumed in the
+    identical order as the event-driven loop: one ``exponential`` and one
+    ``integers`` draw per completion epoch (any draws the policy itself
+    makes happen inside ``select``, before them).
+
+    Every epoch completes exactly one job per replication, so all
+    replications finish after exactly ``n`` epochs — which is what makes
+    the lockstep formulation exact rather than approximate.
+    """
+    parents = np.asarray(parents, dtype=np.int64)
+    N, n = parents.shape
+    if m < 1 or rate <= 0:
+        raise ValueError("need m >= 1 and rate > 0")
+    pending = np.zeros((N, n), dtype=np.int64)
+    for r in range(N):
+        counts = np.bincount(parents[r][parents[r] >= 0], minlength=n)
+        pending[r] = counts
+    avail = pending == 0
+    t = np.zeros(N)
+    for _ in range(n):
+        winners = np.empty(N, dtype=np.int64)
+        for r in range(N):
+            ids = np.flatnonzero(avail[r])
+            running = list(select(r, ids, m))
+            if not running or len(running) > m:
+                raise ValueError("policy must run between 1 and m available jobs")
+            k = len(running)
+            t[r] += rngs[r].exponential(1.0 / (rate * k))
+            winners[r] = running[int(rngs[r].integers(0, k))]
+        rows = np.arange(N)
+        avail[rows, winners] = False
+        par = parents[rows, winners]
+        has_parent = par >= 0
+        rr, pp = rows[has_parent], par[has_parent]
+        pending[rr, pp] -= 1
+        avail[rr, pp] = pending[rr, pp] == 0
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Lockstep restless-fleet rollouts (E8 family)
+# ---------------------------------------------------------------------------
+
+
+def lockstep_restless_rollouts(
+    cum0: np.ndarray,
+    cum1: np.ndarray,
+    R0: np.ndarray,
+    R1: np.ndarray,
+    idx_table: np.ndarray,
+    n_projects: int,
+    m_active: int,
+    horizon: int,
+    rngs: Sequence[np.random.Generator],
+    *,
+    warmup: int = 0,
+) -> np.ndarray:
+    """All replications of a restless-fleet rollout advanced in lockstep.
+
+    ``cum0``/``cum1`` are the row-cumsum passive/active transition
+    matrices, ``R0``/``R1`` the per-state rewards and ``idx_table`` the
+    per-state priority index.  Each replication ``r`` draws
+    ``rngs[r].random(n_projects)`` once per epoch — the single draw
+    :func:`repro.bandits.relaxation.simulate_restless` makes — so the
+    randomness per replication is identical to the event path.  Returns
+    the per-replication average reward per project per epoch after
+    ``warmup``, shape ``(N,)``, bit-for-bit equal to the per-replication
+    loop.
+    """
+    if not 0 <= m_active <= n_projects:
+        raise ValueError("need 0 <= m_active <= n_projects")
+    if horizon <= warmup:
+        raise ValueError("horizon must exceed warmup")
+    N = len(rngs)
+    states = np.zeros((N, n_projects), dtype=np.int64)
+    totals = np.zeros(N)
+    u = np.empty((N, n_projects))
+    n_passive = n_projects - m_active
+    for t in range(horizon):
+        prio = idx_table[states]
+        # stable argsort == lexsort((arange, -prio)): ties to lowest id
+        order = np.argsort(-prio, axis=1, kind="stable")
+        mask = np.zeros((N, n_projects), dtype=bool)
+        np.put_along_axis(mask, order[:, :m_active], True, axis=1)
+        # boolean indexing enumerates row-major: per replication the
+        # active (and passive) states appear in ascending project id, the
+        # order the event path's boolean masks produce
+        act_states = states[mask].reshape(N, m_active)
+        pas_states = states[~mask].reshape(N, n_passive)
+        if t >= warmup:
+            reward = R1[act_states].sum(axis=1) + R0[pas_states].sum(axis=1)
+            totals += reward
+        for r in range(N):
+            u[r] = rngs[r].random(n_projects)
+        nxt = np.empty((N, n_projects), dtype=np.int64)
+        if m_active:
+            act_u = u[mask].reshape(N, m_active)
+            nxt[mask] = ((act_u[:, :, None] > cum1[act_states]).sum(axis=2)).ravel()
+        if n_passive:
+            pas_u = u[~mask].reshape(N, n_passive)
+            nxt[~mask] = ((pas_u[:, :, None] > cum0[pas_states]).sum(axis=2)).ravel()
+        states = nxt
+    counted = horizon - warmup
+    return totals / counted / n_projects
+
+
+# ---------------------------------------------------------------------------
+# Batched joint-MDP assembly (E7/E9 families)
+# ---------------------------------------------------------------------------
+
+
+def batched_product_mdp(
+    Ps: Sequence[np.ndarray], Rs: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray, list[tuple]]:
+    """Batched product MDP of classical bandit projects.
+
+    ``Ps[a]`` has shape ``(N, S_a, S_a)`` (replication-stacked transition
+    matrices of project ``a``) and ``Rs[a]`` shape ``(N, S_a)``.  Returns
+    ``(T, R, states)`` with ``T`` of shape ``(N, A, S, S)`` and ``R`` of
+    shape ``(N, A, S)``; slice ``r`` is entry-for-entry what
+    :func:`repro.bandits.exact.bandit_product_mdp` builds for replication
+    ``r`` (entries are single assignments of the same products, so the
+    bits match).
+    """
+    A = len(Ps)
+    sizes = [P.shape[-1] for P in Ps]
+    N = Ps[0].shape[0]
+    states = list(itertools.product(*[range(sz) for sz in sizes]))
+    index_of = {s: i for i, s in enumerate(states)}
+    S = len(states)
+    T = np.zeros((N, A, S, S))
+    R = np.zeros((N, A, S))
+    for i, s in enumerate(states):
+        for a in range(A):
+            R[:, a, i] = Rs[a][:, s[a]]
+            nxt = list(s)
+            cols = np.empty(sizes[a], dtype=np.intp)
+            for nxt_local in range(sizes[a]):
+                nxt[a] = nxt_local
+                cols[nxt_local] = index_of[tuple(nxt)]
+            T[:, a, i, cols] = Ps[a][:, s[a], :]
+    return T, R, states
+
+
+def batched_switching_mdp(
+    Ps: Sequence[np.ndarray], Rs: Sequence[np.ndarray], cost: float
+) -> tuple[np.ndarray, np.ndarray, list]:
+    """Batched switching-cost bandit MDP (joint states x incumbent).
+
+    Mirrors :func:`repro.bandits.switching.switching_bandit_mdp` slice by
+    slice: state ``(core, inc)`` under action ``a`` pays the project
+    reward minus ``cost`` when ``a`` differs from a real incumbent, and
+    moves to ``(core', a)``.
+    """
+    if cost < 0:
+        raise ValueError("cost must be nonnegative")
+    A = len(Ps)
+    sizes = [P.shape[-1] for P in Ps]
+    N = Ps[0].shape[0]
+    cores = list(itertools.product(*[range(sz) for sz in sizes]))
+    incumbents = [-1] + list(range(A))
+    states = [(c, inc) for c in cores for inc in incumbents]
+    index_of = {s: i for i, s in enumerate(states)}
+    S = len(states)
+    T = np.zeros((N, A, S, S))
+    R = np.zeros((N, A, S))
+    for i, (core, inc) in enumerate(states):
+        for a in range(A):
+            pay = Rs[a][:, core[a]]
+            if a != inc and inc != -1:
+                pay = pay - cost
+            R[:, a, i] = pay
+            nxt_core = list(core)
+            cols = np.empty(sizes[a], dtype=np.intp)
+            for nxt_local in range(sizes[a]):
+                nxt_core[a] = nxt_local
+                cols[nxt_local] = index_of[(tuple(nxt_core), a)]
+            T[:, a, i, cols] = Ps[a][:, core[a], :]
+    return T, R, states
+
+
+# ---------------------------------------------------------------------------
+# Batched stochastic-order certification for exponential families (E3)
+# ---------------------------------------------------------------------------
+
+
+def exponential_family_st_ordered(
+    rates: np.ndarray, *, grid: int = 1024, atol: float = 1e-7
+) -> np.ndarray:
+    """Batched ``is_stochastically_ordered_family`` for exponential
+    families.
+
+    ``rates`` has shape ``(N, n)``; returns an ``(N,)`` boolean vector,
+    bit-for-bit reproducing the scalar path: sort the family by mean
+    (stable, so ties keep their relative order), build the adaptive
+    doubling grid of :func:`repro.distributions.ordering._grid_for` for
+    every consecutive pair, and check pointwise survival dominance on a
+    ``grid``-point ``linspace``.
+    """
+    rates = np.asarray(rates, dtype=float)
+    N, n = rates.shape
+    if n < 2:
+        return np.ones(N, dtype=bool)
+    means = 1.0 / rates
+    order = np.argsort(means, axis=1, kind="stable")
+    sorted_rates = np.take_along_axis(rates, order, axis=1)
+    sorted_means = np.take_along_axis(means, order, axis=1)
+    # pair p compares smaller = sorted[p], larger = sorted[p + 1]
+    pair_rates = np.stack([sorted_rates[:, 1:], sorted_rates[:, :-1]], axis=-1)
+    pair_means = np.stack([sorted_means[:, 1:], sorted_means[:, :-1]], axis=-1)
+    # _grid_for: per distribution double h (from max(mean, 1e-6)) until
+    # cdf(h) >= 0.995 or h >= 1e12; grid upper end = max(1.0, h_a, h_b)
+    h = np.maximum(pair_means, 1e-6)
+    while True:
+        need = (-np.expm1(-pair_rates * h) < 0.995) & (h < 1e12)
+        if not need.any():
+            break
+        h = np.where(need, h * 2.0, h)
+    hi = np.maximum(1.0, np.maximum(h[..., 0], h[..., 1]))
+    xs = np.linspace(1e-9, hi, grid, axis=-1)  # (N, n-1, grid)
+    sf_larger = 1.0 - (-np.expm1(-pair_rates[..., 0, None] * xs))
+    sf_smaller = 1.0 - (-np.expm1(-pair_rates[..., 1, None] * xs))
+    return np.all(sf_larger >= sf_smaller - atol, axis=(1, 2))

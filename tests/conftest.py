@@ -1,0 +1,13 @@
+"""Shared pytest configuration for the test suite."""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current code instead of "
+        "comparing against it (review the diff before committing!)",
+    )

@@ -1,0 +1,171 @@
+"""Cross-backend equivalence harness.
+
+The vectorized kernels promise *bit-for-bit* agreement with the
+event-driven backend: fed the same spawned seed sequences, every kernel
+must return exactly the per-replication metric dictionaries the
+scenario's ``simulate`` function returns — same keys, identical floats.
+These tests enforce that promise for every registered kernel, through
+both the raw kernel interface and the runner, plus property-based tests
+that randomise the scenario parameters of the single-machine and
+parallel-machine kernels.
+
+A failure here means a kernel (or a platform's numpy) broke one of the
+bitwise-equality rules documented in :mod:`repro.sim.vectorized` — the
+vectorized backend must then not be trusted until fixed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import kernel_ids, run_scenario, scenario_ids
+from repro.experiments.backends import (
+    resolve_backend,
+    simulate_scenario_batch,
+)
+from repro.experiments.registry import get_scenario
+from repro.sim.vectorized import get_kernel
+from repro.utils.rng import spawn_seed_sequences
+
+# parameter overrides that shrink the slow scenarios so the exhaustive
+# equivalence sweep stays fast; equivalence must hold for any parameters
+FAST_PARAMS: dict[str, dict] = {
+    "E7": {"algo_states": 5},
+    "E8": {"horizon": 80, "warmup": 10, "fleet_sizes": (5, 9)},
+    "E10": {"horizon": 300.0},
+    "E11": {"horizon": 250.0},
+    "E16": {"sizes": (8, 15)},
+}
+
+REPLICATIONS = 3
+
+
+def assert_rows_identical(event_rows, vec_rows, context=""):
+    """Exact equality of per-replication metric dictionaries."""
+    assert len(event_rows) == len(vec_rows), context
+    for r, (ev, vec) in enumerate(zip(event_rows, vec_rows)):
+        assert set(ev) == set(vec), f"{context} rep {r}: metric keys differ"
+        for key in ev:
+            a, b = ev[key], vec[key]
+            if math.isnan(a) and math.isnan(b):
+                continue
+            assert a == b, (
+                f"{context} rep {r} metric {key!r}: event={a!r} vectorized={b!r}"
+            )
+
+
+@pytest.mark.parametrize("sid", kernel_ids())
+def test_kernel_matches_event_backend_bitwise(sid):
+    sc = get_scenario(sid)
+    params = sc.params(FAST_PARAMS.get(sid))
+    event_rows = [sc.simulate(ss, params) for ss in spawn_seed_sequences(101, REPLICATIONS)]
+    vec_rows = simulate_scenario_batch(
+        sid, spawn_seed_sequences(101, REPLICATIONS), params
+    )
+    assert_rows_identical(event_rows, vec_rows, context=sid)
+
+
+@pytest.mark.parametrize("sid", ["E1", "E4", "E8", "E16"])
+def test_runner_samples_identical_across_backends(sid):
+    kwargs = dict(
+        replications=REPLICATIONS, seed=11, workers=1, params=FAST_PARAMS.get(sid)
+    )
+    ev = run_scenario(sid, backend="event", **kwargs)
+    vec = run_scenario(sid, backend="vectorized", **kwargs)
+    assert ev.backend == "event" and vec.backend == "vectorized"
+    assert ev.samples == vec.samples
+    assert ev.means() == vec.means()
+    assert ev.checks == vec.checks
+
+
+def test_auto_backend_picks_kernel_and_falls_back():
+    assert resolve_backend("E1", "auto") == "vectorized"
+    assert resolve_backend("E1", "event") == "event"
+    # no kernel registered for E2: explicit vectorized request falls back
+    assert resolve_backend("E2", "vectorized") == "event"
+    assert resolve_backend("E2", "auto") == "event"
+    with pytest.raises(ValueError):
+        resolve_backend("E1", "warp-speed")
+
+
+def test_every_kernel_id_is_a_registered_scenario():
+    registered = set(scenario_ids())
+    for sid in kernel_ids():
+        assert sid in registered
+        assert get_kernel(sid).mode in ("batched", "cached")
+
+
+def test_issue_minimum_kernel_coverage():
+    # the kernel families this backend must cover: single-machine
+    # WSEPT/LEPT, parallel-machine list scheduling, bandit rollouts, and
+    # the multiclass M/G/1 / Klimov pair
+    expected = {"E1", "E3", "E4", "E5", "E7", "E8", "E9", "E10", "E11", "E16", "E18"}
+    assert expected <= set(kernel_ids())
+
+
+def test_vectorized_chunking_cannot_change_results():
+    # one kernel call over all seeds == two kernel calls over a split —
+    # each replication consumes only its own seed's streams
+    sc = get_scenario("E3")
+    params = sc.params()
+    seeds = spawn_seed_sequences(5, 6)
+    whole = simulate_scenario_batch("E3", seeds, params)
+    split = simulate_scenario_batch("E3", seeds[:2], params) + simulate_scenario_batch(
+        "E3", seeds[2:], params
+    )
+    assert_rows_identical(whole, split, context="chunking")
+
+
+def test_vectorized_backend_worker_count_invariance():
+    one = run_scenario("E4", replications=6, seed=9, workers=1, backend="vectorized")
+    two = run_scenario("E4", replications=6, seed=9, workers=2, backend="vectorized")
+    assert one.samples == two.samples
+
+
+# ---------------------------------------------------------------------------
+# Property-based equivalence over randomised scenario parameters
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_PROPERTY_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_brute=st.integers(min_value=2, max_value=6),
+    n_jobs=st.integers(min_value=2, max_value=40),
+)
+def test_property_single_machine_kernel_equivalence(seed, n_brute, n_jobs):
+    sc = get_scenario("E1")
+    params = sc.params({"n_brute": n_brute, "n_jobs": n_jobs})
+    event_rows = [sc.simulate(ss, params) for ss in spawn_seed_sequences(seed, 2)]
+    vec_rows = simulate_scenario_batch("E1", spawn_seed_sequences(seed, 2), params)
+    assert_rows_identical(event_rows, vec_rows, context=f"E1 seed={seed}")
+
+
+@_PROPERTY_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_jobs=st.integers(min_value=2, max_value=7),
+    m=st.integers(min_value=1, max_value=3),
+    lo=st.floats(min_value=0.05, max_value=1.0),
+    width=st.floats(min_value=0.1, max_value=4.0),
+    sid=st.sampled_from(["E3", "E4"]),
+)
+def test_property_parallel_machine_kernel_equivalence(seed, n_jobs, m, lo, width, sid):
+    sc = get_scenario(sid)
+    params = sc.params({"n_jobs": n_jobs, "m": m, "rate_range": (lo, lo + width)})
+    event_rows = [sc.simulate(ss, params) for ss in spawn_seed_sequences(seed, 2)]
+    vec_rows = simulate_scenario_batch(sid, spawn_seed_sequences(seed, 2), params)
+    assert_rows_identical(event_rows, vec_rows, context=f"{sid} seed={seed}")

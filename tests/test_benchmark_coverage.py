@@ -1,0 +1,43 @@
+"""Every registered scenario must have a benchmark consumer.
+
+The benchmarks under ``benchmarks/bench_*.py`` are the human-facing
+claim-vs-measured tables; the registry is the machine-facing catalogue.
+This test keeps them in lock: a scenario added to the registry without a
+``bench_*.py`` file that consumes it (``get_scenario("<id>")``) fails
+here, as does a benchmark referencing an id the registry no longer knows.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.experiments import scenario_ids
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+_GET_SCENARIO = re.compile(r"""get_scenario\(\s*["']([A-Za-z]+\d+)["']\s*\)""")
+
+
+def _consumed_ids() -> dict[str, list[str]]:
+    consumers: dict[str, list[str]] = {}
+    for path in sorted(BENCH_DIR.glob("bench_*.py")):
+        for sid in _GET_SCENARIO.findall(path.read_text()):
+            consumers.setdefault(sid.upper(), []).append(path.name)
+    return consumers
+
+
+def test_every_registered_scenario_has_a_benchmark_consumer():
+    consumers = _consumed_ids()
+    missing = [sid for sid in scenario_ids() if sid not in consumers]
+    assert not missing, (
+        f"registered scenarios without a benchmarks/bench_*.py consumer: "
+        f"{missing}; add a registry-driven benchmark (see bench_e01_wsept.py)"
+    )
+
+
+def test_no_benchmark_references_an_unknown_scenario():
+    known = set(scenario_ids())
+    unknown = {
+        sid: files for sid, files in _consumed_ids().items() if sid not in known
+    }
+    assert not unknown, f"benchmarks reference unregistered scenarios: {unknown}"

@@ -1,0 +1,135 @@
+"""Statistical golden-regression harness.
+
+Every registered scenario is run at a pinned (seed, replications, params)
+configuration and its per-metric mean and confidence half-width are
+compared against the checked-in ``tests/golden/<id>.json`` record.  The
+parallel runner is bit-identical across worker counts and the vectorized
+backend is bit-identical to the event backend (see
+``test_backend_equivalence``), so these files pin the *numbers themselves*:
+a refactor of either backend, a distribution, a DP, or the RNG plumbing
+that silently shifts any scenario's statistics fails here.
+
+The tolerance is ``RTOL = 1e-9`` — loose enough to absorb last-ulp
+differences between BLAS builds across platforms, tight enough that any
+real change (different draws, different estimator, different seeds) is
+far outside it.
+
+To regenerate after an *intentional* change::
+
+    pytest tests/test_golden_stats.py --update-golden
+
+then review the diff of ``tests/golden/`` before committing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_scenario, scenario_ids
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+RTOL = 1e-9
+SEED = 2024
+
+# Pinned configuration per scenario: replications + parameter overrides
+# sized so the full sweep stays fast.  Changing anything here invalidates
+# the stored statistics — regenerate with --update-golden.
+GOLDEN_CONFIG: dict[str, dict] = {
+    "A1": {"replications": 3},
+    "A2": {"replications": 2, "params": {"horizon": 4000.0}},
+    "A3": {"replications": 3},
+    "E1": {"replications": 3},
+    "E2": {"replications": 2, "params": {"n_quanta": 8}},
+    "E3": {"replications": 3},
+    "E4": {"replications": 3},
+    "E5": {"replications": 2},
+    "E6": {"replications": 2, "params": {"ns": (4, 8)}},
+    "E7": {"replications": 3, "params": {"algo_states": 5}},
+    "E8": {
+        "replications": 2,
+        "params": {"horizon": 200, "warmup": 40, "fleet_sizes": (5, 9)},
+    },
+    "E9": {"replications": 3},
+    "E10": {"replications": 2, "params": {"horizon": 500.0}},
+    "E11": {"replications": 2, "params": {"horizon": 400.0}},
+    "E12": {"replications": 2, "params": {"horizon": 800.0, "rhos": (0.6, 0.9)}},
+    "E13": {"replications": 2, "params": {"horizon": 400.0, "fluid_horizon": 40.0}},
+    "E14": {"replications": 2, "params": {"horizon": 800.0}},
+    "E15": {"replications": 2, "params": {"horizon": 2000.0}},
+    "E16": {"replications": 3},
+    "E17": {"replications": 3},
+    "E18": {"replications": 2},
+    "E19": {"replications": 2, "params": {"horizon": 600, "warmup": 100}},
+}
+
+
+def _run_pinned(sid: str):
+    cfg = GOLDEN_CONFIG[sid]
+    res = run_scenario(
+        sid,
+        replications=cfg["replications"],
+        seed=SEED,
+        workers=1,
+        params=cfg.get("params"),
+        backend="event",
+    )
+    stats = {
+        name: {"mean": s.mean, "half_width": s.half_width}
+        for name, s in res.metrics.items()
+    }
+    return res, stats
+
+
+def _jsonable_stats(stats):
+    # JSON has no inf/nan; none are expected at the pinned configs
+    # (every config uses >= 2 replications), so fail loudly instead of
+    # silently encoding them
+    for name, s in stats.items():
+        for key, value in s.items():
+            if not math.isfinite(value):
+                raise AssertionError(f"non-finite golden value {name}.{key}={value}")
+    return stats
+
+
+def test_every_registered_scenario_has_a_golden_config():
+    assert set(GOLDEN_CONFIG) == set(scenario_ids())
+
+
+@pytest.mark.parametrize("sid", sorted(GOLDEN_CONFIG))
+def test_golden_stats(sid, request):
+    path = GOLDEN_DIR / f"{sid.lower()}.json"
+    res, stats = _run_pinned(sid)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        doc = {
+            "scenario_id": sid,
+            "seed": SEED,
+            "replications": GOLDEN_CONFIG[sid]["replications"],
+            "params": res.params if GOLDEN_CONFIG[sid].get("params") else {},
+            "metrics": _jsonable_stats(stats),
+        }
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden record {path}; generate with "
+        f"pytest tests/test_golden_stats.py --update-golden"
+    )
+    golden = json.loads(path.read_text())
+    assert golden["seed"] == SEED
+    assert golden["replications"] == GOLDEN_CONFIG[sid]["replications"]
+    assert set(golden["metrics"]) == set(stats), (
+        f"{sid}: metric set changed — "
+        f"only in golden: {set(golden['metrics']) - set(stats)}, "
+        f"only in run: {set(stats) - set(golden['metrics'])}"
+    )
+    for name, expected in golden["metrics"].items():
+        got = stats[name]
+        for key in ("mean", "half_width"):
+            assert math.isclose(got[key], expected[key], rel_tol=RTOL, abs_tol=1e-12), (
+                f"{sid} metric {name!r} {key} drifted: "
+                f"golden={expected[key]!r} current={got[key]!r}"
+            )

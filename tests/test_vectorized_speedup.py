@@ -1,0 +1,46 @@
+"""Smoke test: the vectorized backend actually is faster.
+
+The full per-kernel table lives in
+``benchmarks/bench_a04_vectorized_speedup.py``; this tier-1 smoke keeps a
+regression canary in the default test run using two cheap batched
+kernels whose vectorization wins by a wide margin (~5-15x), so the >= 1x
+assertion holds with plenty of headroom even on noisy CI machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.backends import simulate_scenario_batch
+from repro.experiments.registry import get_scenario
+from repro.utils.rng import spawn_seed_sequences
+
+REPLICATIONS = 16
+
+
+@pytest.mark.parametrize("sid", ["E1", "E4"])
+def test_batched_kernel_speedup_at_least_one(sid):
+    sc = get_scenario(sid)
+    params = sc.params()
+    # warm both paths (imports, permutation cache) before timing
+    sc.simulate(spawn_seed_sequences(0, 1)[0], params)
+    simulate_scenario_batch(sid, spawn_seed_sequences(0, 1), params)
+
+    best_event, best_vec = float("inf"), float("inf")
+    for _ in range(2):  # best-of-2 damps scheduler noise
+        t0 = time.perf_counter()
+        for ss in spawn_seed_sequences(1, REPLICATIONS):
+            sc.simulate(ss, params)
+        best_event = min(best_event, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        simulate_scenario_batch(sid, spawn_seed_sequences(1, REPLICATIONS), params)
+        best_vec = min(best_vec, time.perf_counter() - t0)
+
+    speedup = best_event / best_vec
+    assert speedup >= 1.0, (
+        f"{sid}: vectorized backend not faster than event "
+        f"({best_event:.3f}s vs {best_vec:.3f}s, {speedup:.2f}x) — "
+        f"kernel degenerated to the slow path?"
+    )
