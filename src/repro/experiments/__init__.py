@@ -32,6 +32,7 @@ Typical use::
 
 from repro.experiments.backends import (
     BACKENDS,
+    MissingKernelError,
     has_kernel,
     kernel_ids,
     resolve_backend,
@@ -65,6 +66,7 @@ __all__ = [
     "list_scenarios",
     "scenario_ids",
     "BACKENDS",
+    "MissingKernelError",
     "has_kernel",
     "kernel_ids",
     "resolve_backend",

@@ -11,9 +11,10 @@ same per-replication metrics for the same spawned seeds.
 Backend selection::
 
     "event"       always the per-replication simulate function
-    "vectorized"  the kernel when one exists, else fall back to event
+    "vectorized"  the kernel; a scenario without one is an error
+                  (:class:`MissingKernelError` naming the scenario)
     "auto"        the kernel when one exists (results are identical, so
-                  auto is safe), else event
+                  auto is safe), else silently fall back to event
 
 The seed-handling contract every kernel must obey:
 
@@ -27,12 +28,14 @@ The seed-handling contract every kernel must obey:
    (batching draws only where the consumed bit-stream is provably
    unchanged, e.g. ``rng.random(2n)`` for ``2n`` successive uniforms).
 
-Kernels for deterministic or deterministic-dominated scenarios use the
-``cached`` mode: the computation shared by all replications is hoisted
-and evaluated once (for fully deterministic scenarios like E5/E18 that is
-the entire replication; for the queueing scenarios E10/E11 it is the
-exact cµ/Klimov/polytope analysis, while the event-driven network
-simulations still run per replication).
+Kernels come in three modes (see
+:class:`repro.sim.vectorized.VectorizedKernel`): ``batched`` kernels
+vectorize the replication computation itself; ``lockstep`` kernels drive
+the event-/epoch-driven scenarios through the specialised lockstep
+simulators in :mod:`repro.sim.vectorized` (flat network/polling engines
+and batched fleet rollouts); ``cached`` kernels hoist the
+replication-invariant part (for fully deterministic scenarios like
+E5/E18 that is the entire replication).
 """
 
 from __future__ import annotations
@@ -46,12 +49,17 @@ from repro.sim.vectorized import (
     batched_product_mdp,
     batched_switching_mdp,
     exponential_family_st_ordered,
+    flowshop_makespan_batch,
     get_kernel,
     has_kernel,
     kernel_ids,
+    lockstep_heterogeneous_rollouts,
     lockstep_intree_makespans,
+    lockstep_network_simulations,
+    lockstep_polling_simulations,
     lockstep_restless_rollouts,
     min_flowtime_over_permutations,
+    restart_gittins_batch,
     sequence_flowtime_batch,
     subset_dp_batch,
     vectorized_kernel,
@@ -59,6 +67,7 @@ from repro.sim.vectorized import (
 
 __all__ = [
     "BACKENDS",
+    "MissingKernelError",
     "resolve_backend",
     "simulate_scenario_batch",
     "kernel_ids",
@@ -72,19 +81,39 @@ Seeds = Sequence[np.random.SeedSequence]
 BACKENDS = ("event", "vectorized", "auto")
 
 
+class MissingKernelError(ValueError):
+    """An explicit ``backend="vectorized"`` request for a scenario that has
+    no registered vectorized kernel.
+
+    Raised instead of silently running the event engine, so that
+    ``--backend vectorized`` always means what it says; request ``auto``
+    for the per-scenario fallback behaviour.
+    """
+
+
 def resolve_backend(scenario_id: str, backend: str) -> str:
     """Resolve a requested backend to the one that will actually run.
 
-    ``"auto"`` and ``"vectorized"`` both resolve to ``"vectorized"``
-    exactly when a kernel is registered for ``scenario_id`` and to
-    ``"event"`` otherwise (the per-scenario fallback); ``"event"`` is
-    always honoured verbatim.
+    ``"auto"`` resolves to ``"vectorized"`` exactly when a kernel is
+    registered for ``scenario_id`` and to ``"event"`` otherwise (the
+    per-scenario fallback).  ``"vectorized"`` demands a kernel: a scenario
+    without one raises :class:`MissingKernelError` naming the scenario
+    rather than silently falling back.  ``"event"`` is always honoured
+    verbatim.
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     if backend == "event":
         return "event"
-    return "vectorized" if has_kernel(scenario_id) else "event"
+    if has_kernel(scenario_id):
+        return "vectorized"
+    if backend == "vectorized":
+        raise MissingKernelError(
+            f"scenario {scenario_id!r} has no vectorized kernel; registered "
+            f"kernels: {kernel_ids()}. Use backend='auto' to fall back to "
+            f"the event engine for uncovered scenarios."
+        )
+    return "event"
 
 
 def simulate_scenario_batch(
@@ -532,17 +561,24 @@ def batch_e9(seeds: Seeds, params: Params) -> list[dict[str, float]]:
 
 
 # ---------------------------------------------------------------------------
-# E10 / E11 — multiclass M/G/1 and Klimov: shared exact analysis, event
-# simulations per replication
+# E10 / E11 — multiclass M/G/1 and Klimov: shared exact analysis, lockstep
+# network simulations
 # ---------------------------------------------------------------------------
+
+
+def _crn_batches(seeds: Seeds, k: int) -> list[list[np.random.Generator]]:
+    """Per-case generator batches under common random numbers: case ``i``
+    gets one fresh ``default_rng(ss)`` per replication — exactly the
+    generators ``crn_generators(ss, k)`` hands the event path's ``zip``."""
+    return [[np.random.default_rng(ss) for ss in seeds] for _ in range(k)]
 
 
 @vectorized_kernel(
     "E10",
-    mode="cached",
+    mode="lockstep",
     note="the cµ/Cobham/polytope analysis is deterministic and hoisted out "
-    "of the replication loop; the CRN network simulations remain "
-    "event-driven per replication",
+    "of the replication loop; the CRN network simulations run through the "
+    "flat lockstep engine",
 )
 def batch_e10(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     from repro.core.conservation import (
@@ -550,9 +586,8 @@ def batch_e10(seeds: Seeds, params: Params) -> list[dict[str, float]]:
         performance_polytope_vertices,
     )
     from repro.experiments.scenarios import _E10_ARRIVAL, _E10_COSTS, _e10_services
-    from repro.queueing import optimal_average_cost, order_average_cost, simulate_network
+    from repro.queueing import optimal_average_cost, order_average_cost
     from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
-    from repro.utils.rng import crn_generators
 
     services = _e10_services()
     arrival, costs = list(_E10_ARRIVAL), list(_E10_COSTS)
@@ -570,31 +605,29 @@ def batch_e10(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     n_vertices = float(len(performance_polytope_vertices(arrival, ms, m2)))
     rtol = float(params["conservation_rtol"])
 
-    nets = {
-        perm: QueueingNetwork(
+    case_perms = (tuple(cmu), worst_perm)
+    sims = {}
+    for perm, rngs in zip(case_perms, _crn_batches(seeds, len(case_perms))):
+        net = QueueingNetwork(
             [
                 ClassConfig(0, services[j], arrival_rate=arrival[j], cost=costs[j])
                 for j in range(3)
             ],
             [StationConfig(discipline="priority", priority=perm)],
         )
-        for perm in (tuple(cmu), worst_perm)
-    }
+        sims[perm] = lockstep_network_simulations(net, horizon, rngs)
     rows = []
-    for ss in seeds:
-        sims = {}
-        for perm, rng in zip((tuple(cmu), worst_perm), crn_generators(ss, 2)):
-            sims[perm] = simulate_network(nets[perm], horizon, rng)
+    for r in range(len(seeds)):
         conserved = check_strong_conservation(
-            arrival, ms, m2, sims[tuple(cmu)].mean_waits, rtol=rtol
+            arrival, ms, m2, sims[tuple(cmu)][r].mean_waits, rtol=rtol
         )
         rows.append(
             {
                 "opt_cost": float(opt_cost),
                 "cmu_picks_best": float(tuple(cmu) == best_perm),
-                "cmu_sim_ratio": float(sims[tuple(cmu)].cost_rate / opt_cost),
+                "cmu_sim_ratio": float(sims[tuple(cmu)][r].cost_rate / opt_cost),
                 "worst_exact_ratio": float(exact[worst_perm] / opt_cost),
-                "worst_sim_ratio": float(sims[worst_perm].cost_rate / opt_cost),
+                "worst_sim_ratio": float(sims[worst_perm][r].cost_rate / opt_cost),
                 "conservation_ok": float(conserved),
                 "n_vertices": n_vertices,
             }
@@ -604,9 +637,10 @@ def batch_e10(seeds: Seeds, params: Params) -> list[dict[str, float]]:
 
 @vectorized_kernel(
     "E11",
-    mode="cached",
+    mode="lockstep",
     note="Klimov/cµ index analysis and network construction hoisted out of "
-    "the replication loop; the six CRN simulations remain event-driven",
+    "the replication loop; the six CRN simulations run through the flat "
+    "lockstep engine",
 )
 def batch_e11(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     from repro.distributions import Exponential
@@ -618,13 +652,7 @@ def batch_e11(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     )
     from repro.queueing.klimov import klimov_indices, klimov_order
     from repro.queueing.mg1 import cmu_order
-    from repro.queueing.network import (
-        ClassConfig,
-        QueueingNetwork,
-        StationConfig,
-        simulate_network,
-    )
-    from repro.utils.rng import crn_generators
+    from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
 
     lam, mus, costs = list(_E11_LAM), list(_E11_MUS), list(_E11_COSTS)
     feedback = np.array(_E11_FEEDBACK)
@@ -634,8 +662,13 @@ def batch_e11(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     k_order = tuple(klimov_order(costs, means, feedback))
     naive = tuple(cmu_order(costs, means))
     perms = list(itertools.permutations(range(3)))
-    nets = {
-        perm: QueueingNetwork(
+    reduce_ok = np.allclose(
+        klimov_indices(costs, means, np.zeros((3, 3))),
+        np.asarray(costs) / np.asarray(means),
+    )
+    results = {}
+    for perm, rngs in zip(perms, _crn_batches(seeds, len(perms))):
+        net = QueueingNetwork(
             [
                 ClassConfig(0, Exponential(mus[j]), arrival_rate=lam[j], cost=costs[j])
                 for j in range(3)
@@ -643,26 +676,22 @@ def batch_e11(seeds: Seeds, params: Params) -> list[dict[str, float]]:
             [StationConfig(discipline="priority", priority=perm)],
             routing=feedback,
         )
-        for perm in perms
-    }
-    reduce_ok = np.allclose(
-        klimov_indices(costs, means, np.zeros((3, 3))),
-        np.asarray(costs) / np.asarray(means),
-    )
+        results[perm] = [
+            res.cost_rate
+            for res in lockstep_network_simulations(
+                net, horizon, rngs, warmup_fraction=0.2
+            )
+        ]
     rows = []
-    for ss in seeds:
-        results = {}
-        for perm, rng in zip(perms, crn_generators(ss, len(perms))):
-            results[perm] = simulate_network(
-                nets[perm], horizon, rng, warmup_fraction=0.2
-            ).cost_rate
-        best = min(results.values())
+    for r in range(len(seeds)):
+        per_perm = {perm: results[perm][r] for perm in perms}
+        best = min(per_perm.values())
         rows.append(
             {
-                "klimov_cost": float(results[k_order]),
+                "klimov_cost": float(per_perm[k_order]),
                 "best_cost": float(best),
-                "klimov_vs_best": float(results[k_order] / best),
-                "naive_cmu_ratio": float(results[naive] / results[k_order]),
+                "klimov_vs_best": float(per_perm[k_order] / best),
+                "naive_cmu_ratio": float(per_perm[naive] / per_perm[k_order]),
                 "reduction_exact": float(reduce_ok),
             }
         )
@@ -728,3 +757,644 @@ def batch_e16(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     columns["hlf_ratio_large"] = columns[f"hlf_ratio_n{sizes[-1]}"]
     columns["random_ratio_large"] = columns[f"random_ratio_n{sizes[-1]}"]
     return _float_rows(columns, N)
+
+
+# ---------------------------------------------------------------------------
+# E2 — Sevcik preemptive index: deterministic memoryless half hoisted
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E2",
+    mode="cached",
+    note="the memoryless-job half of the study is fully deterministic and "
+    "computed once for the whole batch; the random-SCV DHR half keeps its "
+    "exact per-replication DPs",
+)
+def batch_e2(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.batch.sevcik import (
+        DiscreteJob,
+        GittinsJobIndex,
+        discretize_distribution,
+        evaluate_index_policy_dp,
+        nonpreemptive_wsept_cost,
+        preemptive_single_machine_mdp,
+    )
+    from repro.distributions import Exponential, HyperExponential
+
+    quantum = float(params["quantum"])
+    n_quanta = int(params["n_quanta"])
+    lo, hi = params["scv_range"]
+
+    mem = [
+        DiscreteJob(
+            id=j,
+            pmf=discretize_distribution(Exponential.from_mean(mean), 0.5, n_quanta),
+            weight=1.0,
+        )
+        for j, mean in enumerate((1.0, 2.0, 3.0))
+    ]
+    opt_mem, _ = preemptive_single_machine_mdp(mem)
+    gittins_mem = evaluate_index_policy_dp(mem, GittinsJobIndex(mem))
+    wsept_mem = nonpreemptive_wsept_cost(mem)
+    mem_metrics = {
+        "opt_mem": float(opt_mem),
+        "gittins_mem_gap": float(abs(gittins_mem / opt_mem - 1.0)),
+        "wsept_mem_premium": float(wsept_mem / opt_mem - 1.0),
+    }
+
+    rows = []
+    for ss in seeds:
+        rng = np.random.default_rng(ss)
+        scvs = rng.uniform(lo, hi, size=3)
+        dhr = [
+            DiscreteJob(
+                id=j,
+                pmf=discretize_distribution(
+                    HyperExponential.balanced_from_mean_scv(2.0, float(scv)),
+                    quantum,
+                    n_quanta,
+                ),
+                weight=1.0 + 0.3 * j,
+            )
+            for j, scv in enumerate(scvs)
+        ]
+        opt_dhr, _ = preemptive_single_machine_mdp(dhr)
+        gittins_dhr = evaluate_index_policy_dp(dhr, GittinsJobIndex(dhr))
+        wsept_dhr = nonpreemptive_wsept_cost(dhr)
+        rows.append(
+            {
+                "opt_dhr": float(opt_dhr),
+                "gittins_dhr_gap": float(abs(gittins_dhr / opt_dhr - 1.0)),
+                "wsept_dhr_premium": float(wsept_dhr / opt_dhr - 1.0),
+                **mem_metrics,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E6 — Weiss turnpike: exact subset DPs batched across replications
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E6",
+    mode="batched",
+    note="the nested-instance optimal and WSEPT subset DPs run once per "
+    "batch with vector-valued states instead of once per replication",
+)
+def batch_e6(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    ns = [int(n) for n in params["ns"]]
+    m = int(params["m"])
+    N = len(seeds)
+    n_max = max(ns)
+    rates = np.empty((N, n_max))
+    weights = np.empty((N, n_max))
+    for r, ss in enumerate(seeds):
+        rng = np.random.default_rng(ss)
+        # exact_gap_sweep re-seeds from a derived integer
+        inner = np.random.default_rng(int(rng.integers(0, 2**31 - 1)))
+        rates[r] = inner.uniform(0.3, 3.0, size=n_max)
+        weights[r] = inner.uniform(0.5, 2.0, size=n_max)
+
+    opts, vals = [], []
+    for n in ns:
+        r, w = rates[:, :n], weights[:, :n]
+        opts.append(subset_dp_batch(r, m, objective="flowtime", weights=w))
+        vals.append(
+            subset_dp_batch(
+                r, m, objective="flowtime", weights=w, policy="index", priority=w * r
+            )
+        )
+    gaps = [v - o for v, o in zip(vals, opts)]
+    max_gap, min_gap = gaps[0], gaps[0]
+    for g in gaps[1:]:
+        max_gap = np.maximum(max_gap, g)
+        min_gap = np.minimum(min_gap, g)
+    return _float_rows(
+        {
+            "opt_growth": opts[-1] / opts[0],
+            "max_abs_gap": max_gap,
+            "min_abs_gap": min_gap,
+            "last_rel_gap": gaps[-1] / opts[-1],
+        },
+        N,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E12 — heavy traffic on parallel servers: lockstep M/M/m sweeps
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E12",
+    mode="lockstep",
+    note="the pooled preemptive-cµ lower bound and the M/M/m network are "
+    "built once per sweep point; every replication's rho sweep advances "
+    "through the flat lockstep engine on its own carried-over stream",
+)
+def batch_e12(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.queueing.heavy_traffic import build_mmk, pooled_lower_bound
+
+    mu = np.asarray(list(params["mu"]), dtype=float)
+    c = np.asarray(list(params["costs"]), dtype=float)
+    m = int(params["m"])
+    rhos = [float(r) for r in params["rhos"]]
+    horizon = float(params["horizon"])
+    n = mu.size
+    mix = np.full(n, 1.0 / n)
+    rho0 = min(rhos)
+    N = len(seeds)
+
+    # each replication's sweep reuses one generator across the rho points,
+    # exactly like parallel_server_experiment
+    rngs = [np.random.default_rng(ss) for ss in seeds]
+    ratios = np.empty((len(rhos), N))
+    bounds = np.empty(len(rhos))
+    costs_sim = np.empty((len(rhos), N))
+    for i, rho in enumerate(rhos):
+        if not 0 < rho < 1:
+            raise ValueError("rho values must be in (0, 1)")
+        lam = rho * m * mix * mu
+        net = build_mmk(lam, mu, c, m)
+        h = horizon * (1.0 - rho0) / (1.0 - rho)
+        results = lockstep_network_simulations(net, h, rngs, warmup_fraction=0.2)
+        bounds[i] = pooled_lower_bound(lam, mu, c, m)
+        for r, res in enumerate(results):
+            costs_sim[i, r] = res.cost_rate
+            ratios[i, r] = res.cost_rate / bounds[i]
+    min_ratio = ratios[0].copy()
+    for i in range(1, len(rhos)):
+        min_ratio = np.minimum(min_ratio, ratios[i])
+    return _float_rows(
+        {
+            "first_ratio": ratios[0],
+            "last_ratio": ratios[-1],
+            "min_ratio": min_ratio,
+            "last_bound": float(bounds[-1]),
+            "last_cost": costs_sim[-1],
+        },
+        N,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E13 — Rybko–Stolyar instability: fluid analysis hoisted, lockstep sims
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E13",
+    mode="lockstep",
+    note="both deterministic fluid-stability integrations and the three "
+    "network constructions are hoisted out of the replication loop; the "
+    "stochastic sample paths run through the flat lockstep engine",
+)
+def batch_e13(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.queueing import (
+        FluidModel,
+        is_fluid_stable,
+        rybko_stolyar_network,
+        virtual_station_load,
+    )
+
+    horizon = float(params["horizon"])
+    dt, fh = float(params["fluid_dt"]), float(params["fluid_horizon"])
+    bad = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=True)
+    fifo = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=False)
+    safe = rybko_stolyar_network(1.0, 0.1, 0.4, priority_to_exit=True)
+
+    spawned = [np.random.default_rng(ss).spawn(3) for ss in seeds]
+    res_bad = lockstep_network_simulations(bad, horizon, [g[0] for g in spawned])
+    res_fifo = lockstep_network_simulations(fifo, horizon, [g[1] for g in spawned])
+    res_safe = lockstep_network_simulations(safe, horizon, [g[2] for g in spawned])
+
+    naive_stable = float(is_fluid_stable(FluidModel.from_network(bad), horizon=fh, dt=dt))
+    aug_stable = float(
+        is_fluid_stable(
+            FluidModel.from_network(bad, virtual_stations=((1, 3),)), horizon=fh, dt=dt
+        )
+    )
+    v_load = float(virtual_station_load(bad))
+    rows = []
+    for r in range(len(seeds)):
+        rows.append(
+            {
+                "bad_backlog": float(res_bad[r].final_backlog),
+                "fifo_backlog": float(res_fifo[r].final_backlog),
+                "safe_backlog": float(res_safe[r].final_backlog),
+                "instability_ratio": float(
+                    res_bad[r].final_backlog / max(res_fifo[r].final_backlog, 1.0)
+                ),
+                "virtual_load_bad": v_load,
+                "naive_fluid_stable": naive_stable,
+                "augmented_fluid_stable": aug_stable,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E14 — fluid-guided policies: drain analysis hoisted, lockstep CRN sims
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E14",
+    mode="lockstep",
+    note="the deterministic fluid drain integrations are computed once; "
+    "the CRN policy comparison runs through the flat lockstep engine",
+)
+def batch_e14(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.experiments.scenarios import _e14_network
+    from repro.queueing import FluidModel, fluid_drain_time
+
+    horizon = float(params["horizon"])
+    dt, fh = float(params["fluid_dt"]), float(params["fluid_horizon"])
+    nets = {
+        "exit_first": _e14_network((2, 0), (1,)),
+        "entry_first": _e14_network((0, 2), (1,)),
+    }
+    drains = {
+        name: float(fluid_drain_time(FluidModel.from_network(net), [1, 1, 1], horizon=fh, dt=dt))
+        for name, net in nets.items()
+    }
+    costs = {}
+    for (name, net), rngs in zip(nets.items(), _crn_batches(seeds, len(nets))):
+        costs[name] = [
+            res.cost_rate for res in lockstep_network_simulations(net, horizon, rngs)
+        ]
+    rows = []
+    for r in range(len(seeds)):
+        rows.append(
+            {
+                "drain_exit_first": drains["exit_first"],
+                "drain_entry_first": drains["entry_first"],
+                "cost_exit_first": float(costs["exit_first"][r]),
+                "cost_entry_first": float(costs["entry_first"][r]),
+                "exit_vs_entry_cost": float(
+                    costs["exit_first"][r] / costs["entry_first"][r]
+                ),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E15 — polling with switchovers: lockstep sweeps, conservation law hoisted
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E15",
+    mode="lockstep",
+    note="the pseudo-conservation right-hand sides are deterministic and "
+    "hoisted; all six CRN (policy, switchover) cases run through the flat "
+    "polling engine with pre-drawn service blocks, including the "
+    "zero-switchover idle rule",
+)
+def batch_e15(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.distributions import Deterministic, Exponential
+    from repro.experiments.scenarios import _E15_LAM
+    from repro.queueing import pseudo_conservation_rhs
+
+    svc_rates = (2.0, 1.5)
+    svc = [Exponential(r) for r in svc_rates]
+    lam = list(_E15_LAM)
+    horizon = float(params["horizon"])
+    short, long_ = params["switchover_means"]
+    N = len(seeds)
+
+    cases = [
+        (pol, sw_mean, label)
+        for sw_mean, label in ((float(short), "short"), (float(long_), "long"))
+        for pol in ("exhaustive", "gated", "limited")
+    ]
+    rhs = {
+        (pol, sw_mean): pseudo_conservation_rhs(
+            lam, svc, [Deterministic(sw_mean), Deterministic(sw_mean)], pol
+        )
+        for pol, sw_mean, _ in cases
+        if pol in ("exhaustive", "gated")
+    }
+    metrics: dict[str, list[float]] = {}
+    cons_errs: list[list[float]] = [[] for _ in range(N)]
+    for (pol, sw_mean, label), rngs in zip(cases, _crn_batches(seeds, len(cases))):
+        results = lockstep_polling_simulations(
+            lam, svc_rates, [sw_mean, sw_mean], pol, horizon, rngs
+        )
+        metrics[f"{pol}_{label}"] = [float(res.weighted_wait_sum) for res in results]
+        if pol in ("exhaustive", "gated"):
+            for r, res in enumerate(results):
+                cons_errs[r].append(
+                    abs(res.weighted_wait_sum / rhs[(pol, sw_mean)] - 1.0)
+                )
+    rows = []
+    for r in range(N):
+        row = {name: vals[r] for name, vals in metrics.items()}
+        row["max_conservation_err"] = float(max(cons_errs[r]))
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E17 — stochastic flow shops: batched makespan recurrences
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E17",
+    mode="batched",
+    note="the four CRN sequence evaluations run as batched (reps,) "
+    "completion recurrences; the deterministic Johnson limit is computed "
+    "once for the whole batch",
+)
+def batch_e17(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.batch.flowshop import (
+        johnson_order_deterministic,
+        simulate_flowshop,
+        talwar_order,
+    )
+    from repro.experiments.scenarios import _E17_RATES, _E17_RUNNER_UP
+
+    rates = np.array(_E17_RATES)
+    order = talwar_order(rates)
+    N = len(seeds)
+    P = np.empty((N,) + rates.shape)
+    for r, ss in enumerate(seeds):
+        P[r] = np.random.default_rng(ss).exponential(1.0 / rates)
+
+    talwar_mk = flowshop_makespan_batch(P, order)
+    runner_up_mk = flowshop_makespan_batch(P, list(_E17_RUNNER_UP))
+    reverse_mk = flowshop_makespan_batch(P, order[::-1])
+    blocked_mk = flowshop_makespan_batch(P, order, blocking=True)
+
+    times = 1.0 / rates
+    j_order = johnson_order_deterministic(times)
+    mk_j = simulate_flowshop(times, j_order)[0]
+    best_det = min(
+        simulate_flowshop(times, list(p))[0]
+        for p in itertools.permutations(range(len(times)))
+    )
+    return _float_rows(
+        {
+            "talwar_makespan": talwar_mk,
+            "runner_up_ratio": runner_up_mk / talwar_mk,
+            "reverse_ratio": reverse_mk / talwar_mk,
+            "blocked_minus_talwar": blocked_mk - talwar_mk,
+            "johnson_gap": float(mk_j / best_det - 1.0),
+        },
+        N,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E19 — heterogeneous restless fleets: lockstep rollouts
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "E19",
+    mode="lockstep",
+    note="both policy rollouts advance all replications' fleets in "
+    "lockstep on stacked (reps, projects, states) arrays; the Lagrangian "
+    "bound and Whittle tables keep their exact per-replication solves "
+    "(they depend on each replication's random projects and dominate the "
+    "runtime)",
+)
+def batch_e19(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.bandits import (
+        heterogeneous_relaxation_bound,
+        random_restless_project,
+    )
+    from repro.bandits.restless import whittle_indices
+
+    n_proj, n_states = int(params["n_projects"]), int(params["n_states"])
+    m = int(params["m"])
+    horizon, warmup = int(params["horizon"]), int(params["warmup"])
+    N = len(seeds)
+
+    bounds = np.empty(N)
+    shadow = np.empty(N)
+    w_tables = np.empty((N, n_proj, n_states))
+    myop_tables = np.empty((N, n_proj, n_states))
+    cum0 = np.empty((N, n_proj, n_states, n_states))
+    cum1 = np.empty((N, n_proj, n_states, n_states))
+    R0 = np.empty((N, n_proj, n_states))
+    R1 = np.empty((N, n_proj, n_states))
+    sims_w, sims_m = [], []
+    for r, ss in enumerate(seeds):
+        rng = np.random.default_rng(ss)
+        projects = [random_restless_project(n_states, rng) for _ in range(n_proj)]
+        bounds[r], shadow[r] = heterogeneous_relaxation_bound(projects, m)
+        # heterogeneous_whittle_rule computes exactly these per-project
+        # tables; the rollout reads them as floats, like rule.index does
+        for k, p in enumerate(projects):
+            w_tables[r, k] = whittle_indices(p, criterion="average")
+            myop_tables[r, k] = p.R1 - p.R0
+            cum0[r, k] = np.cumsum(p.P0, axis=1)
+            cum1[r, k] = np.cumsum(p.P1, axis=1)
+            R0[r, k] = p.R0
+            R1[r, k] = p.R1
+        sw, sm = rng.spawn(2)
+        sims_w.append(sw)
+        sims_m.append(sm)
+
+    whittle = lockstep_heterogeneous_rollouts(
+        w_tables, cum0, cum1, R0, R1, m, horizon, sims_w, warmup=warmup
+    )
+    myopic = lockstep_heterogeneous_rollouts(
+        myop_tables, cum0, cum1, R0, R1, m, horizon, sims_m, warmup=warmup
+    )
+    return _float_rows(
+        {
+            "bound": bounds,
+            "shadow_price": shadow,
+            "whittle_frac": whittle / bounds,
+            "myopic_frac": myopic / bounds,
+        },
+        N,
+    )
+
+
+# ---------------------------------------------------------------------------
+# A1 — Gittins algorithm cross-check: restart value iterations batched
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "A1",
+    mode="batched",
+    note="the dominant restart-in-state value iterations run over the "
+    "whole batch with stacked matrix-vector products; the VWB recursion "
+    "keeps its exact per-replication control flow",
+)
+def batch_a1(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.bandits import gittins_indices_vwb, random_project
+
+    beta = float(params["beta"])
+    n_states = int(params["n_states"])
+    projs = [random_project(n_states, np.random.default_rng(ss)) for ss in seeds]
+    g_vwb = [gittins_indices_vwb(p, beta) for p in projs]
+    Ps = np.stack([p.P for p in projs])
+    Rs = np.stack([p.R for p in projs])
+    g_restart = restart_gittins_batch(Ps, Rs, beta, tol=1e-11)
+    rows = []
+    for r, p in enumerate(projs):
+        rows.append(
+            {
+                "algo_diff": float(np.max(np.abs(g_vwb[r] - g_restart[r]))),
+                "top_index_err": float(abs(np.max(g_vwb[r]) - np.max(p.R))),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# A2 — M/M/1 accuracy anchor: lockstep simulation, closed forms hoisted
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "A2",
+    mode="lockstep",
+    note="the M/M/1 closed forms are computed once; the sample paths run "
+    "through the flat lockstep engine",
+)
+def batch_a2(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from repro.distributions import Exponential
+    from repro.queueing.mg1 import mm1_metrics
+    from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
+
+    rho = float(params["rho"])
+    horizon = float(params["horizon"])
+    net = QueueingNetwork(
+        [ClassConfig(0, Exponential(1.0), arrival_rate=rho)],
+        [StationConfig(discipline="priority", priority=(0,))],
+    )
+    theory = mm1_metrics(rho, 1.0)
+    results = lockstep_network_simulations(
+        net, horizon, [np.random.default_rng(ss) for ss in seeds]
+    )
+    rows = []
+    for res in results:
+        rows.append(
+            {
+                "L_sim": float(res.mean_queue_lengths[0]),
+                "Wq_sim": float(res.mean_waits[0]),
+                "L_abs_rel_err": float(
+                    abs(res.mean_queue_lengths[0] / theory["L"] - 1.0)
+                ),
+                "Wq_abs_rel_err": float(abs(res.mean_waits[0] / theory["Wq"] - 1.0)),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# A3 — achievable-region LP: constraint assembly and vertex scan batched
+# ---------------------------------------------------------------------------
+
+
+@vectorized_kernel(
+    "A3",
+    mode="batched",
+    note="the polymatroid constraint assembly and the 120-permutation "
+    "Cobham vertex scan are batched across replications; each "
+    "replication's LP keeps its own exact HiGHS solve",
+)
+def batch_a3(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    from scipy.optimize import linprog
+
+    from repro.distributions import Exponential
+    from repro.queueing.mg1 import optimal_average_cost
+
+    n = int(params["n_classes"])
+    N = len(seeds)
+    lam = np.empty((N, n))
+    mus = np.empty((N, n))
+    c = np.empty((N, n))
+    for r, ss in enumerate(seeds):
+        rng = np.random.default_rng(ss)
+        lam[r] = rng.uniform(0.02, 0.8 / n, size=n)
+        # the event path draws each service rate with its own scalar call
+        mus[r] = [rng.uniform(0.8, 3.0) for _ in range(n)]
+        c[r] = rng.uniform(0.3, 3.0, size=n)
+    svcs = [[Exponential(mus[r, j]) for j in range(n)] for r in range(N)]
+    ms = 1.0 / mus  # Exponential.mean
+    m2 = np.stack(
+        [[s.second_moment for s in row] for row in svcs]
+    )  # base-class 2/rate^2 route, computed identically per class
+    rho = lam * ms
+
+    # batched workload set function b(S) for every proper subset + full set
+    def b_of(S: list[int]) -> np.ndarray:
+        rhoS = rho[:, S].sum(axis=1)
+        w0_full = (lam * m2).sum(axis=1) / 2.0
+        w0S = (lam[:, S] * m2[:, S]).sum(axis=1) / 2.0
+        return rhoS * (w0_full / (1.0 - rhoS)) + w0S
+
+    subsets = [
+        list(S)
+        for r_ in range(1, n)
+        for S in itertools.combinations(range(n), r_)
+    ]
+    A_ub = np.zeros((len(subsets), n))
+    for i, S in enumerate(subsets):
+        A_ub[i, S] = -1.0
+    b_ub_all = np.stack([-b_of(S) for S in subsets], axis=1)  # (N, n_subsets)
+    b_eq_all = b_of(list(range(n)))
+    A_eq = np.ones((1, n))
+    coeff = c / ms
+
+    x = np.empty((N, n))
+    for r in range(N):
+        res = linprog(
+            coeff[r],
+            A_ub=A_ub,
+            b_ub=b_ub_all[r],
+            A_eq=A_eq,
+            b_eq=np.array([b_eq_all[r]]),
+            bounds=[(0, None)] * n,
+            method="highs",
+        )
+        if not res.success:
+            raise RuntimeError(f"achievable-region LP failed: {res.message}")
+        x[r] = np.asarray(res.x)
+    W = (x - lam * m2 / 2.0) / np.where(rho > 0, rho, 1.0)
+    lp_cost = np.empty(N)
+    for r in range(N):
+        lp_cost[r] = np.dot(c[r], lam[r] * (W[r] + ms[r]))
+
+    # batched Cobham vertex identification over all permutations
+    perms = np.array(list(itertools.permutations(range(n))), dtype=np.intp)
+    w0 = (lam * m2).sum(axis=1) / 2.0  # same np.sum reduction as the scalar path
+    waits = np.empty((N, len(perms), n))
+    sigma_prev = np.zeros((N, len(perms)))
+    for pos in range(n):
+        cls = perms[:, pos]  # (n_perms,)
+        rho_cls = rho[:, cls]  # (N, n_perms)
+        sigma_k = sigma_prev + rho_cls
+        vals = w0[:, None] / ((1.0 - sigma_prev) * (1.0 - sigma_k))
+        np.put_along_axis(
+            waits, np.broadcast_to(cls[None, :, None], (N, len(perms), 1)),
+            vals[:, :, None], axis=2
+        )
+        sigma_prev = sigma_k
+    errs = np.max(np.abs(waits - W[:, None, :]), axis=2)
+    best_idx = np.argmin(errs, axis=1)  # first minimum, like the strict < scan
+
+    rows = []
+    for r, ss in enumerate(seeds):
+        exact, order = optimal_average_cost(lam[r], svcs[r], c[r])
+        sol_order = [int(j) for j in perms[best_idx[r]]]
+        rows.append(
+            {
+                "lp_cost": float(lp_cost[r]),
+                "cost_rel_gap": float(abs(lp_cost[r] / exact - 1.0)),
+                "orders_match": float(sol_order == list(order)),
+            }
+        )
+    return rows

@@ -24,6 +24,7 @@ import ast
 import sys
 from typing import Any, Sequence
 
+from repro.experiments.backends import MissingKernelError
 from repro.experiments.registry import get_scenario, list_scenarios, scenario_ids
 from repro.experiments.report import generate_markdown, results_to_json
 from repro.experiments.runner import run_scenarios
@@ -89,7 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["event", "vectorized", "auto"],
         default="auto",
         help="simulation backend: the per-replication event engine, the "
-        "batched vectorized kernels, or auto (kernel when one exists); "
+        "batched vectorized kernels (an error for scenarios without a "
+        "kernel), or auto (kernel when one exists, event otherwise); "
         "backends are bit-for-bit equivalent, so this only changes speed",
     )
     run.add_argument(
@@ -157,17 +159,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"--param key(s) {', '.join(unknown)} not declared by any "
             f"selected scenario; known parameters: {sorted(known)}"
         )
+    # an explicit vectorized request must fail fast, before any scenario
+    # burns simulation time whose results would then be discarded
+    if args.backend == "vectorized":
+        from repro.experiments.backends import resolve_backend
+
+        try:
+            for sid in ids:
+                resolve_backend(sid, "vectorized")
+        except MissingKernelError as exc:
+            raise CliError(str(exc)) from exc
     results = []
     for sid in ids:
-        res = run_scenarios(
-            [sid],
-            replications=args.replications,
-            seed=args.seed,
-            workers=args.workers,
-            params=params,
-            level=args.level,
-            backend=args.backend,
-        )[0]
+        try:
+            res = run_scenarios(
+                [sid],
+                replications=args.replications,
+                seed=args.seed,
+                workers=args.workers,
+                params=params,
+                level=args.level,
+                backend=args.backend,
+            )[0]
+        except MissingKernelError as exc:
+            raise CliError(str(exc)) from exc
         results.append(res)
         if not args.quiet:
             status = "PASS" if res.all_checks_pass else "FAIL"
@@ -184,7 +199,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "replications": args.replications,
         "seed": args.seed,
         "workers": args.workers,
-        "backend": args.backend,
+        # what the user asked for; each result entry additionally records
+        # the backend that actually ran (`"backend"` in the result dict),
+        # and the summary below makes an `auto` run reproducible from the
+        # report alone
+        "backend_requested": args.backend,
+        "resolved_backends": {res.scenario_id: res.backend for res in results},
         "level": args.level,
         "params": {k: repr(v) for k, v in params.items()},
     }

@@ -141,7 +141,11 @@ def _result_section(res: Mapping[str, Any]) -> list[str]:
     out.append(f"**Paper claim.** {res.get('claim', '')}\n")
     n = res.get("n_replications")
     seed = res.get("seed")
-    out.append(f"**Measured** ({n} replications, seed {seed}):\n")
+    backend = res.get("backend")
+    # name the backend that actually ran (never "auto"), so a report from
+    # an `--backend auto` run is reproducible from the document alone
+    backend_note = f", {backend} backend" if backend else ""
+    out.append(f"**Measured** ({n} replications, seed {seed}{backend_note}):\n")
     out.append("| metric | mean | ±hw (95%) | min | max |")
     out.append("|---|---|---|---|---|")
     for name, m in sorted(res.get("metrics", {}).items()):

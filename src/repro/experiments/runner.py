@@ -32,7 +32,12 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 from scipy import stats as _sps
 
-from repro.experiments.backends import resolve_backend, simulate_scenario_batch
+from repro.experiments.backends import (
+    BACKENDS,
+    MissingKernelError,
+    resolve_backend,
+    simulate_scenario_batch,
+)
 from repro.experiments.registry import Scenario, get_scenario, is_registered
 from repro.sim.replication import map_seed_chunks
 from repro.utils.rng import spawn_seed_sequences
@@ -229,8 +234,9 @@ def run_scenario(
         cross-backend test harness), so ``"auto"`` — use the kernel when
         one exists — never changes results, only wall-clock time.
         Requesting ``"vectorized"`` for a scenario without a kernel (or
-        for an ad-hoc, unregistered scenario object) falls back to the
-        event engine.
+        for an ad-hoc, unregistered scenario object) raises
+        :class:`~repro.experiments.backends.MissingKernelError` naming
+        the scenario instead of silently running the event engine.
     """
     if replications < 1:
         raise ValueError("need at least one replication")
@@ -238,9 +244,18 @@ def run_scenario(
     merged = sc.params(params)
     seeds = spawn_seed_sequences(seed, replications)
     registered = is_registered(sc)
-    resolved = resolve_backend(sc.scenario_id, backend) if registered else "event"
-    if not registered and backend not in ("event", "vectorized", "auto"):
-        raise ValueError(f"unknown backend {backend!r}")
+    if registered:
+        resolved = resolve_backend(sc.scenario_id, backend)
+    else:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}")
+        if backend == "vectorized":
+            raise MissingKernelError(
+                f"ad-hoc scenario {sc.scenario_id!r} is not registered and "
+                f"has no vectorized kernel; request backend='event' or "
+                f"'auto' to run it on the event engine."
+            )
+        resolved = "event"
     # Registered scenarios ship only their id (workers re-resolve it, which
     # survives the spawn start method); ad-hoc Scenario objects ship their
     # simulate callable directly.

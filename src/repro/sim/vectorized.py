@@ -22,8 +22,21 @@ Two ingredients live here:
   the kernels: batched sequence flowtimes and brute-force permutation
   minima, the batched subset DP for exponential parallel machines,
   lockstep (all replications advance one event per step) simulators for
-  in-tree list scheduling and restless-fleet rollouts, and batched
-  product-/switching-MDP assembly.
+  in-tree list scheduling and restless-fleet rollouts, batched
+  product-/switching-MDP assembly, batched flow-shop recurrences, and a
+  batched restart-in-state Gittins solver;
+* **lockstep queueing simulators** — batched replacements for the
+  event-driven queueing machinery: :func:`lockstep_network_simulations`
+  (a flat, specialised re-implementation of
+  :func:`repro.queueing.network.simulate_network` that runs a whole
+  replication batch with per-replication clocks, queue windows and
+  server states kept in flat per-replication storage) and
+  :func:`lockstep_polling_simulations` (ditto for
+  :class:`repro.queueing.polling.PollingSystem`, with the service draws
+  consumed from pre-drawn standard-exponential blocks), plus
+  :func:`lockstep_heterogeneous_rollouts` for heterogeneous restless
+  fleets, which advances every replication's fleet one epoch per step on
+  shared ``(reps, projects, states)`` arrays.
 
 Bitwise-equality rules the primitives rely on (verified by the
 equivalence tests, so a platform where one failed would fail loudly):
@@ -39,7 +52,17 @@ equivalence tests, so a platform where one failed would fail loudly):
   ascending column order — the order a per-replication boolean mask
   produces;
 * ``np.linalg.solve`` on a stacked ``(N, S, S)`` system applies the same
-  LAPACK routine per slice as the ``(S, S)`` solve.
+  LAPACK routine per slice as the ``(S, S)`` solve;
+* a stacked ``(N, S, S) @ (N, S, 1)`` matmul equals the per-slice
+  ``(S, S) @ (S,)`` matrix–vector product, and ``(N, 1, S) @ (N, S, 1)``
+  equals the per-slice 1-D dot;
+* ``rng.exponential(scale, size=k)`` consumes the same bit stream as
+  ``k`` successive scalar ``rng.exponential(scale)`` calls, and
+  ``rng.exponential(scale) == scale * rng.standard_exponential()``
+  bit-for-bit (the scale is applied by one IEEE multiply), so scalar
+  exponential draws may be served from a pre-drawn
+  ``standard_exponential`` block even when consecutive draws use
+  different scales.
 """
 
 from __future__ import annotations
@@ -63,16 +86,21 @@ __all__ = [
     "subset_dp_batch",
     "lockstep_intree_makespans",
     "lockstep_restless_rollouts",
+    "lockstep_network_simulations",
+    "lockstep_polling_simulations",
+    "lockstep_heterogeneous_rollouts",
     "batched_product_mdp",
     "batched_switching_mdp",
     "exponential_family_st_ordered",
+    "flowshop_makespan_batch",
+    "restart_gittins_batch",
 ]
 
 BatchSimulateFn = Callable[
     [Sequence[np.random.SeedSequence], Mapping[str, Any]], "list[dict[str, float]]"
 ]
 
-KERNEL_MODES = ("batched", "cached")
+KERNEL_MODES = ("batched", "cached", "lockstep")
 
 
 @dataclass(frozen=True)
@@ -81,12 +109,17 @@ class VectorizedKernel:
 
     ``mode`` is ``"batched"`` when the kernel genuinely vectorizes the
     per-replication computation across replications (expect a large
-    speedup), or ``"cached"`` when the scenario is dominated by work that
-    is identical across replications — the kernel hoists that shared
-    computation out of the loop and leaves the per-replication stochastic
-    part on the event-driven machinery (expect a speedup proportional to
-    the hoisted fraction, which may be modest).  Both modes are
-    bit-for-bit equivalent to the event backend.
+    speedup); ``"lockstep"`` when the scenario is event-/epoch-driven and
+    the kernel advances the replication batch through the lockstep
+    queueing/rollout simulators in this module instead of the generic
+    event calendar (expect a solid constant-factor speedup from the
+    specialised simulators, bounded by any per-replication analysis the
+    scenario also performs); or ``"cached"`` when the scenario is
+    dominated by work that is identical across replications — the kernel
+    hoists that shared computation out of the loop and leaves the
+    per-replication stochastic part on the event-driven machinery (expect
+    a speedup proportional to the hoisted fraction, which may be modest).
+    All modes are bit-for-bit equivalent to the event backend.
     """
 
     scenario_id: str
@@ -248,6 +281,7 @@ def subset_dp_batch(
     objective: str = "flowtime",
     weights: np.ndarray | None = None,
     policy: str | None = None,
+    priority: np.ndarray | None = None,
 ) -> np.ndarray:
     """Batched version of :func:`repro.batch.exponential_dp._dp`.
 
@@ -256,9 +290,12 @@ def subset_dp_batch(
     once, with every state's value an ``(N,)`` vector.  ``objective`` is
     ``"flowtime"`` (holding cost ``sum of weights of uncompleted jobs``)
     or ``"makespan"`` (holding cost 1).  ``policy`` is ``None`` (optimise
-    over the ``C(|U|, k)`` actions), ``"sept"`` (largest rates first) or
-    ``"lept"`` (smallest rates first); policy ties break to the lowest job
-    id, exactly like :func:`repro.batch.exponential_dp.sept_action`.
+    over the ``C(|U|, k)`` actions), ``"sept"`` (largest rates first),
+    ``"lept"`` (smallest rates first) or ``"index"`` (largest entries of
+    the per-replication ``priority`` array of shape ``(N, n)`` first —
+    the static list policy E6's WSEPT action uses); policy ties break to
+    the lowest job id, exactly like
+    :func:`repro.batch.exponential_dp.sept_action`.
 
     Returns ``V[full mask]`` of shape ``(N,)``, bit-for-bit equal to
     running the scalar DP per replication.
@@ -273,8 +310,14 @@ def subset_dp_batch(
         raise ValueError("rates must be positive")
     if objective not in ("flowtime", "makespan"):
         raise ValueError(f"unknown objective {objective!r}")
-    if policy not in (None, "sept", "lept"):
+    if policy not in (None, "sept", "lept", "index"):
         raise ValueError(f"unknown policy {policy!r}")
+    if policy == "index":
+        if priority is None:
+            raise ValueError("policy='index' requires a priority array")
+        priority = np.asarray(priority, dtype=float)
+        if priority.shape != rates.shape:
+            raise ValueError("priority must have the same shape as rates")
     if objective == "flowtime":
         w = np.ones_like(rates) if weights is None else np.asarray(weights, dtype=float)
     rows = np.arange(N)
@@ -297,8 +340,11 @@ def subset_dp_batch(
                 best = np.minimum(best, val)
             V[:, mask] = best
         else:
-            r_jobs = rates[:, jobs]
-            key = -r_jobs if policy == "sept" else r_jobs
+            if policy == "index":
+                key = -priority[:, jobs]
+            else:
+                r_jobs = rates[:, jobs]
+                key = -r_jobs if policy == "sept" else r_jobs
             # stable argsort == sorted(jobs, key=(key, job id))
             chosen = np.asarray(jobs, dtype=np.intp)[
                 np.argsort(key, axis=1, kind="stable")[:, :k]
@@ -510,6 +556,637 @@ def batched_switching_mdp(
                 cols[nxt_local] = index_of[(tuple(nxt_core), a)]
             T[:, a, i, cols] = Ps[a][:, core[a], :]
     return T, R, states
+
+
+# ---------------------------------------------------------------------------
+# Lockstep multiclass queueing-network simulation (E10–E14, A2 families)
+# ---------------------------------------------------------------------------
+
+
+class _FlatNetwork:
+    """Replication-invariant tables for the flat network simulator,
+    computed once per batch: cumulative routing rows, service samplers,
+    arrival scales, and per-station discipline/priority structures."""
+
+    __slots__ = (
+        "network",
+        "cum_rows",
+        "row_last",
+        "costs",
+        "ascale",
+        "samplers",
+        "station_of",
+        "prio_pos",
+        "station_classes",
+        "disciplines",
+        "n_servers",
+        "priorities",
+    )
+
+    def __init__(self, network):
+        from repro.distributions.continuous import Exponential
+
+        self.network = network
+        n = network.n_classes
+        classes = network.classes
+        cum = np.cumsum(network.routing, axis=1)
+        self.cum_rows = [list(cum[j]) for j in range(n)]
+        self.row_last = [float(cum[j, -1]) for j in range(n)]
+        self.costs = np.array([c.cost for c in classes])
+        self.ascale = [
+            (1.0 / c.arrival_rate) if c.arrival_rate > 0 else None for c in classes
+        ]
+        # Exponential services collapse to one bound rng.exponential call
+        # with the very scale Exponential.sample computes (1.0 / rate);
+        # every other family keeps its own sample method — either way the
+        # consumed draws are the event path's.
+        self.samplers = []
+        for c in classes:
+            if type(c.service) is Exponential:
+                self.samplers.append((True, 1.0 / c.service.rate))
+            else:
+                self.samplers.append((False, c.service.sample))
+        self.station_of = [c.station for c in classes]
+        self.prio_pos = [
+            {c: p for p, c in enumerate(st.priority)} for st in network.stations
+        ]
+        self.station_classes = [
+            [j for j in range(n) if classes[j].station == k]
+            for k in range(len(network.stations))
+        ]
+        self.disciplines = [st.discipline for st in network.stations]
+        self.n_servers = [st.n_servers for st in network.stations]
+        self.priorities = [st.priority for st in network.stations]
+
+
+def _flat_network_run(prep, horizon, rng, warmup_fraction, max_events):
+    """One replication of the flat network simulator.
+
+    A specialised mirror of :func:`repro.queueing.network.simulate_network`
+    with the generic event calendar replaced by a min-scan over the live
+    events (the pending arrival per class, one completion per busy server,
+    the warm-up reset) ordered by the same ``(time, priority, seq)`` key,
+    the monitors replaced by inline float accumulators performing the
+    identical arithmetic, and every RNG draw made by the same call at the
+    same position in the stream.  Returns a
+    :class:`repro.queueing.network.NetworkResult`, bit-for-bit equal to
+    the event path's (including the post-run rng state).
+    """
+    import math as _math
+
+    from bisect import bisect_right
+
+    from repro.queueing.network import NetworkResult
+
+    net = prep.network
+    n = net.n_classes
+    K = len(net.stations)
+    rexp = rng.exponential
+    rrand = rng.random
+    samplers = prep.samplers
+    disciplines = prep.disciplines
+    n_servers = prep.n_servers
+    station_of = prep.station_of
+    # jobs are [cls, arrived, remaining, started] (mirrors _Jb);
+    # busy entries are [job, completion_time, completion_seq, start_time]
+    queues: list[list] = [[] for _ in range(n)]
+    busy: list[list] = [[] for _ in range(K)]
+    qlevel = [0.0] * n
+    qarea = [0.0] * n
+    qlast = [0.0] * n
+    mon_start = 0.0
+    wcount = [0] * n
+    wsum = [0.0] * n
+    wmean = [0.0] * n
+    visits = [0] * n
+    tlevel = 0.0
+    tpeak = 0.0
+    seq = 0
+    now = 0.0
+    arr_time: list = [None] * n
+    arr_seq = [0] * n
+    for j in range(n):
+        if prep.ascale[j] is not None:
+            arr_time[j] = rexp(prep.ascale[j])
+            arr_seq[j] = seq
+            seq += 1
+    warmup = warmup_fraction * horizon
+    wu_time = warmup if warmup > 0 else None
+    wu_seq = seq
+    if wu_time is not None:
+        seq += 1
+
+    def start_service(k, job):
+        nonlocal seq
+        if job[2] < 0:
+            is_exp, s = samplers[job[0]]
+            job[2] = float(rexp(s)) if is_exp else float(s(rng))
+        if job[3] < 0:
+            job[3] = now
+            cls = job[0]
+            wcount[cls] += 1
+            wsum[cls] += 1.0
+            delta = (now - job[1]) - wmean[cls]
+            wmean[cls] += (1.0 / wsum[cls]) * delta
+        busy[k].append([job, now + job[2], seq, now])
+        seq += 1
+
+    def enter_class(cls, job):
+        qarea[cls] += qlevel[cls] * (now - qlast[cls])
+        qlevel[cls] += 1.0
+        qlast[cls] = now
+        k = station_of[cls]
+        if len(busy[k]) < n_servers[k]:
+            start_service(k, job)
+            return
+        if disciplines[k] == "preemptive":
+            pp = prep.prio_pos[k]
+            worst = None
+            worst_p = -1
+            for e in busy[k]:
+                p = pp.get(e[0][0], 0)
+                if worst is None or p > worst_p:
+                    worst, worst_p = e, p
+            if pp.get(cls, 0) < worst_p:
+                wjob = worst[0]
+                busy[k].remove(worst)
+                wjob[2] -= now - worst[3]
+                if wjob[2] < 1e-12:
+                    wjob[2] = 1e-12
+                queues[wjob[0]].insert(0, wjob)
+                start_service(k, job)
+                return
+        queues[cls].append(job)
+
+    def pick_next(k):
+        d = disciplines[k]
+        if d in ("fifo", "lcfs"):
+            newest = d == "lcfs"
+            best = None
+            best_cls = -1
+            best_pos = -1
+            for j in prep.station_classes[k]:
+                if queues[j]:
+                    pos = -1 if newest else 0
+                    cand = queues[j][pos]
+                    if best is None or (
+                        cand[1] > best[1] if newest else cand[1] < best[1]
+                    ):
+                        best, best_cls, best_pos = cand, j, pos
+            if best is not None:
+                queues[best_cls].pop(best_pos)
+            return best
+        for cls in prep.priorities[k]:
+            if queues[cls]:
+                return queues[cls].pop(0)
+        return None
+
+    processed = 0
+    inf = _math.inf
+    while True:
+        if processed >= max_events:
+            break
+        # min-scan over the live events by (time, priority, seq) — the
+        # exact heap order of the generic engine (priority 0 everywhere
+        # except the warm-up reset's -10)
+        bt = inf
+        bp = 0
+        bs = -1
+        bkind = 0  # 1 = arrival, 2 = completion, 3 = warm-up
+        bj = -1
+        bk = -1
+        bentry = None
+        if wu_time is not None:
+            bt, bp, bs, bkind = wu_time, -10, wu_seq, 3
+        for j in range(n):
+            t = arr_time[j]
+            if t is not None and (
+                t < bt or (t == bt and (0, arr_seq[j]) < (bp, bs))
+            ):
+                bt, bp, bs, bkind, bj = t, 0, arr_seq[j], 1, j
+        for k in range(K):
+            for e in busy[k]:
+                t = e[1]
+                if t < bt or (t == bt and (0, e[2]) < (bp, bs)):
+                    bt, bp, bs, bkind, bk, bentry = t, 0, e[2], 2, k, e
+                    bj = -1
+        if bt > horizon:
+            now = horizon
+            break
+        now = bt
+        if bkind == 3:
+            wu_time = None
+            for j in range(n):
+                qarea[j] = 0.0
+                qlast[j] = now
+                wcount[j] = 0
+                wsum[j] = 0.0
+                wmean[j] = 0.0
+                visits[j] = 0
+            mon_start = now
+        elif bkind == 1:
+            j = bj
+            tlevel += 1.0
+            if tlevel > tpeak:
+                tpeak = tlevel
+            enter_class(j, [j, now, -1.0, -1.0])
+            arr_time[j] = now + rexp(prep.ascale[j])
+            arr_seq[j] = seq
+            seq += 1
+        else:
+            k = bk
+            job = bentry[0]
+            busy[k].remove(bentry)
+            cls = job[0]
+            visits[cls] += 1
+            qarea[cls] += qlevel[cls] * (now - qlast[cls])
+            qlevel[cls] -= 1.0
+            qlast[cls] = now
+            u = rrand()
+            if u < prep.row_last[cls]:
+                nxt = bisect_right(prep.cum_rows[cls], u)
+                enter_class(nxt, [nxt, now, -1.0, -1.0])
+            else:
+                tlevel -= 1.0
+                if tlevel > tpeak:
+                    tpeak = tlevel
+            ns = n_servers[k]
+            while len(busy[k]) < ns:
+                njob = pick_next(k)
+                if njob is None:
+                    break
+                start_service(k, njob)
+        processed += 1
+
+    denom = horizon - mon_start
+    Lbar = np.array(
+        [
+            (qarea[j] + qlevel[j] * (horizon - qlast[j])) / denom
+            if denom > 0
+            else _math.nan
+            for j in range(n)
+        ]
+    )
+    W = np.array([wmean[j] if wcount[j] else _math.nan for j in range(n)])
+    return NetworkResult(
+        mean_queue_lengths=Lbar,
+        mean_waits=W,
+        visit_counts=np.array(visits, dtype=np.int64),
+        cost_rate=float(np.dot(prep.costs, Lbar)),
+        final_backlog=float(tlevel),
+        peak_backlog=float(tpeak),
+        horizon=horizon,
+    )
+
+
+def lockstep_network_simulations(
+    network,
+    horizon: float,
+    rngs: Sequence[np.random.Generator],
+    *,
+    warmup_fraction: float = 0.1,
+    max_events: int = 20_000_000,
+):
+    """Run one :func:`repro.queueing.network.simulate_network` replication
+    per generator in ``rngs`` through the flat simulator.
+
+    The replication-invariant tables (cumulative routing rows, service
+    samplers, discipline structures) are prepared once for the batch;
+    each replication then advances through its own event sequence on flat
+    per-replication state, consuming exactly the draws the event path
+    makes — so every returned :class:`NetworkResult` is bit-for-bit the
+    event path's, and each generator in ``rngs`` is left in exactly the
+    state the event path would leave it in (the property E12's sequential
+    rho sweep relies on).
+    """
+    prep = _FlatNetwork(network)
+    return [
+        _flat_network_run(prep, horizon, rng, warmup_fraction, max_events)
+        for rng in rngs
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Lockstep polling simulation (E15 family)
+# ---------------------------------------------------------------------------
+
+
+def _flat_polling_run(
+    lam, svc_scales, sw_values, policy, horizon, rng, warmup_fraction, chunk=4096
+):
+    """One replication of the flat polling simulator (exponential
+    services, deterministic switchovers) — a mirror of
+    :meth:`repro.queueing.polling.PollingSystem.simulate`.
+
+    The arrival streams are pre-generated with the identical array draws;
+    after that the only randomness the event path consumes is one scalar
+    ``rng.exponential(scale_i)`` per service, which this mirror serves
+    from pre-drawn ``standard_exponential`` blocks multiplied by the
+    queue's scale (bit-identical; see the module equality rules).  The
+    pending customers of each queue form a contiguous window into its
+    arrival array, so the queue state is two integer pointers.  The
+    zero-switchover idle rule (a.s.-zero switchovers and an empty
+    zero-length sweep jump the clock to the next arrival and record no
+    cycle) is reproduced exactly.
+    """
+    from repro.queueing.polling import PollingResult
+
+    lam = np.asarray(lam, dtype=float)
+    n = lam.size
+    arrivals = []
+    for i in range(n):
+        li = lam[i]
+        if li == 0:
+            arrivals.append(np.array([np.inf]))
+            continue
+        m = int(li * horizon * 1.3) + 50
+        gaps = rng.exponential(1.0 / li, size=m)
+        ts = np.cumsum(gaps)
+        while ts[-1] < horizon:
+            more = rng.exponential(1.0 / li, size=m // 2 + 10)
+            ts = np.concatenate([ts, ts[-1] + np.cumsum(more)])
+        arrivals.append(ts)
+    arr_lists = [[float(x) for x in a] for a in arrivals]
+    sizes = [len(a) for a in arr_lists]
+    sw_zero = all(v == 0.0 for v in sw_values)
+    admit_ptr = [0] * n  # the event path's `heads`
+    serve_ptr = [0] * n  # front of the pending window
+    warmup = warmup_fraction * horizon
+    waits = np.zeros(n)
+    served = np.zeros(n, dtype=np.int64)
+    t = 0.0
+    i = 0
+    cycles = 0
+    cycle_start = 0.0
+    cycle_durations: list[float] = []
+    std_exp = rng.standard_exponential
+    buf = std_exp(chunk)
+    buf_pos = 0
+    gated = policy == "gated"
+    limited = policy == "limited"
+    h4 = horizon * 4
+    while t < horizon:
+        t += sw_values[i]
+        ts = arr_lists[i]
+        sz = sizes[i]
+        h = admit_ptr[i]
+        while h < sz and ts[h] <= t:
+            h += 1
+        admit_ptr[i] = h
+        if gated:
+            batch = admit_ptr[i] - serve_ptr[i]
+        elif limited:
+            batch = 1 if admit_ptr[i] > serve_ptr[i] else 0
+        else:
+            batch = -1
+        sv = 0
+        scale = svc_scales[i]
+        while admit_ptr[i] > serve_ptr[i] and (batch < 0 or sv < batch):
+            arr = ts[serve_ptr[i]]
+            serve_ptr[i] += 1
+            if t > warmup:
+                waits[i] += t - arr
+                served[i] += 1
+            if buf_pos == chunk:
+                buf = std_exp(chunk)
+                buf_pos = 0
+            t += float(scale * buf[buf_pos])
+            buf_pos += 1
+            sv += 1
+            h = admit_ptr[i]
+            while h < sz and ts[h] <= t:
+                h += 1
+            admit_ptr[i] = h
+            if batch < 0 and t > h4:
+                raise RuntimeError("polling simulation diverged")
+        i = (i + 1) % n
+        if i == 0:
+            if (
+                sw_zero
+                and t == cycle_start
+                and not any(admit_ptr[j] > serve_ptr[j] for j in range(n))
+            ):
+                nxt = min(
+                    (
+                        float(arr_lists[j][admit_ptr[j]])
+                        for j in range(n)
+                        if admit_ptr[j] < sizes[j]
+                    ),
+                    default=np.inf,
+                )
+                t = min(max(t, nxt), horizon)
+                cycle_start = t
+                continue
+            if cycles > 0:
+                cycle_durations.append(t - cycle_start)
+            cycle_start = t
+            cycles += 1
+    mean_waits = np.where(served > 0, waits / np.maximum(served, 1), np.nan)
+    rho_i = lam * np.asarray(svc_scales, dtype=float)
+    weighted = float(np.nansum(rho_i * mean_waits))
+    return PollingResult(
+        mean_waits=mean_waits,
+        served=served,
+        cycle_time=float(np.mean(cycle_durations)) if cycle_durations else np.nan,
+        weighted_wait_sum=weighted,
+    )
+
+
+def lockstep_polling_simulations(
+    arrival_rates,
+    service_rates,
+    switchover_values,
+    policy: str,
+    horizon: float,
+    rngs: Sequence[np.random.Generator],
+    *,
+    warmup_fraction: float = 0.1,
+):
+    """Run one polling replication per generator through the flat polling
+    simulator.
+
+    ``service_rates`` are the per-queue exponential service rates and
+    ``switchover_values`` the per-queue deterministic switchover times —
+    the structure :class:`PollingSystem` is exercised with throughout the
+    suite.  Each returned :class:`PollingResult` is bit-for-bit the event
+    path's for the same generator seed.  (Unlike the network simulator,
+    the pre-drawn service blocks leave the generators ahead of the event
+    path's final state — callers must treat them as consumed.)
+    """
+    scales = [1.0 / r for r in service_rates]
+    sw = [float(v) for v in switchover_values]
+    return [
+        _flat_polling_run(
+            arrival_rates, scales, sw, policy, horizon, rng, warmup_fraction
+        )
+        for rng in rngs
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Lockstep heterogeneous restless-fleet rollouts (E19 family)
+# ---------------------------------------------------------------------------
+
+
+def lockstep_heterogeneous_rollouts(
+    idx_tables: np.ndarray,
+    cum0: np.ndarray,
+    cum1: np.ndarray,
+    R0: np.ndarray,
+    R1: np.ndarray,
+    m_active: int,
+    horizon: int,
+    rngs: Sequence[np.random.Generator],
+    *,
+    warmup: int = 0,
+) -> np.ndarray:
+    """All replications of a *heterogeneous* restless-fleet rollout
+    advanced in lockstep (cf. :func:`lockstep_restless_rollouts`, whose
+    projects are i.i.d. and shared across the fleet).
+
+    Every array stacks replications on axis 0 and the fleet's projects on
+    axis 1: ``idx_tables``/``R0``/``R1`` are ``(N, K, S)`` and
+    ``cum0``/``cum1`` are the row-cumsum transition matrices ``(N, K, S,
+    S)``.  Each replication draws ``rngs[r].random(K)`` once per epoch —
+    the single draw
+    :func:`repro.bandits.heterogeneous.simulate_heterogeneous_restless`
+    makes — and the per-epoch reward is accumulated project-by-project in
+    ascending id order, exactly like the event path's scalar loop.
+    Returns the per-replication average total reward per epoch after
+    ``warmup``, shape ``(N,)``.
+    """
+    N, K, S = idx_tables.shape
+    if not 0 <= m_active <= K:
+        raise ValueError("need 0 <= m_active <= n_projects")
+    if horizon <= warmup:
+        raise ValueError("horizon must exceed warmup")
+    if len(rngs) != N:
+        raise ValueError("need one generator per replication")
+    reps = np.arange(N)[:, None]
+    projs = np.arange(K)[None, :]
+    states = np.zeros((N, K), dtype=np.int64)
+    totals = np.zeros(N)
+    u = np.empty((N, K))
+    for t in range(horizon):
+        prio = idx_tables[reps, projs, states]
+        # stable argsort == lexsort((arange, -prio)): ties to lowest id
+        order = np.argsort(-prio, axis=1, kind="stable")
+        active = np.zeros((N, K), dtype=bool)
+        np.put_along_axis(active, order[:, :m_active], True, axis=1)
+        # the event path sums rewards with `reward += ...` over ascending
+        # project ids; accumulate column-by-column to reproduce the exact
+        # float addition order for any fleet size
+        rew = np.where(active, R1[reps, projs, states], R0[reps, projs, states])
+        reward = rew[:, 0].copy()
+        for k in range(1, K):
+            reward += rew[:, k]
+        for r in range(N):
+            u[r] = rngs[r].random(K)
+        cums = np.where(
+            active[:, :, None], cum1[reps, projs, states], cum0[reps, projs, states]
+        )
+        # searchsorted(cum, u, side="right") == #{cum entries <= u}
+        states = (u[:, :, None] >= cums).sum(axis=2)
+        if t >= warmup:
+            totals += reward
+    return totals / (horizon - warmup)
+
+
+# ---------------------------------------------------------------------------
+# Batched flow-shop recurrences (E17 family)
+# ---------------------------------------------------------------------------
+
+
+def flowshop_makespan_batch(
+    P: np.ndarray, order: Sequence[int], *, blocking: bool = False
+) -> np.ndarray:
+    """Batched :func:`repro.batch.flowshop.simulate_flowshop` makespans.
+
+    ``P`` has shape ``(N, n_jobs, m_machines)`` — one realised
+    processing-time matrix per replication; the permutation ``order`` is
+    shared.  The classical completion recurrence (and its blocking
+    variant) runs job-by-job with every intermediate an ``(N,)`` vector,
+    so each replication's floats follow the identical max/add sequence as
+    the scalar path.  Returns the ``(N,)`` makespans.
+    """
+    P = np.asarray(P, dtype=float)
+    if P.ndim != 3:
+        raise ValueError("P must be (N, n_jobs, m_machines)")
+    N, n, m = P.shape
+    if sorted(order) != list(range(n)):
+        raise ValueError("order must be a permutation of range(n)")
+    if not blocking:
+        prev = [np.zeros(N) for _ in range(m)]
+        for jid in order:
+            cur: list[np.ndarray] = []
+            for k in range(m):
+                start = np.maximum(prev[k], cur[k - 1] if k else 0.0)
+                cur.append(start + P[:, jid, k])
+            prev = cur
+        return prev[-1]
+    prev_dep = [np.zeros(N) for _ in range(m + 1)]
+    for jid in order:
+        dep = [np.zeros(N) for _ in range(m + 1)]
+        for k in range(m):
+            start = np.maximum(dep[k], prev_dep[k + 1]) if k else prev_dep[1]
+            start = np.maximum(start, dep[k])
+            finish = start + P[:, jid, k]
+            if k + 1 < m:
+                dep[k + 1] = np.maximum(finish, prev_dep[k + 2])
+            else:
+                dep[k + 1] = finish
+        prev_dep = dep
+    return prev_dep[m]
+
+
+# ---------------------------------------------------------------------------
+# Batched restart-in-state Gittins indices (A1 family)
+# ---------------------------------------------------------------------------
+
+
+def restart_gittins_batch(
+    Ps: np.ndarray,
+    Rs: np.ndarray,
+    beta: float,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200_000,
+) -> np.ndarray:
+    """Batched :func:`repro.bandits.gittins.gittins_indices_restart`.
+
+    ``Ps`` is ``(N, n, n)`` (one project transition matrix per
+    replication) and ``Rs`` is ``(N, n)``.  For each restart state the
+    value iteration runs over the whole batch at once — the stacked
+    ``(N, n, n) @ (N, n, 1)`` matmul applies the per-slice matrix–vector
+    product bit-for-bit — with converged replications frozen (they took
+    their final ``v = v_new`` assignment, exactly like the scalar break).
+    Returns the ``(N, n)`` index tables.
+    """
+    if not 0 <= beta < 1:
+        raise ValueError("beta must be in [0, 1)")
+    Ps = np.asarray(Ps, dtype=float)
+    Rs = np.asarray(Rs, dtype=float)
+    N, n, _ = Ps.shape
+    bP = beta * Ps
+    out = np.empty((N, n))
+    for s in range(n):
+        bPs = bP[:, s, :]
+        Rsv = Rs[:, s]
+        v = np.zeros((N, n))
+        active = np.ones(N, dtype=bool)
+        for _ in range(max_iter):
+            cont = Rs + (bP @ v[..., None])[..., 0]
+            rest = Rsv + (bPs[:, None, :] @ v[:, :, None])[:, 0, 0]
+            v_new = np.maximum(cont, rest[:, None])
+            converged = np.abs(v_new - v).max(axis=1) < tol * np.maximum(
+                1.0, np.abs(v_new).max(axis=1)
+            )
+            v = np.where(active[:, None], v_new, v)
+            active &= ~converged
+            if not active.any():
+                break
+        out[:, s] = (1.0 - beta) * v[:, s]
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -6,8 +6,8 @@ must return exactly the per-replication metric dictionaries the
 scenario's ``simulate`` function returns — same keys, identical floats.
 These tests enforce that promise for every registered kernel, through
 both the raw kernel interface and the runner, plus property-based tests
-that randomise the scenario parameters of the single-machine and
-parallel-machine kernels.
+that randomise the scenario parameters of the single-machine,
+parallel-machine, heavy-traffic (E12) and polling (E15) kernels.
 
 A failure here means a kernel (or a platform's numpy) broke one of the
 bitwise-equality rules documented in :mod:`repro.sim.vectorized` — the
@@ -23,6 +23,7 @@ import pytest
 
 from repro.experiments import kernel_ids, run_scenario, scenario_ids
 from repro.experiments.backends import (
+    MissingKernelError,
     resolve_backend,
     simulate_scenario_batch,
 )
@@ -33,11 +34,19 @@ from repro.utils.rng import spawn_seed_sequences
 # parameter overrides that shrink the slow scenarios so the exhaustive
 # equivalence sweep stays fast; equivalence must hold for any parameters
 FAST_PARAMS: dict[str, dict] = {
+    "E2": {"n_quanta": 6},
+    "E6": {"ns": (3, 5)},
     "E7": {"algo_states": 5},
     "E8": {"horizon": 80, "warmup": 10, "fleet_sizes": (5, 9)},
     "E10": {"horizon": 300.0},
     "E11": {"horizon": 250.0},
+    "E12": {"horizon": 300.0, "rhos": (0.6, 0.8)},
+    "E13": {"horizon": 200.0, "fluid_horizon": 10.0},
+    "E14": {"horizon": 300.0, "fluid_horizon": 30.0},
+    "E15": {"horizon": 800.0},
     "E16": {"sizes": (8, 15)},
+    "E19": {"horizon": 60, "warmup": 10},
+    "A2": {"horizon": 800.0},
 }
 
 REPLICATIONS = 3
@@ -68,7 +77,7 @@ def test_kernel_matches_event_backend_bitwise(sid):
     assert_rows_identical(event_rows, vec_rows, context=sid)
 
 
-@pytest.mark.parametrize("sid", ["E1", "E4", "E8", "E16"])
+@pytest.mark.parametrize("sid", ["E1", "E4", "E8", "E13", "E15", "E16"])
 def test_runner_samples_identical_across_backends(sid):
     kwargs = dict(
         replications=REPLICATIONS, seed=11, workers=1, params=FAST_PARAMS.get(sid)
@@ -81,29 +90,44 @@ def test_runner_samples_identical_across_backends(sid):
     assert ev.checks == vec.checks
 
 
-def test_auto_backend_picks_kernel_and_falls_back():
+def test_auto_backend_picks_kernel_and_vectorized_is_strict():
     assert resolve_backend("E1", "auto") == "vectorized"
     assert resolve_backend("E1", "event") == "event"
-    # no kernel registered for E2: explicit vectorized request falls back
-    assert resolve_backend("E2", "vectorized") == "event"
-    assert resolve_backend("E2", "auto") == "event"
+    # a scenario without a kernel: auto silently falls back, an explicit
+    # vectorized request is an error naming the scenario
+    assert resolve_backend("X99", "auto") == "event"
+    with pytest.raises(MissingKernelError, match="X99"):
+        resolve_backend("X99", "vectorized")
     with pytest.raises(ValueError):
         resolve_backend("E1", "warp-speed")
 
 
+def test_vectorized_request_for_adhoc_scenario_errors():
+    from repro.experiments.registry import Scenario
+
+    sc = Scenario(
+        scenario_id="ADHOC",
+        title="ad-hoc",
+        claim="-",
+        verdict="-",
+        simulate=lambda ss, params: {"x": 0.0},
+        defaults={},
+        checks={},
+    )
+    with pytest.raises(MissingKernelError, match="ADHOC"):
+        run_scenario(sc, replications=1, seed=0, workers=1, backend="vectorized")
+    # auto still falls back to the event engine for ad-hoc scenarios
+    res = run_scenario(sc, replications=1, seed=0, workers=1, backend="auto")
+    assert res.backend == "event"
+
+
 def test_every_kernel_id_is_a_registered_scenario():
+    # (the converse — every registered scenario has a kernel — is the
+    # coverage guard in tests/test_benchmark_coverage.py)
     registered = set(scenario_ids())
     for sid in kernel_ids():
         assert sid in registered
-        assert get_kernel(sid).mode in ("batched", "cached")
-
-
-def test_issue_minimum_kernel_coverage():
-    # the kernel families this backend must cover: single-machine
-    # WSEPT/LEPT, parallel-machine list scheduling, bandit rollouts, and
-    # the multiclass M/G/1 / Klimov pair
-    expected = {"E1", "E3", "E4", "E5", "E7", "E8", "E9", "E10", "E11", "E16", "E18"}
-    assert expected <= set(kernel_ids())
+        assert get_kernel(sid).mode in ("batched", "cached", "lockstep")
 
 
 def test_vectorized_chunking_cannot_change_results():
@@ -169,3 +193,45 @@ def test_property_parallel_machine_kernel_equivalence(seed, n_jobs, m, lo, width
     event_rows = [sc.simulate(ss, params) for ss in spawn_seed_sequences(seed, 2)]
     vec_rows = simulate_scenario_batch(sid, spawn_seed_sequences(seed, 2), params)
     assert_rows_identical(event_rows, vec_rows, context=f"{sid} seed={seed}")
+
+
+@_PROPERTY_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    rho_lo=st.floats(min_value=0.3, max_value=0.7),
+    rho_step=st.floats(min_value=0.05, max_value=0.25),
+    horizon=st.floats(min_value=50.0, max_value=300.0),
+)
+def test_property_heavy_traffic_kernel_equivalence(seed, rho_lo, rho_step, horizon):
+    # randomised traffic intensities: the lockstep M/M/m engine must track
+    # the event engine draw-for-draw across the whole rho sweep
+    sc = get_scenario("E12")
+    params = sc.params(
+        {"rhos": (rho_lo, min(rho_lo + rho_step, 0.95)), "horizon": horizon}
+    )
+    event_rows = [sc.simulate(ss, params) for ss in spawn_seed_sequences(seed, 2)]
+    vec_rows = simulate_scenario_batch("E12", spawn_seed_sequences(seed, 2), params)
+    assert_rows_identical(event_rows, vec_rows, context=f"E12 seed={seed}")
+
+
+@_PROPERTY_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    # short is either exactly zero (exercising the zero-switchover idle
+    # rule) or bounded away from it: a tiny-but-positive deterministic
+    # switchover forces *both* backends to tick ~horizon/switchover empty
+    # cycles — an inherent property of the model, not a backend difference
+    short=st.one_of(st.just(0.0), st.floats(min_value=0.02, max_value=0.3)),
+    extra=st.floats(min_value=0.05, max_value=0.5),
+    horizon=st.floats(min_value=100.0, max_value=1500.0),
+)
+def test_property_polling_kernel_equivalence(seed, short, extra, horizon):
+    # randomised switchover times, *including exactly zero* — the flat
+    # polling engine must reproduce the zero-switchover idle rule
+    sc = get_scenario("E15")
+    params = sc.params(
+        {"switchover_means": (short, short + extra), "horizon": horizon}
+    )
+    event_rows = [sc.simulate(ss, params) for ss in spawn_seed_sequences(seed, 2)]
+    vec_rows = simulate_scenario_batch("E15", spawn_seed_sequences(seed, 2), params)
+    assert_rows_identical(event_rows, vec_rows, context=f"E15 seed={seed}")

@@ -1,10 +1,19 @@
-"""Every registered scenario must have a benchmark consumer.
+"""Coverage guards: every registered scenario must have a benchmark
+consumer *and* a vectorized kernel.
 
 The benchmarks under ``benchmarks/bench_*.py`` are the human-facing
 claim-vs-measured tables; the registry is the machine-facing catalogue.
-This test keeps them in lock: a scenario added to the registry without a
-``bench_*.py`` file that consumes it (``get_scenario("<id>")``) fails
-here, as does a benchmark referencing an id the registry no longer knows.
+The first pair of tests keeps them in lock: a scenario added to the
+registry without a ``bench_*.py`` file that consumes it
+(``get_scenario("<id>")``) fails here, as does a benchmark referencing an
+id the registry no longer knows.
+
+The kernel-coverage guard enforces the other half of the backend
+contract: ``--backend vectorized`` hard-errors on scenarios without a
+kernel, so a scenario registered without one silently shrinks what the
+vectorized backend can run — this test fails instead, and
+``benchmarks/bench_a04_vectorized_speedup.py`` must gain a row for the
+new kernel (its BATCH table is asserted in sync with the registry).
 """
 
 from __future__ import annotations
@@ -12,7 +21,8 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-from repro.experiments import scenario_ids
+from repro.experiments import kernel_ids, scenario_ids
+from repro.sim.vectorized import KERNEL_MODES, get_kernel
 
 BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
 _GET_SCENARIO = re.compile(r"""get_scenario\(\s*["']([A-Za-z]+\d+)["']\s*\)""")
@@ -41,3 +51,29 @@ def test_no_benchmark_references_an_unknown_scenario():
         sid: files for sid, files in _consumed_ids().items() if sid not in known
     }
     assert not unknown, f"benchmarks reference unregistered scenarios: {unknown}"
+
+
+def test_every_registered_scenario_has_a_vectorized_kernel():
+    missing = sorted(set(scenario_ids()) - set(kernel_ids()))
+    assert not missing, (
+        f"registered scenarios without a vectorized kernel: {missing}; "
+        f"--backend vectorized would hard-error on them — add a kernel in "
+        f"src/repro/experiments/backends.py (see the lockstep queueing "
+        f"kernels for the event-driven pattern)"
+    )
+
+
+def test_every_kernel_declares_a_known_mode_and_a_note():
+    for sid in kernel_ids():
+        kernel = get_kernel(sid)
+        assert kernel.mode in KERNEL_MODES
+        assert kernel.note, f"kernel {sid} should document its strategy"
+
+
+def test_bench_a04_covers_every_kernel():
+    text = (BENCH_DIR / "bench_a04_vectorized_speedup.py").read_text()
+    quoted = set(re.findall(r"""["']([AE]\d+)["']""", text))
+    missing = sorted(set(kernel_ids()) - quoted)
+    assert not missing, (
+        f"bench_a04_vectorized_speedup.py BATCH table lacks kernels: {missing}"
+    )

@@ -344,6 +344,51 @@ def test_cli_unknown_scenario_errors(capsys):
     assert "unknown scenario" in capsys.readouterr().err
 
 
+def test_cli_vectorized_without_kernel_errors(capsys, monkeypatch):
+    # simulate a coverage gap: hide E5's kernel, then demand --backend
+    # vectorized — the CLI must fail with a message naming the scenario
+    # instead of silently running the event engine
+    from repro.sim import vectorized as vec
+
+    vec._ensure_loaded()
+    monkeypatch.delitem(vec._KERNELS, "E5")
+    code = cli_main(
+        ["run", "E5", "--replications", "1", "--backend", "vectorized", "--quiet"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "'E5'" in err and "no vectorized kernel" in err
+    # auto keeps the silent per-scenario fallback
+    assert (
+        cli_main(["run", "E5", "--replications", "1", "--backend", "auto", "--quiet"])
+        == 0
+    )
+
+
+def test_cli_json_records_requested_and_resolved_backends(tmp_path):
+    json_path = tmp_path / "results.json"
+    code = cli_main(
+        [
+            "run",
+            "E5",
+            "--replications",
+            "1",
+            "--backend",
+            "auto",
+            "--json",
+            str(json_path),
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    doc = json.loads(json_path.read_text())
+    # the config keeps what was asked for; the result entry and the
+    # resolved map record what actually ran — never "auto"
+    assert doc["config"]["backend_requested"] == "auto"
+    assert doc["config"]["resolved_backends"] == {"E5": "vectorized"}
+    assert doc["results"][0]["backend"] == "vectorized"
+
+
 def test_cli_unknown_param_key_errors(capsys):
     assert cli_main(["run", "E1", "--replications", "1", "--param", "bogus=1"]) == 2
     assert "bogus" in capsys.readouterr().err
