@@ -36,6 +36,25 @@ def main(argv: list[str] | None = None) -> int:
         help="simulation backend (bit-for-bit equivalent; auto = kernel "
         "when one exists)",
     )
+    parser.add_argument(
+        "--target-precision",
+        type=float,
+        metavar="REL",
+        help="adaptive mode: grow each scenario's replication count until "
+        "every metric's relative CI half-width is <= REL "
+        "(--replications is then ignored)",
+    )
+    parser.add_argument(
+        "--min-reps", type=int, help="adaptive mode: first evaluation point"
+    )
+    parser.add_argument(
+        "--max-reps", type=int, help="adaptive mode: hard replication cap"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="reuse/extend cached replications from this sample store",
+    )
     parser.add_argument("--json", metavar="PATH", help="also write JSON results")
     parser.add_argument(
         "--out", metavar="PATH", default="EXPERIMENTS.md", help="Markdown output path"
@@ -58,6 +77,14 @@ def main(argv: list[str] | None = None) -> int:
         "--markdown",
         args.out,
     ]
+    if args.target_precision is not None:
+        cli_args += ["--target-precision", str(args.target_precision)]
+    if args.min_reps is not None:
+        cli_args += ["--min-reps", str(args.min_reps)]
+    if args.max_reps is not None:
+        cli_args += ["--max-reps", str(args.max_reps)]
+    if args.cache_dir:
+        cli_args += ["--cache-dir", args.cache_dir]
     if args.json:
         cli_args += ["--json", args.json]
     return cli_main(cli_args)

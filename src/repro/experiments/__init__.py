@@ -17,9 +17,20 @@ discoverable objects:
   vectorized kernels that run all replications of a scenario at once on
   batched numpy arrays, bit-for-bit equivalent to the event-driven path
   (``backend="event" | "vectorized" | "auto"`` on the runner and CLI).
+* :mod:`repro.experiments.store` — the content-addressed, resumable
+  sample store: per-replication sample matrices keyed by
+  ``(scenario, canonical params, root seed)``, so re-runs (more
+  replications, tighter precision targets) reuse the cached prefix and
+  simulate only the remainder (``cache_dir=`` on the runner, ``--cache-dir``
+  on the CLI).
 * :mod:`repro.experiments.report` — structured JSON documents and the
   Markdown claim-vs-measured report.
 * :mod:`repro.experiments.cli` — the ``repro-experiments`` console script.
+
+Adaptive precision: pass ``target_precision=`` (``--target-precision``) to
+replace the fixed replication count with the sequential controller in
+:mod:`repro.sim.sequential`, which grows the count until every metric's
+confidence interval is tight enough and records the achieved ``n``.
 
 Typical use::
 
@@ -57,6 +68,8 @@ from repro.experiments.report import (
     results_to_document,
     results_to_json,
 )
+from repro.experiments.store import SampleStore
+from repro.sim.sequential import PrecisionTarget
 
 __all__ = [
     "Scenario",
@@ -78,4 +91,6 @@ __all__ = [
     "load_results",
     "results_to_document",
     "results_to_json",
+    "SampleStore",
+    "PrecisionTarget",
 ]

@@ -8,6 +8,13 @@ emits structured JSON and/or a Markdown claim-vs-measured report::
     repro-experiments run all --replications 20 --json results.json \\
         --markdown EXPERIMENTS.md
     repro-experiments run E10 E11 --param horizon=2000 --seed 7
+    repro-experiments run E1 E12 --target-precision 0.05 --cache-dir .cache
+
+The last form is adaptive: each scenario's replication count grows until
+every metric's relative CI half-width meets the target (within
+``--min-reps``/``--max-reps`` bounds), and the sample store under
+``--cache-dir`` lets a re-run with a tighter target reuse the cached
+replications and simulate only the remainder.
 
 Without an installed entry point the module form works identically::
 
@@ -28,6 +35,7 @@ from repro.experiments.backends import MissingKernelError
 from repro.experiments.registry import get_scenario, list_scenarios, scenario_ids
 from repro.experiments.report import generate_markdown, results_to_json
 from repro.experiments.runner import run_scenarios
+from repro.sim.sequential import DEFAULT_MAX_REPS, DEFAULT_MIN_REPS
 
 __all__ = ["main", "build_parser", "CliError"]
 
@@ -98,6 +106,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--level", type=float, default=0.95, help="confidence level"
     )
     run.add_argument(
+        "--target-precision",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="adaptive mode: grow the replication count until every "
+        "metric's relative CI half-width is <= REL (a deterministic "
+        "metric counts as met); --replications is ignored, the achieved "
+        "n is reported per scenario",
+    )
+    run.add_argument(
+        "--min-reps",
+        type=int,
+        default=None,
+        help="adaptive mode: first evaluation point (default "
+        f"{DEFAULT_MIN_REPS}); requires --target-precision",
+    )
+    run.add_argument(
+        "--max-reps",
+        type=int,
+        default=None,
+        help="adaptive mode: hard replication cap (default "
+        f"{DEFAULT_MAX_REPS}); requires --target-precision",
+    )
+    run.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed sample store: replications cached for the "
+        "same (scenario, params, seed) are reused and only the remainder "
+        "is simulated; the grown prefix is written back",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir (neither read nor write the sample store)",
+    )
+    run.add_argument(
         "--param",
         action="append",
         default=[],
@@ -146,11 +191,36 @@ def _resolve_ids(requested: Sequence[str]) -> list[str]:
         raise CliError(exc.args[0]) from exc
 
 
+def _validate_run_args(args: argparse.Namespace) -> None:
+    if args.replications < 1:
+        raise CliError("--replications must be at least 1")
+    if not 0 < args.level < 1:
+        raise CliError(
+            f"--level must be strictly between 0 and 1 (got {args.level}); "
+            f"e.g. 0.95 for a 95% confidence interval"
+        )
+    if args.target_precision is not None and not args.target_precision > 0:
+        raise CliError(
+            f"--target-precision must be > 0 (got {args.target_precision})"
+        )
+    if args.target_precision is None:
+        for flag, value in (("--min-reps", args.min_reps), ("--max-reps", args.max_reps)):
+            if value is not None:
+                raise CliError(f"{flag} requires --target-precision")
+    else:
+        if args.min_reps is not None and args.min_reps < 2:
+            raise CliError("--min-reps must be at least 2")
+        lo = args.min_reps if args.min_reps is not None else DEFAULT_MIN_REPS
+        hi = args.max_reps if args.max_reps is not None else DEFAULT_MAX_REPS
+        if hi < lo:
+            raise CliError(f"--max-reps ({hi}) must be >= --min-reps ({lo})")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     ids = _resolve_ids(args.scenarios)
     params = dict(args.param)
-    if args.replications < 1:
-        raise CliError("--replications must be at least 1")
+    _validate_run_args(args)
+    cache_dir = None if args.no_cache else args.cache_dir
     # every override must be meaningful for at least one selected scenario
     known = {k for sid in ids for k in get_scenario(sid).defaults}
     unknown = sorted(set(params) - known)
@@ -180,6 +250,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 params=params,
                 level=args.level,
                 backend=args.backend,
+                target_precision=args.target_precision,
+                min_reps=args.min_reps,
+                max_reps=args.max_reps,
+                cache_dir=cache_dir,
             )[0]
         except MissingKernelError as exc:
             raise CliError(str(exc)) from exc
@@ -188,10 +262,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             status = "PASS" if res.all_checks_pass else "FAIL"
             failing = [k for k, ok in res.checks.items() if not ok]
             extra = f"  failing: {', '.join(failing)}" if failing else ""
+            notes = []
+            if res.cached_replications:
+                notes.append(f"{res.cached_replications} cached")
+            if res.precision is not None:
+                notes.append(
+                    "target met"
+                    if res.precision["met"]
+                    else "target NOT met at max-reps"
+                )
+            note = f" ({', '.join(notes)})" if notes else ""
             print(
                 f"{res.scenario_id:>4}  {status}  "
                 f"{res.n_replications} reps in {res.elapsed_seconds:.2f}s "
-                f"[{res.backend}]{extra}",
+                f"[{res.backend}]{note}{extra}",
                 file=sys.stderr,
             )
 
@@ -207,24 +291,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "resolved_backends": {res.scenario_id: res.backend for res in results},
         "level": args.level,
         "params": {k: repr(v) for k, v in params.items()},
+        # adaptive mode: each result entry records the achieved n
+        # (`"n_replications"`) and the outcome (`"precision"`)
+        "target_precision": args.target_precision,
+        "min_reps": args.min_reps,
+        "max_reps": args.max_reps,
+        "cache_dir": cache_dir,
     }
     if args.json:
         text = results_to_json(
             results, config=config, include_samples=args.include_samples
         )
-        if args.json == "-":
-            print(text)
-        else:
-            with open(args.json, "w", encoding="utf-8") as fh:
-                fh.write(text + "\n")
+        _emit(args.json, text)
     if args.markdown:
-        text = generate_markdown(results)
-        if args.markdown == "-":
-            print(text)
-        else:
-            with open(args.markdown, "w", encoding="utf-8") as fh:
-                fh.write(text + "\n")
+        _emit(args.markdown, generate_markdown(results))
     return 0 if all(r.all_checks_pass for r in results) else 1
+
+
+def _emit(path: str, text: str) -> None:
+    """Write a report to ``path`` ('-' = stdout); unwritable paths are a
+    :class:`CliError`, not a traceback."""
+    if path == "-":
+        print(text)
+        return
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    except OSError as exc:
+        raise CliError(f"cannot write report to {path!r}: {exc}") from exc
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -136,6 +136,34 @@ def _fmt(x: Any) -> str:
     return str(x)
 
 
+def _precision_line(precision: Mapping[str, Any], n: Any) -> str:
+    """One-line summary of an adaptive-precision run: the target, the
+    achieved ``n``, and whether the target was met."""
+    target = precision.get("target") or {}
+    criteria = []
+    if target.get("relative") is not None:
+        criteria.append(f"relative half-width ≤ {_fmt(target['relative'])}")
+    if target.get("absolute") is not None:
+        criteria.append(f"half-width ≤ {_fmt(target['absolute'])}")
+    scope = target.get("metrics")
+    scope_note = (
+        f" on {', '.join(f'`{m}`' for m in scope)}" if scope else " on every metric"
+    )
+    bounds = f"{precision.get('min_reps')}–{precision.get('max_reps')}"
+    if precision.get("met"):
+        verdict = f"**met** at n = {n}"
+    else:
+        unmet = precision.get("unmet_metrics") or []
+        verdict = (
+            f"**NOT met** at the n = {n} replication cap"
+            f" (still too wide: {', '.join(f'`{m}`' for m in unmet)})"
+        )
+    return (
+        f"**Adaptive precision.** Target {' or '.join(criteria)}{scope_note}, "
+        f"bounds {bounds}: {verdict}.\n"
+    )
+
+
 def _result_section(res: Mapping[str, Any]) -> list[str]:
     out = [f"\n## {res['scenario_id']} — {res.get('title', '')}\n"]
     out.append(f"**Paper claim.** {res.get('claim', '')}\n")
@@ -145,7 +173,15 @@ def _result_section(res: Mapping[str, Any]) -> list[str]:
     # name the backend that actually ran (never "auto"), so a report from
     # an `--backend auto` run is reproducible from the document alone
     backend_note = f", {backend} backend" if backend else ""
-    out.append(f"**Measured** ({n} replications, seed {seed}{backend_note}):\n")
+    cached = res.get("cached_replications") or 0
+    cache_note = f", {cached} from the sample store" if cached else ""
+    out.append(
+        f"**Measured** ({n} replications, seed {seed}{backend_note}"
+        f"{cache_note}):\n"
+    )
+    precision = res.get("precision")
+    if precision:
+        out.append(_precision_line(precision, n))
     out.append("| metric | mean | ±hw (95%) | min | max |")
     out.append("|---|---|---|---|---|")
     for name, m in sorted(res.get("metrics", {}).items()):

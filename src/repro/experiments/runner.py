@@ -21,16 +21,27 @@ kernel, through the batched kernel (see
 :mod:`repro.experiments.backends`).  The two backends are bit-for-bit
 equivalent per replication, so every statistic here is identical for any
 ``backend`` choice — and, as before, for any worker count.
+
+Two optional layers sit on top of the fixed-count loop:
+
+* ``target_precision`` switches to the adaptive sequential controller
+  (:mod:`repro.sim.sequential`): replications grow in chunks until every
+  requested metric's interval is tight enough, and the achieved ``n`` is
+  recorded in the result.
+* ``cache_dir`` plugs in the content-addressed sample store
+  (:mod:`repro.experiments.store`): cached replications for the same
+  ``(scenario, params, seed)`` are reused and only the remainder is
+  simulated — both preserve the bit-identical-samples contract.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 import numpy as np
-from scipy import stats as _sps
 
 from repro.experiments.backends import (
     BACKENDS,
@@ -39,8 +50,12 @@ from repro.experiments.backends import (
     simulate_scenario_batch,
 )
 from repro.experiments.registry import Scenario, get_scenario, is_registered
+from repro.experiments.store import SampleStore
 from repro.sim.replication import map_seed_chunks
+from repro.sim.sequential import PrecisionTarget, run_sequential_replications
 from repro.utils.rng import spawn_seed_sequences
+from repro.utils.serialization import jsonable as _jsonable
+from repro.utils.stats import summarize_rows
 
 __all__ = ["MetricSummary", "ScenarioResult", "run_scenario", "run_scenarios"]
 
@@ -88,6 +103,11 @@ class ScenarioResult:
     elapsed_seconds: float
     samples: dict[str, list[float]] = field(default_factory=dict, repr=False)
     backend: str = "event"  # the backend that actually ran (never "auto")
+    # adaptive-precision bookkeeping: None for fixed-n runs, else the
+    # target spec plus whether the achieved n (= n_replications) met it
+    precision: dict[str, Any] | None = None
+    # replications restored from the sample store instead of simulated
+    cached_replications: int = 0
 
     @property
     def all_checks_pass(self) -> bool:
@@ -114,25 +134,12 @@ class ScenarioResult:
             "all_checks_pass": self.all_checks_pass,
             "elapsed_seconds": self.elapsed_seconds,
             "backend": self.backend,
+            "precision": self.precision,
+            "cached_replications": self.cached_replications,
         }
         if include_samples:
             out["samples"] = {k: list(v) for k, v in self.samples.items()}
         return out
-
-
-def _jsonable(value: Any) -> Any:
-    """Recursively convert numpy scalars/arrays and tuples to JSON types."""
-    if isinstance(value, Mapping):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, np.ndarray):
-        return [_jsonable(v) for v in value.tolist()]
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    return value
 
 
 def _simulate_chunk(
@@ -164,39 +171,27 @@ def _simulate_chunk(
 def _aggregate(
     rows: list[dict[str, float]], level: float
 ) -> tuple[dict[str, MetricSummary], dict[str, list[float]]]:
-    """Vectorised aggregation: one (n_reps, n_metrics) matrix, statistics
-    computed per column in single numpy passes."""
-    names = sorted({k for row in rows for k in row})
-    matrix = np.full((len(rows), len(names)), np.nan)
-    for i, row in enumerate(rows):
-        for j, name in enumerate(names):
-            if name in row:
-                matrix[i, j] = row[name]
-    n = matrix.shape[0]
-    means = np.nanmean(matrix, axis=0)
-    mins = np.nanmin(matrix, axis=0)
-    maxs = np.nanmax(matrix, axis=0)
-    if n > 1:
-        stds = np.nanstd(matrix, axis=0, ddof=1)
-        t = float(_sps.t.ppf(0.5 + level / 2, df=n - 1))
-        half = t * stds / np.sqrt(n)
-    else:
-        stds = np.zeros(len(names))
-        half = np.full(len(names), np.inf)
+    """Vectorised aggregation via :func:`repro.utils.stats.summarize_rows`.
+
+    A metric reported by only ``k < n`` replications is aggregated over
+    its ``k`` observations — its ``MetricSummary.n``, t-quantile and
+    ``sqrt(n)`` all use ``k``, not the replication count — so intervals
+    for partially-reported metrics are never optimistically narrow."""
+    agg = summarize_rows(rows, level=level)
     metrics = {
         name: MetricSummary(
             name=name,
-            mean=float(means[j]),
-            half_width=float(half[j]),
-            std=float(stds[j]),
-            minimum=float(mins[j]),
-            maximum=float(maxs[j]),
+            mean=float(agg.mean[j]),
+            half_width=float(agg.half_width[j]),
+            std=float(agg.std[j]),
+            minimum=float(agg.minimum[j]),
+            maximum=float(agg.maximum[j]),
             level=level,
-            n=n,
+            n=int(agg.counts[j]),
         )
-        for j, name in enumerate(names)
+        for j, name in enumerate(agg.names)
     }
-    samples = {name: matrix[:, j].tolist() for j, name in enumerate(names)}
+    samples = {name: agg.matrix[:, j].tolist() for j, name in enumerate(agg.names)}
     return metrics, samples
 
 
@@ -209,15 +204,20 @@ def run_scenario(
     params: Mapping[str, Any] | None = None,
     level: float = 0.95,
     backend: str = "auto",
+    target_precision: PrecisionTarget | float | None = None,
+    min_reps: int | None = None,
+    max_reps: int | None = None,
+    cache_dir: str | os.PathLike | SampleStore | None = None,
 ) -> ScenarioResult:
-    """Run one scenario for ``replications`` independent replications.
+    """Run one scenario for a fixed or adaptively chosen replication count.
 
     Parameters
     ----------
     scenario:
         A :class:`~repro.experiments.registry.Scenario` or its id.
     replications:
-        Number of independent replications.
+        Number of independent replications (ignored when
+        ``target_precision`` is given — the controller picks ``n``).
     seed:
         Root seed; replication ``i`` always sees the same stream for a
         given root seed, independent of ``workers``.
@@ -227,7 +227,8 @@ def run_scenario(
     params:
         Overrides merged over the scenario's declared defaults.
     level:
-        Confidence level for the per-metric intervals.
+        Confidence level for the per-metric intervals (and the adaptive
+        stopping rule); must lie strictly inside (0, 1).
     backend:
         ``"event"``, ``"vectorized"`` or ``"auto"``.  Vectorized kernels
         are bit-for-bit equivalent to the event path (enforced by the
@@ -237,12 +238,35 @@ def run_scenario(
         for an ad-hoc, unregistered scenario object) raises
         :class:`~repro.experiments.backends.MissingKernelError` naming
         the scenario instead of silently running the event engine.
+    target_precision:
+        Switch to adaptive sequential replication: a
+        :class:`~repro.sim.sequential.PrecisionTarget`, or a bare float
+        meaning a relative half-width target for every reported metric.
+        Replications run in growing chunks until the target is met (or
+        ``max_reps`` is hit); the achieved ``n`` is recorded in
+        ``n_replications`` and the outcome in ``ScenarioResult.precision``.
+        Stopping at ``n`` yields samples bit-identical to a fixed-``n``
+        run with the same seed, for any worker count and either backend.
+    min_reps, max_reps:
+        Bounds for the adaptive controller (defaults
+        ``DEFAULT_MIN_REPS``/``DEFAULT_MAX_REPS``); only valid together
+        with ``target_precision``.
+    cache_dir:
+        Directory (or :class:`~repro.experiments.store.SampleStore`) of
+        the content-addressed sample store.  Replications already cached
+        for this ``(scenario, params, seed)`` are reused and only the
+        remainder is simulated; afterwards the grown prefix is written
+        back.  Requires a registered scenario and a non-``None`` seed
+        (both are part of the content address).
     """
     if replications < 1:
         raise ValueError("need at least one replication")
+    if not 0 < level < 1:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    if target_precision is None and (min_reps is not None or max_reps is not None):
+        raise ValueError("min_reps/max_reps are only valid with target_precision")
     sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
     merged = sc.params(params)
-    seeds = spawn_seed_sequences(seed, replications)
     registered = is_registered(sc)
     if registered:
         resolved = resolve_backend(sc.scenario_id, backend)
@@ -256,14 +280,72 @@ def run_scenario(
                 f"'auto' to run it on the event engine."
             )
         resolved = "event"
+    store: SampleStore | None = None
+    if cache_dir is not None:
+        if not registered:
+            raise ValueError(
+                f"the sample store caches by scenario id, so ad-hoc scenario "
+                f"{sc.scenario_id!r} (not the registered instance) cannot be "
+                f"cached; run it without cache_dir"
+            )
+        if seed is None:
+            raise ValueError(
+                "seed=None draws fresh OS entropy, so cached samples could "
+                "never be reused; pass an integer seed to use cache_dir"
+            )
+        store = (
+            cache_dir
+            if isinstance(cache_dir, SampleStore)
+            else SampleStore(cache_dir)
+        )
     # Registered scenarios ship only their id (workers re-resolve it, which
     # survives the spawn start method); ad-hoc Scenario objects ship their
     # simulate callable directly.
     payload = (sc.scenario_id, None if registered else sc.simulate, merged, resolved)
 
+    cached_rows = store.load(sc.scenario_id, merged, seed) if store else None
+    cached_rows = cached_rows or []
+    precision: dict[str, Any] | None = None
     start = time.perf_counter()
-    rows = map_seed_chunks(_simulate_chunk, payload, seeds, workers=workers)
+    if target_precision is not None:
+
+        def chunk(seed_slice: Sequence[np.random.SeedSequence]) -> list:
+            return map_seed_chunks(
+                _simulate_chunk, payload, seed_slice, workers=workers
+            )
+
+        outcome = run_sequential_replications(
+            chunk,
+            seed=seed,
+            target=target_precision,
+            min_reps=min_reps,
+            max_reps=max_reps,
+            level=level,
+            initial_rows=cached_rows,
+        )
+        rows = outcome.rows
+        achieved = outcome.n
+        cached_used = achieved - outcome.simulated
+        precision = {
+            "target": outcome.target.to_dict(),
+            "min_reps": outcome.min_reps,
+            "max_reps": outcome.max_reps,
+            "met": outcome.met,
+            "unmet_metrics": list(outcome.unmet_metrics),
+            "rounds": outcome.rounds,
+        }
+    else:
+        seeds = spawn_seed_sequences(seed, replications)
+        cached_used = min(len(cached_rows), replications)
+        rows = cached_rows[:cached_used]
+        if cached_used < replications:
+            rows = rows + map_seed_chunks(
+                _simulate_chunk, payload, seeds[cached_used:], workers=workers
+            )
+        achieved = replications
     elapsed = time.perf_counter() - start
+    if store is not None:
+        store.save(sc.scenario_id, merged, seed, rows)
 
     metrics, samples = _aggregate(rows, level)
     checks = sc.evaluate_checks({k: v.mean for k, v in metrics.items()})
@@ -272,7 +354,7 @@ def run_scenario(
         title=sc.title,
         claim=sc.claim,
         verdict=sc.verdict,
-        n_replications=replications,
+        n_replications=achieved,
         seed=seed,
         params=dict(merged),
         metrics=metrics,
@@ -280,6 +362,8 @@ def run_scenario(
         elapsed_seconds=elapsed,
         samples=samples,
         backend=resolved,
+        precision=precision,
+        cached_replications=cached_used,
     )
 
 
@@ -292,6 +376,10 @@ def run_scenarios(
     params: Mapping[str, Any] | None = None,
     level: float = 0.95,
     backend: str = "auto",
+    target_precision: PrecisionTarget | float | None = None,
+    min_reps: int | None = None,
+    max_reps: int | None = None,
+    cache_dir: str | os.PathLike | SampleStore | None = None,
 ) -> list[ScenarioResult]:
     """Run several scenarios in sequence with a shared configuration.
 
@@ -299,7 +387,9 @@ def run_scenarios(
     parameter overrides in ``params`` are applied only where a scenario
     declares the parameter (unknown keys for a given scenario are skipped,
     so a shared ``horizon`` override can target just the simulation-backed
-    scenarios).
+    scenarios).  With ``target_precision`` each scenario stops at its own
+    achieved ``n``; with ``cache_dir`` every scenario reads and grows its
+    own entry in the shared sample store.
     """
     results = []
     for item in scenario_ids:
@@ -316,6 +406,10 @@ def run_scenarios(
                 params=overrides,
                 level=level,
                 backend=backend,
+                target_precision=target_precision,
+                min_reps=min_reps,
+                max_reps=max_reps,
+                cache_dir=cache_dir,
             )
         )
     return results

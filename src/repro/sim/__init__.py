@@ -16,6 +16,11 @@ from repro.sim.replication import (
     run_replications,
     run_replications_parallel,
 )
+from repro.sim.sequential import (
+    PrecisionTarget,
+    SequentialOutcome,
+    run_sequential_replications,
+)
 from repro.sim.vectorized import (
     VectorizedKernel,
     get_kernel,
@@ -36,6 +41,9 @@ __all__ = [
     "run_replications",
     "run_replications_parallel",
     "run_paired_replications",
+    "PrecisionTarget",
+    "SequentialOutcome",
+    "run_sequential_replications",
     "VectorizedKernel",
     "vectorized_kernel",
     "register_kernel",

@@ -1,11 +1,14 @@
 """Shared utilities: RNG stream management and statistical accumulators."""
 
 from repro.utils.rng import RandomStreams, as_generator, spawn_generators
+from repro.utils.serialization import canonical_json, jsonable
 from repro.utils.stats import (
     BatchMeans,
     ConfidenceInterval,
+    RowAggregate,
     RunningStats,
     mean_confidence_interval,
+    summarize_rows,
 )
 from repro.utils.validation import (
     check_nonnegative,
@@ -22,7 +25,11 @@ __all__ = [
     "RunningStats",
     "BatchMeans",
     "ConfidenceInterval",
+    "RowAggregate",
     "mean_confidence_interval",
+    "summarize_rows",
+    "jsonable",
+    "canonical_json",
     "check_positive",
     "check_nonnegative",
     "check_probability",

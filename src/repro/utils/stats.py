@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 from scipy import stats as _sps
@@ -20,6 +20,8 @@ __all__ = [
     "ConfidenceInterval",
     "mean_confidence_interval",
     "BatchMeans",
+    "RowAggregate",
+    "summarize_rows",
 ]
 
 
@@ -134,9 +136,16 @@ class ConfidenceInterval:
 
     @property
     def relative_half_width(self) -> float:
-        """Half width divided by |mean| (inf when mean is 0)."""
+        """Half width divided by |mean|.
+
+        The 0/0 case — a degenerate interval around an exactly-zero mean,
+        as produced by deterministic zero-valued metrics — is defined as 0
+        so such metrics can satisfy a relative-precision target; a genuine
+        nonzero half-width around a zero mean is ``inf`` (no finite
+        relative precision describes it).
+        """
         if self.mean == 0:
-            return math.inf
+            return 0.0 if self.half_width == 0 else math.inf
         return abs(self.half_width / self.mean)
 
     def __str__(self) -> str:
@@ -169,6 +178,110 @@ def mean_confidence_interval(
     s = float(xs.std(ddof=1))
     t = float(_sps.t.ppf(0.5 + level / 2, df=n - 1))
     return ConfidenceInterval(mean=m, half_width=t * s / math.sqrt(n), level=level, n=n)
+
+
+@dataclass(frozen=True)
+class RowAggregate:
+    """Column-wise summary statistics over replication rows.
+
+    One replication produces one row — a mapping of metric names to
+    floats; a metric may be absent from some rows (scenarios report some
+    metrics conditionally).  All per-column statistics use ``counts`` —
+    the number of rows actually reporting that metric — for the mean, the
+    t-quantile's degrees of freedom, and the ``sqrt(n)`` in the half
+    width, so partially-reported metrics get correct (not optimistically
+    narrow) intervals.
+
+    Columns appear in ``names`` order; ``matrix`` holds NaN where a row
+    did not report the metric.
+    """
+
+    names: tuple[str, ...]
+    matrix: np.ndarray
+    counts: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+    half_width: np.ndarray
+    minimum: np.ndarray
+    maximum: np.ndarray
+    level: float
+
+    def index(self, name: str) -> int:
+        """Column index of ``name`` (raises ``ValueError`` when absent)."""
+        return self.names.index(name)
+
+    def interval(self, name: str) -> ConfidenceInterval:
+        """The :class:`ConfidenceInterval` for one metric column."""
+        j = self.index(name)
+        return ConfidenceInterval(
+            mean=float(self.mean[j]),
+            half_width=float(self.half_width[j]),
+            level=self.level,
+            n=int(self.counts[j]),
+        )
+
+    @property
+    def relative_half_width(self) -> np.ndarray:
+        """Per-column relative half width (0/0 defined as 0, x/0 as inf)."""
+        out = np.empty(len(self.names))
+        for j in range(len(self.names)):
+            m, h = self.mean[j], self.half_width[j]
+            if m == 0:
+                out[j] = 0.0 if h == 0 else math.inf
+            else:
+                out[j] = abs(h / m)
+        return out
+
+
+def summarize_rows(
+    rows: Sequence[Mapping[str, float]], level: float = 0.95
+) -> RowAggregate:
+    """Aggregate replication rows into per-metric summary statistics.
+
+    Each statistic for a metric reported by ``k <= len(rows)``
+    replications is computed over those ``k`` values: the sample standard
+    deviation uses ``ddof=1`` with ``k`` observations, and the Student-t
+    half width uses ``df = k - 1`` and ``sqrt(k)``.  A metric seen in
+    fewer than two rows gets ``std = 0`` and an infinite half width (no
+    dispersion estimate exists).
+    """
+    if not 0 < level < 1:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    names = tuple(sorted({k for row in rows for k in row}))
+    matrix = np.full((len(rows), len(names)), np.nan)
+    for i, row in enumerate(rows):
+        for j, name in enumerate(names):
+            if name in row:
+                matrix[i, j] = row[name]
+    present = ~np.isnan(matrix)
+    counts = present.sum(axis=0)
+    safe = np.maximum(counts, 1)
+    sums = np.where(present, matrix, 0.0).sum(axis=0)
+    means = np.where(counts > 0, sums / safe, np.nan)
+    dev = np.where(present, matrix - means, 0.0)
+    m2 = (dev**2).sum(axis=0)
+    stds = np.where(counts > 1, np.sqrt(m2 / np.maximum(counts - 1, 1)), 0.0)
+    t = _sps.t.ppf(0.5 + level / 2, df=np.maximum(counts - 1, 1))
+    half = np.where(counts > 1, t * stds / np.sqrt(safe), np.inf)
+    mins = np.where(
+        counts > 0, np.where(present, matrix, np.inf).min(axis=0, initial=np.inf), np.nan
+    )
+    maxs = np.where(
+        counts > 0,
+        np.where(present, matrix, -np.inf).max(axis=0, initial=-np.inf),
+        np.nan,
+    )
+    return RowAggregate(
+        names=names,
+        matrix=matrix,
+        counts=counts,
+        mean=means,
+        std=stds,
+        half_width=half,
+        minimum=mins,
+        maximum=maxs,
+        level=level,
+    )
 
 
 class BatchMeans:

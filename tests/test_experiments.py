@@ -152,6 +152,68 @@ def test_run_scenario_accepts_unregistered_scenario_object():
     assert fanned.samples == serial.samples
 
 
+def _partial_simulate(ss, params):
+    # a metric reported by only some replications (the "sometimes" column)
+    rng = np.random.default_rng(ss)
+    row = {"always": float(rng.normal())}
+    if rng.random() < 0.5:
+        row["sometimes"] = float(rng.normal())
+    return row
+
+
+def test_partially_reported_metrics_use_per_metric_n():
+    # regression: _aggregate used the replication count n for every
+    # column, so metrics present in only k < n replications got
+    # optimistically narrow intervals and a wrong reported n
+    from scipy import stats as sps
+
+    sc = Scenario(
+        scenario_id="ZZPARTIAL",
+        title="partial",
+        claim="-",
+        verdict="-",
+        simulate=_partial_simulate,
+        checks={"always_finite": lambda m: np.isfinite(m["always"])},
+    )
+    res = run_scenario(sc, replications=16, seed=2, workers=1)
+    xs = np.asarray(res.samples["sometimes"], dtype=float)
+    present = xs[~np.isnan(xs)]
+    k = len(present)
+    assert 2 <= k < 16  # seed chosen so the column is genuinely partial
+    summary = res.metrics["sometimes"]
+    assert summary.n == k
+    assert res.metrics["always"].n == 16
+    t = float(sps.t.ppf(0.975, df=k - 1))
+    expected = t * float(present.std(ddof=1)) / np.sqrt(k)
+    assert summary.half_width == pytest.approx(expected, rel=1e-12)
+    assert summary.mean == pytest.approx(float(present.mean()), rel=1e-12)
+
+
+def test_metric_reported_once_gets_infinite_half_width():
+    sc = Scenario(
+        scenario_id="ZZONCE",
+        title="once",
+        claim="-",
+        verdict="-",
+        simulate=lambda ss, params: (
+            {"common": 1.0, "rare": 5.0}
+            if ss.spawn_key[-1] == 0
+            else {"common": 1.0}
+        ),
+    )
+    res = run_scenario(sc, replications=4, seed=0, workers=1)
+    assert res.metrics["rare"].n == 1
+    assert res.metrics["rare"].half_width == np.inf
+    assert res.metrics["common"].n == 4
+
+
+def test_run_scenario_rejects_invalid_level():
+    # regression: level >= 1 used to silently yield NaN half-widths
+    for bad in (0.0, 1.0, 1.5, -0.5):
+        with pytest.raises(ValueError, match="level"):
+            run_scenario("E5", replications=2, seed=0, workers=1, level=bad)
+
+
 # ---------------------------------------------------------------------------
 # replication layer
 # ---------------------------------------------------------------------------
@@ -392,6 +454,94 @@ def test_cli_json_records_requested_and_resolved_backends(tmp_path):
 def test_cli_unknown_param_key_errors(capsys):
     assert cli_main(["run", "E1", "--replications", "1", "--param", "bogus=1"]) == 2
     assert "bogus" in capsys.readouterr().err
+
+
+def test_cli_invalid_level_errors(capsys):
+    # regression: --level 1.5 used to run and silently report NaN
+    # half-widths; it must be a user-facing error instead
+    assert cli_main(["run", "E5", "--replications", "2", "--level", "1.5"]) == 2
+    assert "--level" in capsys.readouterr().err
+    assert cli_main(["run", "E5", "--replications", "2", "--level", "0"]) == 2
+
+
+def test_cli_unwritable_output_is_a_clean_error(tmp_path, capsys):
+    # regression: an unwritable --json/--markdown path raised a traceback
+    missing = tmp_path / "no-such-dir" / "results.json"
+    code = cli_main(
+        ["run", "E5", "--replications", "1", "--json", str(missing), "--quiet"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "cannot write report" in err
+    code = cli_main(
+        ["run", "E5", "--replications", "1", "--markdown", str(missing), "--quiet"]
+    )
+    assert code == 2
+
+
+def test_cli_adaptive_run_records_precision(tmp_path, capsys):
+    json_path = tmp_path / "results.json"
+    md_path = tmp_path / "report.md"
+    code = cli_main(
+        [
+            "run",
+            "E5",
+            "--target-precision",
+            "0.1",
+            "--min-reps",
+            "2",
+            "--max-reps",
+            "8",
+            "--json",
+            str(json_path),
+            "--markdown",
+            str(md_path),
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    doc = json.loads(json_path.read_text())
+    assert doc["config"]["target_precision"] == 0.1
+    res = doc["results"][0]
+    # E5 is deterministic, so the target is met at min_reps
+    assert res["n_replications"] == 2
+    assert res["precision"]["met"] is True
+    assert res["precision"]["target"]["relative"] == 0.1
+    assert "Adaptive precision." in md_path.read_text()
+
+
+def test_cli_adaptive_flag_validation(capsys):
+    assert cli_main(["run", "E5", "--min-reps", "4"]) == 2
+    assert "--target-precision" in capsys.readouterr().err
+    assert cli_main(["run", "E5", "--max-reps", "4"]) == 2
+    assert cli_main(["run", "E5", "--target-precision", "-0.1"]) == 2
+    assert (
+        cli_main(
+            ["run", "E5", "--target-precision", "0.1", "--min-reps", "9",
+             "--max-reps", "4"]
+        )
+        == 2
+    )
+
+
+def test_cli_cache_dir_reuses_samples_and_no_cache_disables(tmp_path):
+    cache = tmp_path / "cache"
+    args = ["run", "E5", "--replications", "3", "--seed", "0", "--quiet"]
+    json_path = tmp_path / "results.json"
+    assert cli_main(args + ["--cache-dir", str(cache)]) == 0
+    assert cli_main(
+        args + ["--cache-dir", str(cache), "--json", str(json_path)]
+    ) == 0
+    doc = json.loads(json_path.read_text())
+    assert doc["results"][0]["cached_replications"] == 3
+    assert doc["config"]["cache_dir"] == str(cache)
+    # --no-cache must neither read nor write the store
+    assert cli_main(
+        args + ["--cache-dir", str(cache), "--no-cache", "--json", str(json_path)]
+    ) == 0
+    doc = json.loads(json_path.read_text())
+    assert doc["results"][0]["cached_replications"] == 0
+    assert doc["config"]["cache_dir"] is None
 
 
 def test_cli_zero_replications_errors(capsys):

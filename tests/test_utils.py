@@ -9,16 +9,20 @@ from hypothesis import strategies as st
 
 from repro.utils import (
     BatchMeans,
+    ConfidenceInterval,
     RandomStreams,
     RunningStats,
     as_generator,
+    canonical_json,
     check_nonnegative,
     check_positive,
     check_probability,
     check_probability_matrix,
     check_substochastic_matrix,
+    jsonable,
     mean_confidence_interval,
     spawn_generators,
+    summarize_rows,
 )
 
 
@@ -138,6 +142,81 @@ class TestConfidenceInterval:
         ci = mean_confidence_interval([1.0, 2.0, 3.0])
         assert ci.lower < ci.mean < ci.upper
         assert ci.mean == pytest.approx(2.0)
+
+    def test_relative_half_width(self):
+        ci = mean_confidence_interval([9.0, 11.0])
+        assert ci.relative_half_width == pytest.approx(ci.half_width / 10.0)
+
+    def test_relative_half_width_zero_mean(self):
+        # regression: 0 ± 0 (a deterministic zero metric) used to report
+        # inf, making relative-precision targets unsatisfiable; the 0/0
+        # case is defined as 0, while a real spread around 0 stays inf
+        degenerate = ConfidenceInterval(mean=0.0, half_width=0.0, level=0.95, n=5)
+        assert degenerate.relative_half_width == 0.0
+        spread = ConfidenceInterval(mean=0.0, half_width=0.3, level=0.95, n=5)
+        assert math.isinf(spread.relative_half_width)
+
+
+class TestSummarizeRows:
+    def test_full_columns_match_mean_confidence_interval(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(5.0, 2.0, size=12)
+        agg = summarize_rows([{"x": float(v)} for v in xs], level=0.9)
+        ci = mean_confidence_interval(xs, level=0.9)
+        got = agg.interval("x")
+        assert got.mean == pytest.approx(ci.mean, rel=1e-12)
+        assert got.half_width == pytest.approx(ci.half_width, rel=1e-12)
+        assert got.n == 12
+
+    def test_partial_column_uses_its_own_count(self):
+        rows = [{"x": 1.0, "y": 4.0}, {"x": 2.0}, {"x": 3.0, "y": 6.0}]
+        agg = summarize_rows(rows)
+        assert tuple(agg.counts) == (3, 2)
+        y = agg.interval("y")
+        ref = mean_confidence_interval([4.0, 6.0])
+        assert y.n == 2
+        assert y.mean == pytest.approx(5.0)
+        assert y.half_width == pytest.approx(ref.half_width, rel=1e-12)
+        assert agg.minimum[agg.index("y")] == 4.0
+        assert agg.maximum[agg.index("y")] == 6.0
+
+    def test_single_observation_column_is_infinite(self):
+        agg = summarize_rows([{"x": 1.0, "y": 2.0}, {"x": 3.0}])
+        j = agg.index("y")
+        assert agg.counts[j] == 1
+        assert math.isinf(agg.half_width[j])
+        assert agg.std[j] == 0.0
+
+    def test_relative_half_width_rules(self):
+        rows = [{"zero": 0.0, "pos": 10.0}, {"zero": 0.0, "pos": 12.0}]
+        rel = summarize_rows(rows).relative_half_width
+        agg = summarize_rows(rows)
+        assert rel[agg.index("zero")] == 0.0  # 0/0 → 0
+        assert rel[agg.index("pos")] > 0
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError, match="level"):
+            summarize_rows([{"x": 1.0}], level=1.0)
+
+    def test_empty_rows(self):
+        agg = summarize_rows([])
+        assert agg.names == ()
+        assert agg.matrix.shape == (0, 0)
+
+
+class TestSerialization:
+    def test_jsonable_normalises_numpy_and_tuples(self):
+        value = {"a": np.int64(2), "b": (np.float64(1.5), 2), "c": np.arange(3)}
+        assert jsonable(value) == {"a": 2, "b": [1.5, 2], "c": [0, 1, 2]}
+
+    def test_canonical_json_is_order_free(self):
+        assert canonical_json({"b": 1, "a": (2, 3)}) == canonical_json(
+            {"a": [2, 3], "b": 1}
+        )
+
+    def test_canonical_json_rejects_unserialisable(self):
+        with pytest.raises(TypeError):
+            canonical_json({"fn": object()})
 
 
 class TestBatchMeans:
