@@ -3,39 +3,60 @@ policy can destabilise a network whose every station is nominally
 underloaded; FIFO survives; the naive fluid model misses it and the
 virtual-station augmented fluid predicts it.
 
-Driven by the experiment registry: each replication simulates the unstable
-exit-priority network, its FIFO twin and the safe variant, and runs both
-fluid models.
+Driven by the sweep subsystem: instead of a single horizon, a declarative
+`SweepSpec` runs the scenario along a horizon axis — divergence means the
+exit-priority backlog *grows with the horizon* while the FIFO twin and
+the safe variant stay bounded, which is asserted as a shape across sweep
+points.
 """
 
-from repro.experiments import get_scenario, run_scenario
+from repro.experiments import SweepSpec, get_scenario, run_sweep
 from repro.queueing import rybko_stolyar_network, virtual_station_load
 
 SC = get_scenario("E13")
 
+HORIZONS = [1000.0, 2000.0, 4000.0]
+
 
 def test_e13_rybko_stolyar_instability(benchmark, report):
-    res = run_scenario(SC, replications=4, seed=13, workers=1)
-    m = res.means()
+    sweep = run_sweep(
+        SweepSpec("E13", axes={"horizon": HORIZONS}),
+        replications=2,
+        seed=13,
+        workers=1,
+    )
+    means = [res.means() for res in sweep.results]
 
     bad = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=True)
     benchmark(lambda: virtual_station_load(bad))
 
     report(
-        "E13: Rybko–Stolyar network (station loads 0.7, virtual load 1.2; "
-        "4 replications)",
+        "E13: Rybko–Stolyar network along the horizon sweep (station loads "
+        "0.7, virtual load 1.2; 2 replications per point)",
         [
-            ("exit-priority backlog", m["bad_backlog"], m["virtual_load_bad"]),
-            ("FIFO backlog", m["fifo_backlog"], 0.0),
-            ("safe variant backlog", m["safe_backlog"], 0.0),
-            ("instability ratio", m["instability_ratio"], 10.0),
-            ("naive fluid says stable", m["naive_fluid_stable"], 1.0),
-            ("virtual-station fluid says stable", m["augmented_fluid_stable"], 0.0),
+            (
+                f"horizon={point.axis_values['horizon']:g}",
+                m["bad_backlog"],
+                m["fifo_backlog"],
+                m["safe_backlog"],
+                m["instability_ratio"],
+            )
+            for point, m in zip(sweep.points, means)
         ],
-        header=("case", "value", "reference"),
+        header=("sweep point", "bad backlog", "FIFO", "safe", "ratio"),
     )
 
-    assert res.all_checks_pass, res.checks
-    assert m["instability_ratio"] > 10.0  # the headline phenomenon
-    assert m["naive_fluid_stable"] == 1.0  # naive fluid misses it
-    assert m["augmented_fluid_stable"] == 0.0  # augmented fluid catches it
+    # every horizon shows the full phenomenon (the scenario's shape checks)
+    assert sweep.all_checks_pass, {
+        r.scenario_id: r.checks for r in sweep.results if not r.all_checks_pass
+    }
+    # divergence: the exit-priority backlog grows with the horizon ...
+    bad_backlogs = [m["bad_backlog"] for m in means]
+    assert bad_backlogs == sorted(bad_backlogs)
+    assert bad_backlogs[-1] > 2.0 * bad_backlogs[0]
+    # ... while the stable variants stay bounded at every horizon
+    assert all(m["fifo_backlog"] < 100.0 for m in means)
+    assert all(m["safe_backlog"] < 100.0 for m in means)
+    # the fluid verdicts are horizon-independent
+    assert all(m["naive_fluid_stable"] == 1.0 for m in means)
+    assert all(m["augmented_fluid_stable"] == 0.0 for m in means)

@@ -17,10 +17,10 @@ Run:  python examples/call_center_routing.py
 import numpy as np
 
 from repro.distributions import Exponential
+from repro.experiments import SweepSpec, run_sweep
 from repro.queueing import (
     optimal_average_cost,
     order_average_cost,
-    parallel_server_experiment,
     rybko_stolyar_network,
     simulate_network,
     virtual_station_load,
@@ -55,17 +55,34 @@ def part2_agent_pool() -> None:
     print("=" * 72)
     print("Part 2: agent pool under load — heavy-traffic optimality of cµ")
     print("=" * 72)
-    pts = parallel_server_experiment(
-        service_rates=[1.5, 1.2, 2.0],
-        costs=COST,
-        m=3,
-        rho_values=[0.6, 0.8, 0.9],
-        rng=np.random.default_rng(2),
-        horizon=40_000,
+    # The traffic-intensity grid is a declarative sweep over the registered
+    # heavy-traffic scenario (E12): one sweep point per rho, our call-centre
+    # classes as fixed base overrides, every point sharing the root seed
+    # (common random numbers across the grid).  Equivalent CLI:
+    #   repro-sweep run E12 --axis "rhos=(0.6,),(0.8,),(0.9,)" \
+    #       --base "mu=(1.5,1.2,2.0)" --base "costs=(6.0,2.5,1.0)" \
+    #       --base m=3 --base horizon=20000.0 --replications 3 --seed 2
+    sweep = run_sweep(
+        SweepSpec(
+            "E12",
+            axes={"rhos": [(0.6,), (0.8,), (0.9,)]},
+            base={
+                "mu": (1.5, 1.2, 2.0),
+                "costs": tuple(COST),
+                "m": 3,
+                "horizon": 20_000.0,
+            },
+        ),
+        replications=3,
+        seed=2,
     )
     print(f"{'rho':>5} {'cµ cost (3 agents)':>20} {'pooled bound':>14} {'ratio':>8}")
-    for p in pts:
-        print(f"{p.rho:>5.2f} {p.cmu_cost:>20.3f} {p.pooled_bound:>14.3f} {p.ratio:>8.3f}")
+    for point, res in zip(sweep.points, sweep.results):
+        m = res.means()
+        print(
+            f"{point.axis_values['rhos'][0]:>5.2f} {m['last_cost']:>20.3f} "
+            f"{m['last_bound']:>14.3f} {m['last_ratio']:>8.3f}"
+        )
     print("The ratio tends to 1: in heavy traffic the simple index rule is")
     print("asymptotically as good as a perfectly pooled super-agent.\n")
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public API surface.
+
+Walks every module under the packages named on the command line (default:
+``repro.experiments`` and ``repro.sim`` — the public face of the repo)
+and asserts that
+
+* every module has a module docstring,
+* every public top-level function and class *defined in* that module has
+  a docstring, and
+* every public method/property defined in such a class has a docstring
+  (inherited members and dataclass-generated dunders are out of scope).
+
+"Public" means the name does not start with ``_``.  Violations are
+printed one per line as ``module:qualname`` and the exit status is 1, so
+CI can gate on it::
+
+    PYTHONPATH=src python scripts/check_docstrings.py
+    PYTHONPATH=src python scripts/check_docstrings.py repro.experiments
+
+Imported re-exports are skipped (an object is checked only in the module
+whose ``__module__`` it carries), so each definition is reported once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import sys
+from types import ModuleType
+
+DEFAULT_PACKAGES = ("repro.experiments", "repro.sim")
+
+
+def iter_modules(package_name: str) -> list[ModuleType]:
+    """Import a package and every module beneath it, in name order."""
+    package = importlib.import_module(package_name)
+    modules = [package]
+    search = getattr(package, "__path__", None)
+    if search is not None:
+        for info in sorted(
+            pkgutil.walk_packages(search, prefix=package.__name__ + "."),
+            key=lambda info: info.name,
+        ):
+            modules.append(importlib.import_module(info.name))
+    return modules
+
+
+def _has_docstring(obj: object) -> bool:
+    doc = inspect.getdoc(obj)
+    return bool(doc and doc.strip())
+
+
+def _class_violations(cls: type, prefix: str) -> list[str]:
+    """Undocumented public methods/properties defined in ``cls`` itself."""
+    out = []
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        func = None
+        if isinstance(member, (staticmethod, classmethod)):
+            func = member.__func__
+        elif isinstance(member, property):
+            func = member.fget
+        elif inspect.isfunction(member):
+            func = member
+        if func is not None and not _has_docstring(func):
+            out.append(f"{prefix}.{name}")
+    return out
+
+
+def module_violations(module: ModuleType) -> list[str]:
+    """All undocumented public definitions of one module."""
+    out = []
+    if not _has_docstring(module):
+        out.append(f"{module.__name__}:<module docstring>")
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; checked where it is defined
+        label = f"{module.__name__}:{name}"
+        if not _has_docstring(obj):
+            out.append(label)
+        if inspect.isclass(obj):
+            out.extend(_class_violations(obj, label))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns 1 (and prints offenders) on any gap."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "packages",
+        nargs="*",
+        default=list(DEFAULT_PACKAGES),
+        help=f"packages to walk (default: {', '.join(DEFAULT_PACKAGES)})",
+    )
+    args = parser.parse_args(argv)
+
+    violations: list[str] = []
+    n_modules = 0
+    for package_name in args.packages:
+        for module in iter_modules(package_name):
+            n_modules += 1
+            violations.extend(module_violations(module))
+    if violations:
+        print(
+            f"{len(violations)} public definition(s) without a docstring:",
+            file=sys.stderr,
+        )
+        for item in violations:
+            print(f"  {item}", file=sys.stderr)
+        return 1
+    print(
+        f"docstring coverage OK: {n_modules} modules in "
+        f"{', '.join(args.packages)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

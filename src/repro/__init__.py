@@ -16,7 +16,11 @@ J. Niño-Mora, *Stochastic Scheduling* (Encyclopedia of Optimization, 2001):
   :mod:`repro.mdp`, :mod:`repro.sim`, :mod:`repro.utils`.
 """
 
-__version__ = "1.0.0"
+# The version participates in the sample store's content address
+# (repro/experiments/store.py): bump it whenever any scenario's simulate
+# output changes, so stale cached rows are never served.  1.1.0: the
+# sweep subsystem, and E12 gained the n_rhos/top_rho grid descriptors.
+__version__ = "1.1.0"
 
 from repro import batch, core, distributions, markov, mdp, sim, utils  # noqa: F401
 

@@ -23,9 +23,17 @@ discoverable objects:
   replications, tighter precision targets) reuse the cached prefix and
   simulate only the remainder (``cache_dir=`` on the runner, ``--cache-dir``
   on the CLI).
+* :mod:`repro.experiments.sweeps` — declarative parameter sweeps: a
+  :class:`~repro.experiments.sweeps.SweepSpec` (grid/zip/list of
+  parameter axes over one registered scenario, validated against its
+  param schema) expands into concrete points that run through
+  :func:`run_scenarios` — per-point sample-store cache entries, adaptive
+  precision, and backend choice all apply — and aggregate into a
+  long-form table plus per-axis marginal summaries.
 * :mod:`repro.experiments.report` — structured JSON documents and the
-  Markdown claim-vs-measured report.
+  Markdown claim-vs-measured report (and the sweep-report renderers).
 * :mod:`repro.experiments.cli` — the ``repro-experiments`` console script.
+* :mod:`repro.experiments.sweep_cli` — the ``repro-sweep`` console script.
 
 Adaptive precision: pass ``target_precision=`` (``--target-precision``) to
 replace the fixed replication count with the sequential controller in
@@ -64,11 +72,19 @@ from repro.experiments.runner import (
 )
 from repro.experiments.report import (
     generate_markdown,
+    generate_sweep_markdown,
     load_results,
     results_to_document,
     results_to_json,
+    sweep_to_json,
 )
 from repro.experiments.store import SampleStore
+from repro.experiments.sweeps import (
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
 from repro.sim.sequential import PrecisionTarget
 
 __all__ = [
@@ -88,9 +104,15 @@ __all__ = [
     "run_scenario",
     "run_scenarios",
     "generate_markdown",
+    "generate_sweep_markdown",
     "load_results",
     "results_to_document",
     "results_to_json",
+    "sweep_to_json",
     "SampleStore",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
     "PrecisionTarget",
 ]

@@ -155,6 +155,9 @@ def _float_rows(columns: Mapping[str, np.ndarray], n: int) -> list[dict[str, flo
     "jobs) cumsum instead of per-permutation Python loops",
 )
 def batch_e1(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``batched`` kernel for E1: runs all replications at once on arrays with a replication axis;
+    bit-for-bit equal to ``simulate_e1`` on the same seeds.
+    """
     from repro.batch.instances import DEFAULT_MEAN_RANGE, DEFAULT_WEIGHT_RANGE
 
     n_brute, n_jobs = int(params["n_brute"]), int(params["n_jobs"])
@@ -227,6 +230,9 @@ def _uniform_rates(seeds: Seeds, params: Params) -> np.ndarray:
     "states) plus a batched stochastic-order certification",
 )
 def batch_e3(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``batched`` kernel for E3: runs all replications at once on arrays with a replication axis;
+    bit-for-bit equal to ``simulate_e3`` on the same seeds.
+    """
     rates = _uniform_rates(seeds, params)
     m = int(params["m"])
     opt = subset_dp_batch(rates, m, objective="flowtime")
@@ -250,6 +256,9 @@ def batch_e3(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     note="makespan subset DP evaluated once over all replications",
 )
 def batch_e4(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``batched`` kernel for E4: runs all replications at once on arrays with a replication axis;
+    bit-for-bit equal to ``simulate_e4`` on the same seeds.
+    """
     rates = _uniform_rates(seeds, params)
     m = int(params["m"])
     opt = subset_dp_batch(rates, m, objective="makespan")
@@ -290,6 +299,9 @@ def _broadcast_deterministic(
     "evaluation serves every replication",
 )
 def batch_e5(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``cached`` kernel for E5: hoists the replication-invariant work and evaluates it once for the batch;
+    bit-for-bit equal to ``simulate_e5`` on the same seeds.
+    """
     return _broadcast_deterministic("E5", seeds, params)
 
 
@@ -300,6 +312,9 @@ def batch_e5(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "serves every replication",
 )
 def batch_e18(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``cached`` kernel for E18: hoists the replication-invariant work and evaluates it once for the batch;
+    bit-for-bit equal to ``simulate_e18`` on the same seeds.
+    """
     return _broadcast_deterministic("E18", seeds, params)
 
 
@@ -348,6 +363,9 @@ def _policy_values_batch(
     "index-algorithm cross-check keeps its own exact control flow",
 )
 def batch_e7(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``batched`` kernel for E7: runs all replications at once on arrays with a replication axis;
+    bit-for-bit equal to ``simulate_e7`` on the same seeds.
+    """
     from repro.bandits import (
         gittins_indices_restart,
         gittins_indices_vwb,
@@ -429,6 +447,9 @@ def batch_e7(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "lockstep across replications",
 )
 def batch_e8(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``batched`` kernel for E8: runs all replications at once on arrays with a replication axis;
+    bit-for-bit equal to ``simulate_e8`` on the same seeds.
+    """
     from repro.bandits import average_relaxation_bound, myopic_rule, whittle_rule
     from repro.experiments.scenarios import _e8_project
 
@@ -503,6 +524,9 @@ def batch_e8(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "heuristic policies share one set of VWB index tables",
 )
 def batch_e9(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``batched`` kernel for E9: runs all replications at once on arrays with a replication axis;
+    bit-for-bit equal to ``simulate_e9`` on the same seeds.
+    """
     from repro.bandits import gittins_indices_vwb, random_project
     from repro.mdp.core import FiniteMDP
     from repro.mdp.solvers import policy_iteration
@@ -581,6 +605,9 @@ def _crn_batches(seeds: Seeds, k: int) -> list[list[np.random.Generator]]:
     "flat lockstep engine",
 )
 def batch_e10(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``lockstep`` kernel for E10: drives the whole batch through the flat lockstep simulators;
+    bit-for-bit equal to ``simulate_e10`` on the same seeds.
+    """
     from repro.core.conservation import (
         check_strong_conservation,
         performance_polytope_vertices,
@@ -643,6 +670,9 @@ def batch_e10(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "lockstep engine",
 )
 def batch_e11(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``lockstep`` kernel for E11: drives the whole batch through the flat lockstep simulators;
+    bit-for-bit equal to ``simulate_e11`` on the same seeds.
+    """
     from repro.distributions import Exponential
     from repro.experiments.scenarios import (
         _E11_COSTS,
@@ -711,6 +741,9 @@ def batch_e11(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "on their own generators in the event path's order",
 )
 def batch_e16(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``batched`` kernel for E16: runs all replications at once on arrays with a replication axis;
+    bit-for-bit equal to ``simulate_e16`` on the same seeds.
+    """
     from repro.batch import random_intree
     from repro.utils.rng import crn_generators
 
@@ -772,6 +805,9 @@ def batch_e16(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "exact per-replication DPs",
 )
 def batch_e2(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``cached`` kernel for E2: hoists the replication-invariant work and evaluates it once for the batch;
+    bit-for-bit equal to ``simulate_e2`` on the same seeds.
+    """
     from repro.batch.sevcik import (
         DiscreteJob,
         GittinsJobIndex,
@@ -845,6 +881,9 @@ def batch_e2(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "batch with vector-valued states instead of once per replication",
 )
 def batch_e6(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``batched`` kernel for E6: runs all replications at once on arrays with a replication axis;
+    bit-for-bit equal to ``simulate_e6`` on the same seeds.
+    """
     ns = [int(n) for n in params["ns"]]
     m = int(params["m"])
     N = len(seeds)
@@ -896,6 +935,9 @@ def batch_e6(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "through the flat lockstep engine on its own carried-over stream",
 )
 def batch_e12(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``lockstep`` kernel for E12: drives the whole batch through the flat lockstep simulators;
+    bit-for-bit equal to ``simulate_e12`` on the same seeds.
+    """
     from repro.queueing.heavy_traffic import build_mmk, pooled_lower_bound
 
     mu = np.asarray(list(params["mu"]), dtype=float)
@@ -935,6 +977,8 @@ def batch_e12(seeds: Seeds, params: Params) -> list[dict[str, float]]:
             "min_ratio": min_ratio,
             "last_bound": float(bounds[-1]),
             "last_cost": costs_sim[-1],
+            "n_rhos": float(len(rhos)),
+            "top_rho": float(rhos[-1]),
         },
         N,
     )
@@ -953,6 +997,9 @@ def batch_e12(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "stochastic sample paths run through the flat lockstep engine",
 )
 def batch_e13(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``lockstep`` kernel for E13: drives the whole batch through the flat lockstep simulators;
+    bit-for-bit equal to ``simulate_e13`` on the same seeds.
+    """
     from repro.queueing import (
         FluidModel,
         is_fluid_stable,
@@ -1008,6 +1055,9 @@ def batch_e13(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "the CRN policy comparison runs through the flat lockstep engine",
 )
 def batch_e14(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``lockstep`` kernel for E14: drives the whole batch through the flat lockstep simulators;
+    bit-for-bit equal to ``simulate_e14`` on the same seeds.
+    """
     from repro.experiments.scenarios import _e14_network
     from repro.queueing import FluidModel, fluid_drain_time
 
@@ -1056,6 +1106,9 @@ def batch_e14(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "zero-switchover idle rule",
 )
 def batch_e15(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``lockstep`` kernel for E15: drives the whole batch through the flat lockstep simulators;
+    bit-for-bit equal to ``simulate_e15`` on the same seeds.
+    """
     from repro.distributions import Deterministic, Exponential
     from repro.experiments.scenarios import _E15_LAM
     from repro.queueing import pseudo_conservation_rhs
@@ -1112,6 +1165,9 @@ def batch_e15(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "once for the whole batch",
 )
 def batch_e17(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``batched`` kernel for E17: runs all replications at once on arrays with a replication axis;
+    bit-for-bit equal to ``simulate_e17`` on the same seeds.
+    """
     from repro.batch.flowshop import (
         johnson_order_deterministic,
         simulate_flowshop,
@@ -1165,6 +1221,9 @@ def batch_e17(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "runtime)",
 )
 def batch_e19(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``lockstep`` kernel for E19: drives the whole batch through the flat lockstep simulators;
+    bit-for-bit equal to ``simulate_e19`` on the same seeds.
+    """
     from repro.bandits import (
         heterogeneous_relaxation_bound,
         random_restless_project,
@@ -1232,6 +1291,9 @@ def batch_e19(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "keeps its exact per-replication control flow",
 )
 def batch_a1(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``batched`` kernel for A1: runs all replications at once on arrays with a replication axis;
+    bit-for-bit equal to ``simulate_a1`` on the same seeds.
+    """
     from repro.bandits import gittins_indices_vwb, random_project
 
     beta = float(params["beta"])
@@ -1264,6 +1326,9 @@ def batch_a1(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "through the flat lockstep engine",
 )
 def batch_a2(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``lockstep`` kernel for A2: drives the whole batch through the flat lockstep simulators;
+    bit-for-bit equal to ``simulate_a2`` on the same seeds.
+    """
     from repro.distributions import Exponential
     from repro.queueing.mg1 import mm1_metrics
     from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
@@ -1306,6 +1371,9 @@ def batch_a2(seeds: Seeds, params: Params) -> list[dict[str, float]]:
     "replication's LP keeps its own exact HiGHS solve",
 )
 def batch_a3(seeds: Seeds, params: Params) -> list[dict[str, float]]:
+    """``batched`` kernel for A3: runs all replications at once on arrays with a replication axis;
+    bit-for-bit equal to ``simulate_a3`` on the same seeds.
+    """
     from scipy.optimize import linprog
 
     from repro.distributions import Exponential

@@ -22,6 +22,10 @@ Without an installed entry point the module form works identically::
 
 Results are deterministic in the root ``--seed``: for a fixed seed the
 point estimates are bit-identical for every ``--workers`` value.
+
+To run one scenario over a *grid* of parameter points (rather than one
+point per scenario), use the companion ``repro-sweep`` CLI
+(:mod:`repro.experiments.sweep_cli`).
 """
 
 from __future__ import annotations
@@ -44,6 +48,14 @@ class CliError(Exception):
     """A user-facing CLI error (printed without a traceback, exit 2)."""
 
 
+def _literal(raw: str) -> Any:
+    """A Python literal when possible, else the bare string."""
+    try:
+        return ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        return raw
+
+
 def _parse_param(text: str) -> tuple[str, Any]:
     """Parse a ``key=value`` override; the value is a Python literal when
     possible, else kept as a string."""
@@ -52,11 +64,7 @@ def _parse_param(text: str) -> tuple[str, Any]:
             f"parameter override {text!r} is not of the form key=value"
         )
     key, raw = text.split("=", 1)
-    try:
-        value = ast.literal_eval(raw)
-    except (ValueError, SyntaxError):
-        value = raw
-    return key.strip(), value
+    return key.strip(), _literal(raw)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -192,6 +200,9 @@ def _resolve_ids(requested: Sequence[str]) -> list[str]:
 
 
 def _validate_run_args(args: argparse.Namespace) -> None:
+    """Validate the runner flags shared by ``repro-experiments run`` and
+    ``repro-sweep run`` (replications, level, and the adaptive-precision
+    flag combinations); raises :class:`CliError` on misuse."""
     if args.replications < 1:
         raise CliError("--replications must be at least 1")
     if not 0 < args.level < 1:

@@ -35,6 +35,8 @@ __all__ = [
     "results_to_json",
     "load_results",
     "generate_markdown",
+    "sweep_to_json",
+    "generate_sweep_markdown",
 ]
 
 SCHEMA = "repro.experiments/v1"
@@ -225,3 +227,143 @@ def generate_markdown(
     for res in rows:
         out.extend(_result_section(res))
     return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# sweep reports (documents produced by SweepResult.to_document)
+# ---------------------------------------------------------------------------
+
+
+def sweep_to_json(document: Mapping[str, Any], *, indent: int | None = 2) -> str:
+    """Serialise a sweep document (``repro.sweeps/v1``) to strict JSON.
+
+    Applies the same non-finite-float sanitisation as the scenario
+    document serialiser: ``NaN``/``inf`` become ``null`` so the output
+    stays valid RFC 8259 for strict parsers."""
+    return json.dumps(_json_safe(dict(document)), indent=indent, allow_nan=False)
+
+
+def _axes_cell(axis_values: Mapping[str, Any], names: Sequence[str]) -> list[str]:
+    """One table cell per axis name ('—' where a list-mode point doesn't
+    cover the axis)."""
+    return [
+        _fmt(axis_values[name]) if name in axis_values else "—"
+        for name in names
+    ]
+
+
+def generate_sweep_markdown(document: Mapping[str, Any]) -> str:
+    """Render the Markdown sweep report from a ``repro.sweeps/v1`` document
+    (the output of :meth:`~repro.experiments.sweeps.SweepResult.to_document`).
+
+    The report shows the sweep header (scenario, mode, axes, run
+    configuration), a per-point table (axis values, achieved ``n``,
+    cache/backend bookkeeping, every metric as ``mean ±hw``), and one
+    marginal summary table per axis (metric means averaged over the other
+    axes)."""
+    spec = document.get("spec", {})
+    points = document.get("points", [])
+    axis_summaries = document.get("axis_summaries", {})
+    axis_names = list(axis_summaries) or sorted(
+        {name for p in points for name in p.get("axis_values", {})}
+    )
+    config = document.get("config", {})
+    sid = spec.get("scenario_id", "?")
+    title = next(
+        (p.get("result", {}).get("title") for p in points if p.get("result")), ""
+    )
+
+    out = [f"# Sweep — {sid}{' · ' + title if title else ''}\n"]
+    mode = spec.get("mode", "grid")
+    if mode == "list":
+        out.append(f"**Points.** explicit list of {len(points)} points.\n")
+    else:
+        axes_desc = "; ".join(
+            f"`{name}` ∈ {{{', '.join(_fmt(v) for v in values)}}}"
+            for name, values in spec.get("axes", {}).items()
+        )
+        out.append(f"**Axes** ({mode}, {len(points)} points): {axes_desc}.\n")
+    if spec.get("base"):
+        base_desc = ", ".join(
+            f"`{k}` = {_fmt(v)}" for k, v in spec["base"].items()
+        )
+        out.append(f"**Base overrides.** {base_desc}.\n")
+    if document.get("where"):
+        where_desc = ", ".join(
+            f"`{k}` = {_fmt(v)}" for k, v in document["where"].items()
+        )
+        out.append(f"**Point filter.** {where_desc}.\n")
+    if config:
+        cfg_desc = ", ".join(
+            f"{k} = {_fmt(v)}" for k, v in config.items() if v is not None
+        )
+        out.append(f"**Config.** {cfg_desc}.\n")
+    passed = sum(
+        1 for p in points if p.get("result", {}).get("all_checks_pass")
+    )
+    total = document.get("total_replications")
+    cached = document.get("cached_replications")
+    cache_note = (
+        f"; {cached}/{total} replications from the sample store"
+        if cached
+        else ""
+    )
+    out.append(
+        f"**Summary:** {passed}/{len(points)} points pass all shape checks"
+        f"{cache_note}.\n"
+    )
+
+    metric_names = sorted(
+        {name for p in points for name in p.get("result", {}).get("metrics", {})}
+    )
+    out.append("## Results by point\n")
+    header = (
+        ["#"] + [f"`{a}`" for a in axis_names]
+        + ["n", "cached", "backend", "checks"]
+        + [f"`{m}`" for m in metric_names]
+    )
+    out.append("| " + " | ".join(header) + " |")
+    out.append("|" + "---|" * len(header))
+    for p in points:
+        res = p.get("result", {})
+        metrics = res.get("metrics", {})
+        cells = [str(p.get("index", "?"))]
+        cells += _axes_cell(p.get("axis_values", {}), axis_names)
+        cells += [
+            _fmt(res.get("n_replications")),
+            _fmt(res.get("cached_replications", 0)),
+            str(res.get("backend", "?")),
+            "✅" if res.get("all_checks_pass") else "❌",
+        ]
+        for m in metric_names:
+            entry = metrics.get(m)
+            cells.append(
+                f"{_fmt(entry['mean'])} ±{_fmt(entry['half_width'])}"
+                if entry
+                else "—"
+            )
+        out.append("| " + " | ".join(cells) + " |")
+
+    for axis in axis_names:
+        rows = axis_summaries.get(axis)
+        if not rows:
+            continue
+        out.append(f"\n## Axis `{axis}` — marginal metric means\n")
+        out.append(
+            "Metric means averaged over the other axes, per value of "
+            f"`{axis}`.\n"
+        )
+        out.append(
+            "| `" + axis + "` | points | "
+            + " | ".join(f"`{m}`" for m in metric_names)
+            + " |"
+        )
+        out.append("|" + "---|" * (len(metric_names) + 2))
+        for row in rows:
+            cells = [_fmt(row.get("value")), _fmt(row.get("n_points"))]
+            means = row.get("metrics", {})
+            cells += [
+                _fmt(means[m]) if m in means else "—" for m in metric_names
+            ]
+            out.append("| " + " | ".join(cells) + " |")
+    return "\n".join(out) + "\n"

@@ -39,7 +39,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -373,43 +373,66 @@ def run_scenarios(
     replications: int = 10,
     seed: int | None = 0,
     workers: int | None = 1,
-    params: Mapping[str, Any] | None = None,
+    params: Mapping[str, Any] | Sequence[Mapping[str, Any] | None] | None = None,
     level: float = 0.95,
     backend: str = "auto",
     target_precision: PrecisionTarget | float | None = None,
     min_reps: int | None = None,
     max_reps: int | None = None,
     cache_dir: str | os.PathLike | SampleStore | None = None,
+    progress: Callable[[ScenarioResult], None] | None = None,
 ) -> list[ScenarioResult]:
     """Run several scenarios in sequence with a shared configuration.
 
-    Each scenario derives its replication seeds from the same root seed;
-    parameter overrides in ``params`` are applied only where a scenario
-    declares the parameter (unknown keys for a given scenario are skipped,
-    so a shared ``horizon`` override can target just the simulation-backed
-    scenarios).  With ``target_precision`` each scenario stops at its own
-    achieved ``n``; with ``cache_dir`` every scenario reads and grows its
-    own entry in the shared sample store.
+    Each scenario derives its replication seeds from the same root seed.
+    ``params`` comes in two forms:
+
+    * a single mapping — shared overrides, applied only where a scenario
+      declares the parameter (unknown keys for a given scenario are
+      skipped, so a shared ``horizon`` override can target just the
+      simulation-backed scenarios);
+    * a sequence aligned with ``scenario_ids`` — per-entry overrides,
+      applied *verbatim* to their entry (unknown keys raise, since a
+      positional override was clearly meant for that scenario).  The
+      sweep runner uses this form to run one scenario at many parameter
+      points; the same id may appear any number of times.
+
+    With ``target_precision`` each entry stops at its own achieved ``n``;
+    with ``cache_dir`` every entry reads and grows its own sample-store
+    record (distinct parameter points address distinct entries).
+    ``progress`` is called with each :class:`ScenarioResult` as it
+    completes, in order.
     """
-    results = []
-    for item in scenario_ids:
-        sc = get_scenario(item) if isinstance(item, str) else item
-        overrides = {
-            k: v for k, v in (params or {}).items() if k in sc.defaults
-        }
-        results.append(
-            run_scenario(
-                sc,
-                replications=replications,
-                seed=seed,
-                workers=workers,
-                params=overrides,
-                level=level,
-                backend=backend,
-                target_precision=target_precision,
-                min_reps=min_reps,
-                max_reps=max_reps,
-                cache_dir=cache_dir,
+    if params is None or isinstance(params, Mapping):
+        shared = params or {}
+        per_item: list[Mapping[str, Any] | None] = [None] * len(scenario_ids)
+    else:
+        if len(params) != len(scenario_ids):
+            raise ValueError(
+                f"per-scenario params sequence has {len(params)} entries "
+                f"for {len(scenario_ids)} scenarios"
             )
+        shared = None
+        per_item = list(params)
+    results = []
+    for item, overrides in zip(scenario_ids, per_item):
+        sc = get_scenario(item) if isinstance(item, str) else item
+        if shared is not None:
+            overrides = {k: v for k, v in shared.items() if k in sc.defaults}
+        result = run_scenario(
+            sc,
+            replications=replications,
+            seed=seed,
+            workers=workers,
+            params=overrides,
+            level=level,
+            backend=backend,
+            target_precision=target_precision,
+            min_reps=min_reps,
+            max_reps=max_reps,
+            cache_dir=cache_dir,
         )
+        results.append(result)
+        if progress is not None:
+            progress(result)
     return results

@@ -64,6 +64,11 @@ def _int_seed(rng: np.random.Generator) -> int:
     tags=("batch", "exact"),
 )
 def simulate_e1(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E1: WSEPT minimises expected weighted flowtime on one machine.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.batch import (
         brute_force_optimal_sequence,
         expected_weighted_flowtime,
@@ -122,6 +127,11 @@ def simulate_e1(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
     tags=("batch", "exact", "preemptive"),
 )
 def simulate_e2(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E2: Sevcik/Gittins preemptive index vs nonpreemptive WSEPT.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.batch.sevcik import (
         DiscreteJob,
         GittinsJobIndex,
@@ -201,6 +211,11 @@ def simulate_e2(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
     tags=("batch", "exact", "parallel-machines"),
 )
 def simulate_e3(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E3: SEPT minimises flowtime on identical parallel machines.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.batch import flowtime_dp, policy_flowtime_dp
     from repro.distributions import Exponential, is_stochastically_ordered_family
 
@@ -239,6 +254,11 @@ def simulate_e3(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
     tags=("batch", "exact", "parallel-machines"),
 )
 def simulate_e4(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E4: LEPT minimises expected makespan on identical parallel machines.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.batch import makespan_dp, policy_makespan_dp
 
     rng = np.random.default_rng(ss)
@@ -280,6 +300,11 @@ def simulate_e4(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
     tags=("batch", "exact", "counterexample"),
 )
 def simulate_e5(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E5: Two-point jobs on two machines break SEPT.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.batch import Job, sept_order
     from repro.batch.parallel import exact_two_point_list_flowtime
     from repro.distributions import TwoPoint
@@ -336,6 +361,11 @@ def simulate_e5(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
     tags=("batch", "exact", "asymptotics"),
 )
 def simulate_e6(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E6: WSEPT turnpike: the absolute gap is bounded in n.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.batch.turnpike import exact_gap_sweep
 
     rng = np.random.default_rng(ss)
@@ -376,6 +406,11 @@ def simulate_e6(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
     tags=("bandits", "exact"),
 )
 def simulate_e7(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E7: Gittins index rule vs exact product-space DP.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.bandits import (
         evaluate_priority_policy,
         gittins_indices_restart,
@@ -456,6 +491,11 @@ def _e8_project():
     tags=("bandits", "simulation", "asymptotics"),
 )
 def simulate_e8(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E8: Whittle index: near-optimality against the LP relaxation bound.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.bandits import (
         average_relaxation_bound,
         myopic_rule,
@@ -524,6 +564,11 @@ def simulate_e8(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
     tags=("bandits", "exact", "counterexample"),
 )
 def simulate_e9(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E9: Switching penalties break Gittins; hysteresis recovers the gap.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.bandits import (
         evaluate_switching_policy,
         gittins_with_hysteresis,
@@ -593,6 +638,11 @@ def _e10_services():
     tags=("queueing", "simulation", "conservation"),
 )
 def simulate_e10(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E10: cµ rule optimality for the multiclass M/G/1.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.core.conservation import (
         check_strong_conservation,
         performance_polytope_vertices,
@@ -675,6 +725,11 @@ _E11_FEEDBACK = (
     tags=("queueing", "simulation", "feedback"),
 )
 def simulate_e11(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E11: Klimov's index rule for the M/G/1 with feedback.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.distributions import Exponential
     from repro.queueing.klimov import klimov_indices, klimov_order
     from repro.queueing.mg1 import cmu_order
@@ -745,14 +800,26 @@ def simulate_e11(ss: np.random.SeedSequence, params: Params) -> dict[str, float]
     },
     checks={
         "bound_respected": lambda m: m["min_ratio"] > 0.9,
-        "ratio_decreases": lambda m: m["last_ratio"] < m["first_ratio"],
+        # a single-rho grid (e.g. one point of a `repro-sweep` rho sweep,
+        # where the decrease is asserted *across* sweep points) has no
+        # decrease to show — the check only claims it for real grids
+        "ratio_decreases": lambda m: m["n_rhos"] < 2
+        or m["last_ratio"] < m["first_ratio"],
         # at the default horizon the rho=0.95 point is still transient-
-        # biased; raise `horizon` for the sharper 1.1-style threshold
-        "heavy_traffic_tight": lambda m: m["last_ratio"] < 1.2,
+        # biased; raise `horizon` for the sharper 1.1-style threshold.
+        # Tightness is only claimed when the grid actually reaches heavy
+        # traffic (top rho >= 0.95)
+        "heavy_traffic_tight": lambda m: m["top_rho"] < 0.95
+        or m["last_ratio"] < 1.2,
     },
     tags=("queueing", "simulation", "heavy-traffic"),
 )
 def simulate_e12(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E12: cµ on parallel servers: asymptotic optimality in heavy traffic.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.queueing import parallel_server_experiment
 
     rng = np.random.default_rng(ss)
@@ -771,6 +838,10 @@ def simulate_e12(ss: np.random.SeedSequence, params: Params) -> dict[str, float]
         "min_ratio": float(min(ratios)),
         "last_bound": float(pts[-1].pooled_bound),
         "last_cost": float(pts[-1].cmu_cost),
+        # deterministic grid descriptors, so the shape checks can tell a
+        # real rho grid from a degenerate single-rho sweep point
+        "n_rhos": float(len(pts)),
+        "top_rho": float(pts[-1].rho),
     }
 
 
@@ -803,6 +874,11 @@ def simulate_e12(ss: np.random.SeedSequence, params: Params) -> dict[str, float]
     tags=("queueing", "simulation", "stability"),
 )
 def simulate_e13(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E13: Rybko–Stolyar: priority instability under nominal underload.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.queueing import (
         FluidModel,
         is_fluid_stable,
@@ -887,6 +963,11 @@ def _e14_network(priority_a, priority_b):
     tags=("queueing", "simulation", "fluid"),
 )
 def simulate_e14(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E14: Fluid-model heuristics rank MQN policies correctly.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.queueing import FluidModel, fluid_drain_time, simulate_network
 
     horizon = float(params["horizon"])
@@ -945,6 +1026,11 @@ _E15_LAM = (0.3, 0.2)
     tags=("queueing", "simulation", "polling"),
 )
 def simulate_e15(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E15: Polling with changeovers: exhaustive <= gated <= limited.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.distributions import Deterministic, Exponential
     from repro.queueing import PollingSystem, pseudo_conservation_rhs
 
@@ -1000,6 +1086,11 @@ def simulate_e15(ss: np.random.SeedSequence, params: Params) -> dict[str, float]
     tags=("batch", "simulation", "precedence"),
 )
 def simulate_e16(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E16: HLF asymptotic optimality under in-tree precedence.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.batch import random_intree, simulate_intree_makespan
     from repro.batch.precedence import hlf_policy, random_policy
 
@@ -1074,6 +1165,11 @@ _E17_RUNNER_UP = (3, 0, 4, 1, 2)
     tags=("batch", "simulation", "flowshop"),
 )
 def simulate_e17(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E17: Two-machine exponential flow shop: Talwar's rule.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.batch.flowshop import (
         johnson_order_deterministic,
         simulate_flowshop,
@@ -1136,6 +1232,11 @@ def simulate_e17(ss: np.random.SeedSequence, params: Params) -> dict[str, float]
     tags=("batch", "exact", "uniform-machines"),
 )
 def simulate_e18(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E18: Uniform machines: threshold structure beyond naive greedy.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.batch.uniform_machines import (
         greedy_assignment,
         uniform_flowtime_dp,
@@ -1193,6 +1294,11 @@ def simulate_e18(ss: np.random.SeedSequence, params: Params) -> dict[str, float]
     tags=("bandits", "simulation", "heterogeneous"),
 )
 def simulate_e19(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of E19: Heterogeneous restless fleets vs the Lagrangian bound.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.bandits import (
         heterogeneous_relaxation_bound,
         heterogeneous_whittle_rule,
@@ -1261,6 +1367,11 @@ def simulate_e19(ss: np.random.SeedSequence, params: Params) -> dict[str, float]
     tags=("bandits", "exact", "ablation"),
 )
 def simulate_a1(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of A1: Ablation: VWB vs restart-in-state Gittins algorithms.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.bandits import (
         gittins_indices_restart,
         gittins_indices_vwb,
@@ -1296,6 +1407,11 @@ def simulate_a1(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
     tags=("sim", "simulation", "ablation"),
 )
 def simulate_a2(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of A2: Ablation: event-engine M/M/1 accuracy anchor.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.distributions import Exponential
     from repro.queueing.mg1 import mm1_metrics
     from repro.queueing.network import (
@@ -1342,6 +1458,11 @@ def simulate_a2(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
     tags=("core", "exact", "ablation"),
 )
 def simulate_a3(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication of A3: Ablation: achievable-region LP route to the cµ rule.
+
+    Derives all randomness from ``ss`` and measures the metric
+    dictionary the registry entry's shape checks are evaluated on.
+    """
     from repro.core import achievable_region_lp
     from repro.distributions import Exponential
     from repro.queueing.mg1 import optimal_average_cost

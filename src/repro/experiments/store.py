@@ -171,6 +171,20 @@ class SampleStore:
             for i in range(matrix.shape[0])
         ]
 
+    def length(
+        self,
+        scenario_id: str,
+        params: Mapping[str, Any],
+        seed: int | np.random.SeedSequence,
+    ) -> int:
+        """Cached replication count for this identity (0 when absent).
+
+        Reads only the entry's metadata member — no matrix decode — so
+        sweep tooling can cheaply report how much of a parameter grid is
+        already served by the store."""
+        payload = self.payload(scenario_id, params, seed)
+        return self._entry_length(self.path(scenario_id, params, seed), payload)
+
     @staticmethod
     def _entry_length(path: Path, payload: Mapping[str, Any]) -> int:
         """Replication count of the entry at ``path``, reading only the

@@ -26,6 +26,11 @@ own seed's streams, so
 The chunk callable receives a contiguous slice of the pre-spawned seed
 list; vectorized backends consume such a slice natively as one kernel
 call, and parallel runners may subdivide it across workers freely.
+
+Layers above pass through unchanged: ``run_scenario(target_precision=…)``
+plugs this controller in per scenario, and a parameter sweep
+(:mod:`repro.experiments.sweeps`) applies it per sweep point — each point
+stops at its own achieved ``n``, with the same determinism contract.
 """
 
 from __future__ import annotations
