@@ -18,11 +18,27 @@ from repro.experiments import get_scenario, run_scenario
 SC = get_scenario("A1")
 
 
-def test_a01_gittins_algorithms_agree(benchmark, report):
+def test_a01_gittins_algorithms_agree(benchmark, report, record_bench):
     res = run_scenario(SC, replications=20, seed=1, workers=1)
 
     proj = random_project(50, np.random.default_rng(50))
     benchmark(lambda: gittins_indices_vwb(proj, 0.9))
+
+    import time
+
+    t_vwb = float("inf")
+    for _ in range(3):  # best-of-3 damps scheduler noise
+        t0 = time.perf_counter()
+        gittins_indices_vwb(proj, 0.9)
+        t_vwb = min(t_vwb, time.perf_counter() - t0)
+    record_bench(
+        "a01_index_algorithms",
+        {
+            "vwb_50_state_s": {"value": t_vwb, "unit": "s"},
+            "algo_diff_max": {"value": res.metrics["algo_diff"].maximum},
+        },
+        meta={"replications": 20, "vwb_states": 50},
+    )
 
     report(
         "A1: Gittins algorithms, 20 random 20-state instances",

@@ -17,7 +17,7 @@ from repro.experiments import get_scenario, run_scenario
 SC = get_scenario("A3")
 
 
-def test_a03_achievable_region_lp(benchmark, report):
+def test_a03_achievable_region_lp(benchmark, report, record_bench):
     res = run_scenario(SC, replications=40, seed=3, workers=1)
     m = res.means()
 
@@ -28,6 +28,22 @@ def test_a03_achievable_region_lp(benchmark, report):
     m2 = 2 * ms**2
     c = rng.uniform(0.3, 3.0, size=n)
     benchmark(lambda: achievable_region_lp(lam, ms, m2, c))
+
+    import time
+
+    t_lp = float("inf")
+    for _ in range(3):  # best-of-3 damps scheduler noise
+        t0 = time.perf_counter()
+        achievable_region_lp(lam, ms, m2, c)
+        t_lp = min(t_lp, time.perf_counter() - t0)
+    record_bench(
+        "a03_achievable_region",
+        {
+            "lp_solve_s": {"value": t_lp, "unit": "s"},
+            "cost_rel_gap_max": {"value": res.metrics["cost_rel_gap"].maximum},
+        },
+        meta={"replications": 40, "n_classes": n},
+    )
 
     report(
         "A3: achievable-region LP vs interchange/Cobham cµ "

@@ -21,6 +21,7 @@ batches.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.experiments import get_scenario, kernel_ids
@@ -54,6 +55,20 @@ BATCH = {
     "E19": (2, {"horizon": 400, "warmup": 40}),
 }
 
+# reduced set for the CI bench-smoke job: a few representative kernels
+# at small sizes, recorded under the `smoke` config label so the gate
+# compares them against the committed smoke baseline
+SMOKE_BATCH = {
+    # the batched kernels finish a handful of replications in
+    # microseconds — too small to time; give them enough reps that the
+    # vectorized side is measurable and the ratio stops jittering
+    "E1": (48, None),
+    "E4": (32, None),
+    "E12": (2, {"horizon": 300.0, "rhos": (0.6, 0.8)}),
+    "E15": (2, {"horizon": 1500.0}),
+    "E17": (32, None),
+}
+
 # kernels that still spend most of each replication outside the batched
 # part (cached hoists, or E19's per-replication bound/index solves): only
 # guard against regression, don't demand a speedup
@@ -61,30 +76,61 @@ _EVENT_BOUND_FLOOR = 0.7
 _REGRESSION_FLOOR_ONLY = {"E19"}
 
 
-def _measure(sid: str) -> tuple[float, float]:
+def smoke_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _outright(sid: str) -> bool:
+    mode = get_kernel(sid).mode
+    return (
+        mode == "batched" or mode == "lockstep" or sid in ("E5", "E18")
+    ) and sid not in _REGRESSION_FLOOR_ONLY
+
+
+def _measure(sid: str, batch) -> tuple[float, float]:
     sc = get_scenario(sid)
-    reps, overrides = BATCH[sid]
+    reps, overrides = batch[sid]
     params = sc.params(overrides)
-    t0 = time.perf_counter()
-    for ss in spawn_seed_sequences(4, reps):
-        sc.simulate(ss, params)
-    t_event = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    simulate_scenario_batch(sid, spawn_seed_sequences(4, reps), params)
-    t_vec = time.perf_counter() - t0
+    # the smoke batches are tiny, so a single-shot timing is dominated by
+    # first-call warmup noise — take best-of-2 there; the full batches
+    # are long enough to amortise it in one pass
+    t_event, t_vec = float("inf"), float("inf")
+    for _ in range(2 if smoke_mode() else 1):
+        t0 = time.perf_counter()
+        for ss in spawn_seed_sequences(4, reps):
+            sc.simulate(ss, params)
+        t_event = min(t_event, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        simulate_scenario_batch(sid, spawn_seed_sequences(4, reps), params)
+        t_vec = min(t_vec, time.perf_counter() - t0)
     return t_event, t_vec
 
 
-def test_a04_vectorized_speedup(benchmark, report):
-    assert set(BATCH) == set(kernel_ids()), "keep BATCH in sync with the registry"
+def test_a04_vectorized_speedup(benchmark, report, record_bench):
+    batch = SMOKE_BATCH if smoke_mode() else BATCH
+    if not smoke_mode():
+        assert set(BATCH) == set(kernel_ids()), "keep BATCH in sync with the registry"
     rows = []
     speedups = {}
-    for sid in kernel_ids():
-        t_event, t_vec = _measure(sid)
+    metrics = {}
+    for sid in sorted(batch, key=lambda s: (s[0], int(s[1:]))):
+        t_event, t_vec = _measure(sid, batch)
         speedups[sid] = t_event / t_vec
         rows.append(
             (f"{sid} [{get_kernel(sid).mode}]", t_event, t_vec, t_event / t_vec)
         )
+        # the speedup ratio is the gated metric (machine-robust); raw
+        # wall times ride along undirected, for the trajectory only
+        metrics[f"{sid}.speedup"] = {
+            "value": speedups[sid],
+            "direction": "higher",
+            "floor": 1.0 if _outright(sid) else _EVENT_BOUND_FLOOR,
+            # smoke ratios come from tiny batches on shared CI machines,
+            # so they need roughly double the slack of the full run
+            "tolerance": 0.50 if smoke_mode() else 0.30,
+        }
+        metrics[f"{sid}.event_s"] = {"value": t_event, "unit": "s"}
+        metrics[f"{sid}.vec_s"] = {"value": t_vec, "unit": "s"}
 
     sc = get_scenario("E1")
     params = sc.params()
@@ -96,19 +142,20 @@ def test_a04_vectorized_speedup(benchmark, report):
         rows,
         header=("kernel", "event s", "vectorized s", "speedup"),
     )
+    record_bench(
+        "a04_vectorized_speedup",
+        metrics,
+        meta={"replications": {sid: batch[sid][0] for sid in batch}},
+    )
 
     for sid, speedup in speedups.items():
-        mode = get_kernel(sid).mode
-        outright = (
-            mode == "batched" or mode == "lockstep" or sid in ("E5", "E18")
-        ) and sid not in _REGRESSION_FLOOR_ONLY
-        if outright:
+        if _outright(sid):
             assert speedup >= 1.0, (
                 f"{sid}: vectorized backend no faster than event "
                 f"({speedup:.2f}x) — kernel degenerated to the slow path?"
             )
         else:
             assert speedup >= _EVENT_BOUND_FLOOR, (
-                f"{sid}: {mode} kernel slower than the event path it wraps "
-                f"({speedup:.2f}x)"
+                f"{sid}: {get_kernel(sid).mode} kernel slower than the event "
+                f"path it wraps ({speedup:.2f}x)"
             )

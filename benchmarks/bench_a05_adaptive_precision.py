@@ -34,7 +34,7 @@ MIN_REPS, MAX_REPS = 4, 96
 FIXED = 24  # the one-size-fits-all budget the controller competes with
 
 
-def test_a05_adaptive_precision(benchmark, report):
+def test_a05_adaptive_precision(benchmark, report, record_bench):
     rows = []
     achieved = {}
     for sid, overrides in PANEL.items():
@@ -102,6 +102,23 @@ def test_a05_adaptive_precision(benchmark, report):
         )
         assert warm.cached_replications == cold.n_replications
         assert warm.n_replications >= cold.n_replications
+
+        record_bench(
+            "a05_adaptive_precision",
+            {
+                # fraction of the tighter re-run served from the store:
+                # the resume-economics claim, machine-independent
+                "resume_reuse_frac": {
+                    "value": warm.cached_replications / warm.n_replications,
+                    "direction": "higher",
+                    "tolerance": 0.30,
+                },
+                "adaptive_n_spread": {
+                    "value": max(achieved.values()) - min(achieved.values()),
+                },
+            },
+            meta={"target": TARGET, "tighter": TIGHTER, "panel": sorted(PANEL)},
+        )
 
     benchmark(
         lambda: run_scenario(

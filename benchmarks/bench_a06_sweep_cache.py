@@ -33,7 +33,7 @@ def _timed(spec, store, replications):
     return sweep, time.perf_counter() - start
 
 
-def test_a06_sweep_cache_resume(benchmark, report, tmp_path):
+def test_a06_sweep_cache_resume(benchmark, report, record_bench, tmp_path):
     store = tmp_path / "store"
     spec = SweepSpec("E1", axes=GRID)
 
@@ -61,6 +61,23 @@ def test_a06_sweep_cache_resume(benchmark, report, tmp_path):
             ("6-point grid", simulated(wider), wider.cached_replications, t_wide),
         ],
         header=("sweep", "simulated", "cached", "seconds"),
+    )
+
+    record_bench(
+        "a06_sweep_cache",
+        {
+            # cache hits make the re-run dramatically faster; gate the
+            # ratio (machine-robust), record the raw times undirected
+            "resume_speedup": {
+                "value": t_cold / t_resume,
+                "direction": "higher",
+                "floor": 1.0,
+                "tolerance": 0.50,
+            },
+            "cold_sweep_s": {"value": t_cold, "unit": "s"},
+            "resume_sweep_s": {"value": t_resume, "unit": "s"},
+        },
+        meta={"grid_points": 4, "replications": REPS},
     )
 
     assert simulated(cold) == 4 * REPS and cold.cached_replications == 0

@@ -10,11 +10,30 @@ to the claim it validates). Each test
   ``pytest benchmarks/ --benchmark-only`` also reports timings,
 * asserts the *shape* of the paper's claim (who wins, direction of trends),
   not absolute numbers.
+
+The ``bench_a0*.py`` ablation benches additionally emit a structured
+``repro.bench/v1`` record through the ``record_bench`` fixture.
+Recording is opt-in: set ``REPRO_BENCH_RECORD=1`` to append to the
+repo-root ``BENCH_a0x.json`` trajectory (or set it to an explicit path),
+and ``REPRO_BENCH_SMOKE=1`` to run the reduced CI sizes, which are
+recorded under the ``smoke`` config label so the regression gate always
+compares like against like.
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_config() -> str:
+    """Config label for this run: ``smoke`` under REPRO_BENCH_SMOKE."""
+    smoke = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+    return "smoke" if smoke else "full"
 
 
 @pytest.fixture
@@ -34,3 +53,27 @@ def report(capsys):
             print("=" * 78)
 
     return _print
+
+
+@pytest.fixture
+def record_bench(capsys):
+    """Append a ``repro.bench/v1`` record for this bench run (opt-in).
+
+    Call as ``record_bench("a04_vectorized_speedup", metrics, meta=...)``.
+    No-op unless ``REPRO_BENCH_RECORD`` is set; the config label follows
+    ``REPRO_BENCH_SMOKE``.
+    """
+
+    def _record(benchmark_id: str, metrics: dict, *, meta: dict | None = None) -> None:
+        flag = os.environ.get("REPRO_BENCH_RECORD", "")
+        if flag in ("", "0"):
+            return
+        from repro.bench import append_record, make_record
+
+        path = REPO_ROOT / "BENCH_a0x.json" if flag == "1" else Path(flag)
+        record = make_record(benchmark_id, metrics, config=bench_config(), meta=meta)
+        append_record(path, record)
+        with capsys.disabled():
+            print(f"\n[bench-record] {benchmark_id} ({record['config']}) -> {path}")
+
+    return _record

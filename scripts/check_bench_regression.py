@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Gate the benchmark trajectory against a committed baseline.
+
+Reads the ``repro.bench/v1`` trajectory (default: ``BENCH_a0x.json`` at
+the repo root), picks the newest record per ``(benchmark_id, config)``,
+and compares its directed metrics against the baseline — either the
+newest matching record of a separate ``--baseline`` file, or (default)
+the previous matching record of the same trajectory, which is exactly
+the committed state when CI appends one fresh record before gating::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py
+    PYTHONPATH=src python scripts/check_bench_regression.py \
+        --trajectory BENCH_a0x.json --baseline baseline.json --config smoke
+
+Per metric, ``"higher"`` fails when the value drops more than the
+tolerance below baseline, ``"lower"`` when it rises above; the
+tolerance is the larger of ``--default-tolerance`` and the metric's own
+``tolerance`` field, and absolute ``floor``s are enforced even without
+a baseline.  Benchmarks or metrics with no baseline counterpart are
+skipped (reported, not failed).
+
+Exit status: 0 when every gated benchmark passes or is skipped, 2 on
+any regression, 1 on malformed input (missing or corrupt trajectory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import BenchRecordError, check_regression, load_trajectory
+
+_STATUS_TAG = {"pass": "ok", "fail": "REGRESSION", "skip": "skipped"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; prints the per-benchmark verdict table."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trajectory",
+        default="BENCH_a0x.json",
+        help="trajectory file to gate (default: BENCH_a0x.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="separate baseline trajectory (default: the previous record "
+        "of --trajectory itself)",
+    )
+    parser.add_argument(
+        "--default-tolerance",
+        type=float,
+        default=0.25,
+        help="relative slack for metrics without their own tolerance "
+        "(default: 0.25)",
+    )
+    parser.add_argument(
+        "--benchmark-id", default=None, help="gate only this benchmark id"
+    )
+    parser.add_argument(
+        "--config", default=None, help="gate only this config label"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        candidates = load_trajectory(args.trajectory)
+    except FileNotFoundError:
+        print(f"error: trajectory {args.trajectory!r} not found", file=sys.stderr)
+        return 1
+    except BenchRecordError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    baselines = None
+    if args.baseline is not None:
+        try:
+            baselines = load_trajectory(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"baseline {args.baseline!r} not found: nothing to gate "
+                "against, skipping"
+            )
+            return 0
+        except BenchRecordError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    entries = check_regression(
+        candidates,
+        baselines,
+        default_tolerance=args.default_tolerance,
+        benchmark_id=args.benchmark_id,
+        config=args.config,
+    )
+    if not entries:
+        print("no matching bench records to gate, skipping")
+        return 0
+
+    failed = False
+    for entry in entries:
+        print(
+            f"[{_STATUS_TAG[entry.status]}] {entry.benchmark_id} "
+            f"({entry.config}){': ' + entry.detail if entry.detail else ''}"
+        )
+        for check in entry.checks:
+            print(f"    [{_STATUS_TAG[check.status]}] {check.name}: {check.detail}")
+        failed = failed or entry.status == "fail"
+    if failed:
+        print("bench regression gate: FAILED", file=sys.stderr)
+        return 2
+    print("bench regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,8 +2,8 @@
 """Docstring-coverage gate for the public API surface.
 
 Walks every module under the packages named on the command line (default:
-``repro.experiments`` and ``repro.sim`` — the public face of the repo)
-and asserts that
+``repro.experiments``, ``repro.sim`` and ``repro.bench`` — the public
+face of the repo) and asserts that
 
 * every module has a module docstring,
 * every public top-level function and class *defined in* that module has
@@ -31,7 +31,7 @@ import pkgutil
 import sys
 from types import ModuleType
 
-DEFAULT_PACKAGES = ("repro.experiments", "repro.sim")
+DEFAULT_PACKAGES = ("repro.experiments", "repro.sim", "repro.bench")
 
 
 def iter_modules(package_name: str) -> list[ModuleType]:

@@ -20,7 +20,9 @@ J. Niño-Mora, *Stochastic Scheduling* (Encyclopedia of Optimization, 2001):
 # (repro/experiments/store.py): bump it whenever any scenario's simulate
 # output changes, so stale cached rows are never served.  1.1.0: the
 # sweep subsystem, and E12 gained the n_rhos/top_rho grid descriptors.
-__version__ = "1.1.0"
+# 1.2.0: the bench-trajectory subsystem and the profiled flat engines
+# (all outputs bit-identical to 1.1.0).
+__version__ = "1.2.0"
 
 from repro import batch, core, distributions, markov, mdp, sim, utils  # noqa: F401
 

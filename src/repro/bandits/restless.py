@@ -80,9 +80,15 @@ class RestlessProject:
     def subsidized_mdp(self, lam: float) -> FiniteMDP:
         """The single-project MDP where passivity earns an extra subsidy
         ``lam`` per period."""
-        T = np.stack([self.P0, self.P1])
+        # P0/P1 were validated at construction and never change; stack
+        # them once and skip FiniteMDP's per-row stochasticity re-checks
+        # (index computations build hundreds of these per project)
+        T = self.__dict__.get("_T_stacked")
+        if T is None:
+            T = np.stack([self.P0, self.P1])
+            object.__setattr__(self, "_T_stacked", T)
         R = np.stack([self.R0 + lam, self.R1])
-        return FiniteMDP(T, R)
+        return FiniteMDP(T, R, validate=False)
 
 
 def random_restless_project(
@@ -198,29 +204,44 @@ def whittle_indices(
     Q-gap crosses zero; monotonicity of the gap in ``lam`` (guaranteed for
     indexable projects) makes bisection valid. Set ``check_indexability``
     to verify the premise first (raises ``ValueError`` if it fails).
+
+    The per-state bisections revisit subsidies: every state probes the
+    shared bracket endpoints, and all bisections descend the same binary
+    tree of midpoints from ``0.5 * (lo0 + hi0)``, so states whose indices
+    are close share a long prefix of solves. Each MDP solve is a
+    deterministic function of the exact subsidy float, so the full gap
+    vectors are memoised per subsidy — states then reuse each other's
+    solves with bit-identical results, collapsing the solve count from
+    O(n_states * depth) towards the number of distinct tree nodes.
     """
     if check_indexability and not is_indexable(project, criterion=criterion, beta=beta):
         raise ValueError("project is not indexable; the Whittle index is undefined")
     lo0, hi0 = _subsidy_bracket(project, criterion=criterion, beta=beta)
     n = project.n_states
     out = np.empty(n)
+    gaps: dict[float, np.ndarray] = {}
+
+    def gap_at(lam: float) -> np.ndarray:
+        g = gaps.get(lam)
+        if g is None:
+            g, _ = _optimal_actions(project, lam, criterion, beta)
+            gaps[lam] = g
+        return g
+
     for s in range(n):
         lo, hi = lo0, hi0
         # ensure bracketing: gap(lo) >= 0 >= gap(hi)
         for _ in range(60):
-            gap_lo, _ = _optimal_actions(project, lo, criterion, beta)
-            if gap_lo[s] >= -tol:
+            if gap_at(lo)[s] >= -tol:
                 break
             lo -= (hi0 - lo0)
         for _ in range(60):
-            gap_hi, _ = _optimal_actions(project, hi, criterion, beta)
-            if gap_hi[s] <= tol:
+            if gap_at(hi)[s] <= tol:
                 break
             hi += (hi0 - lo0)
         while hi - lo > tol:
             mid = 0.5 * (lo + hi)
-            gap, _ = _optimal_actions(project, mid, criterion, beta)
-            if gap[s] > 0:
+            if gap_at(mid)[s] > 0:
                 lo = mid
             else:
                 hi = mid

@@ -1,0 +1,44 @@
+"""Persisted benchmark trajectory and regression gating.
+
+The ``repro.bench`` package gives every benchmark run a durable,
+machine-readable footprint: :mod:`repro.bench.record` defines the
+``repro.bench/v1`` record schema and the append-only JSON-Lines
+trajectory file (``BENCH_a0x.json`` at the repo root), and
+:mod:`repro.bench.regression` compares the newest record per benchmark
+against a committed baseline with per-metric tolerances — the engine
+behind ``scripts/check_bench_regression.py``, the CI gate that makes a
+silent performance regression a red build instead of a forgotten
+stdout table.
+"""
+
+from __future__ import annotations
+
+from repro.bench.record import (
+    SCHEMA,
+    BenchRecordError,
+    append_record,
+    environment_fingerprint,
+    latest_record,
+    load_trajectory,
+    make_record,
+)
+from repro.bench.regression import (
+    GateEntry,
+    MetricCheck,
+    check_regression,
+    compare_metrics,
+)
+
+__all__ = [
+    "SCHEMA",
+    "BenchRecordError",
+    "append_record",
+    "environment_fingerprint",
+    "latest_record",
+    "load_trajectory",
+    "make_record",
+    "GateEntry",
+    "MetricCheck",
+    "check_regression",
+    "compare_metrics",
+]

@@ -71,6 +71,14 @@ class FiniteMDP:
         self.rewards = R
         self.n_actions = A
         self.n_states = S
+        # the -inf mask of disallowed actions and the state index vector
+        # depend only on the action sets — build them once, not per backup
+        mask = np.full((A, S), -np.inf)
+        for s, acts in enumerate(self.action_sets):
+            for a in acts:
+                mask[a, s] = 0.0
+        self._mask = mask
+        self._state_idx = np.arange(S)
 
     def bellman_backup(self, v: np.ndarray, beta: float) -> tuple[np.ndarray, np.ndarray]:
         """One Bellman optimality backup: returns ``(v_new, greedy_policy)``.
@@ -82,13 +90,9 @@ class FiniteMDP:
         return self._masked_max(q)
 
     def _masked_max(self, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        mask = np.full((self.n_actions, self.n_states), -np.inf)
-        for s, acts in enumerate(self.action_sets):
-            for a in acts:
-                mask[a, s] = 0.0
-        qm = q + mask
+        qm = q + self._mask
         policy = np.argmax(qm, axis=0)
-        value = qm[policy, np.arange(self.n_states)]
+        value = qm[policy, self._state_idx]
         return value, policy
 
     def policy_transition_matrix(self, policy: np.ndarray) -> np.ndarray:

@@ -1,0 +1,85 @@
+"""Optional JIT acceleration for the flat lockstep engines.
+
+The flat simulators in :mod:`repro.sim.vectorized` are pure-Python event
+sweeps; their inner loops are already written as module-level numeric
+kernels over flat scalar/array state so that they *can* be compiled.
+This module owns the policy of whether they are:
+
+* compilation is **opt-in** via the ``REPRO_NUMBA`` environment variable
+  (any value other than ``""``/``"0"`` enables it) — the default build
+  never imports :mod:`numba`;
+* when the flag is set but numba is missing, or a kernel fails to
+  compile, the engines **fall back cleanly** to the interpreted kernel —
+  same function, same floats — and remember the failure so the cost is
+  paid once per process;
+* compiled or not, a kernel computes the identical IEEE-754 operation
+  sequence (``nopython`` mode without ``fastmath`` neither reorders nor
+  contracts float arithmetic), so the bit-for-bit backend contract in
+  :mod:`repro.sim.vectorized` is unaffected — and remains *enforced* by
+  ``tests/test_backend_equivalence.py`` in environments where numba is
+  installed.
+
+Use :func:`jit_or_fallback` to resolve a kernel once and cache the
+result; :func:`numba_requested` / :func:`numba_available` expose the two
+halves of the decision for diagnostics and tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+__all__ = ["numba_requested", "numba_available", "jit_or_fallback"]
+
+_FLAG_ENV = "REPRO_NUMBA"
+
+# kernel name -> resolved callable (compiled when possible, original
+# otherwise); doubles as the "tried and failed" memo so a broken numba
+# install is probed exactly once per process
+_RESOLVED: dict[str, Callable] = {}
+
+
+def numba_requested() -> bool:
+    """Whether the ``REPRO_NUMBA`` flag asks for compiled kernels."""
+    return os.environ.get(_FLAG_ENV, "") not in ("", "0")
+
+
+def numba_available() -> bool:
+    """Whether :mod:`numba` can be imported (checked lazily, never at
+    module import)."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def jit_or_fallback(name: str, fn: Callable) -> Callable:
+    """Resolve ``fn`` to its accelerated form, or to itself.
+
+    When the flag is off — or numba is unavailable, or ``numba.njit``
+    itself raises — the original interpreted function is returned and
+    cached under ``name``, so callers can invoke the result every time
+    without re-paying the probe.  Compilation errors inside the *first
+    call* of an njit function are numba's lazy-compile behaviour; callers
+    that cannot tolerate a late failure should warm the kernel once at
+    registration (the flat engines do).
+    """
+    cached = _RESOLVED.get(name)
+    if cached is not None:
+        return cached
+    resolved = fn
+    if numba_requested() and numba_available():
+        try:
+            from numba import njit
+
+            resolved = njit(cache=False)(fn)
+        except Exception:
+            resolved = fn
+    _RESOLVED[name] = resolved
+    return resolved
+
+
+def _reset_for_tests() -> None:
+    """Drop the resolution memo (test hook: the flag is read per probe)."""
+    _RESOLVED.clear()

@@ -68,6 +68,7 @@ equivalence tests, so a platform where one failed would fail loudly):
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
@@ -579,6 +580,7 @@ class _FlatNetwork:
         "prio_pos",
         "station_classes",
         "disciplines",
+        "disc_codes",
         "n_servers",
         "priorities",
     )
@@ -615,8 +617,12 @@ class _FlatNetwork:
             for k in range(len(network.stations))
         ]
         self.disciplines = [st.discipline for st in network.stations]
+        # integer discipline codes keep the hot loop off string compares:
+        # 0 priority, 1 preemptive, 2 fifo, 3 lcfs
+        codes = {"priority": 0, "preemptive": 1, "fifo": 2, "lcfs": 3}
+        self.disc_codes = [codes[st.discipline] for st in network.stations]
         self.n_servers = [st.n_servers for st in network.stations]
-        self.priorities = [st.priority for st in network.stations]
+        self.priorities = [list(st.priority) for st in network.stations]
 
 
 def _flat_network_run(prep, horizon, rng, warmup_fraction, max_events):
@@ -628,7 +634,14 @@ def _flat_network_run(prep, horizon, rng, warmup_fraction, max_events):
     the warm-up reset) ordered by the same ``(time, priority, seq)`` key,
     the monitors replaced by inline float accumulators performing the
     identical arithmetic, and every RNG draw made by the same call at the
-    same position in the stream.  Returns a
+    same position in the stream.  The event dispatch is one flat loop —
+    service starts, class entry and queue picks are inlined rather than
+    helper closures, pending arrivals sit in a plain float list (``inf``
+    for classes without exogenous arrivals) so the min-scan is pure float
+    compares, and the heap's ``(time, priority, seq)`` tuple order is
+    replaced by equivalent scalar compares (priority is 0 for every live
+    event except the warm-up reset's -10, so "warm-up wins time ties,
+    everything else ties on seq").  Returns a
     :class:`repro.queueing.network.NetworkResult`, bit-for-bit equal to
     the event path's (including the post-run rng state).
     """
@@ -644,9 +657,16 @@ def _flat_network_run(prep, horizon, rng, warmup_fraction, max_events):
     rexp = rng.exponential
     rrand = rng.random
     samplers = prep.samplers
-    disciplines = prep.disciplines
+    disc_codes = prep.disc_codes
     n_servers = prep.n_servers
     station_of = prep.station_of
+    ascale = prep.ascale
+    cum_rows = prep.cum_rows
+    row_last = prep.row_last
+    prio_pos = prep.prio_pos
+    station_classes = prep.station_classes
+    priorities = prep.priorities
+    inf = _math.inf
     # jobs are [cls, arrived, remaining, started] (mirrors _Jb);
     # busy entries are [job, completion_time, completion_seq, start_time]
     queues: list[list] = [[] for _ in range(n)]
@@ -663,11 +683,11 @@ def _flat_network_run(prep, horizon, rng, warmup_fraction, max_events):
     tpeak = 0.0
     seq = 0
     now = 0.0
-    arr_time: list = [None] * n
+    arr_time = [inf] * n
     arr_seq = [0] * n
     for j in range(n):
-        if prep.ascale[j] is not None:
-            arr_time[j] = rexp(prep.ascale[j])
+        if ascale[j] is not None:
+            arr_time[j] = rexp(ascale[j])
             arr_seq[j] = seq
             seq += 1
     warmup = warmup_fraction * horizon
@@ -676,105 +696,205 @@ def _flat_network_run(prep, horizon, rng, warmup_fraction, max_events):
     if wu_time is not None:
         seq += 1
 
-    def start_service(k, job):
-        nonlocal seq
-        if job[2] < 0:
-            is_exp, s = samplers[job[0]]
-            job[2] = float(rexp(s)) if is_exp else float(s(rng))
-        if job[3] < 0:
-            job[3] = now
-            cls = job[0]
-            wcount[cls] += 1
-            wsum[cls] += 1.0
-            delta = (now - job[1]) - wmean[cls]
-            wmean[cls] += (1.0 / wsum[cls]) * delta
-        busy[k].append([job, now + job[2], seq, now])
-        seq += 1
-
-    def enter_class(cls, job):
-        qarea[cls] += qlevel[cls] * (now - qlast[cls])
-        qlevel[cls] += 1.0
-        qlast[cls] = now
-        k = station_of[cls]
-        if len(busy[k]) < n_servers[k]:
-            start_service(k, job)
-            return
-        if disciplines[k] == "preemptive":
-            pp = prep.prio_pos[k]
-            worst = None
-            worst_p = -1
-            for e in busy[k]:
-                p = pp.get(e[0][0], 0)
-                if worst is None or p > worst_p:
-                    worst, worst_p = e, p
-            if pp.get(cls, 0) < worst_p:
-                wjob = worst[0]
-                busy[k].remove(worst)
-                wjob[2] -= now - worst[3]
-                if wjob[2] < 1e-12:
-                    wjob[2] = 1e-12
-                queues[wjob[0]].insert(0, wjob)
-                start_service(k, job)
-                return
-        queues[cls].append(job)
-
-    def pick_next(k):
-        d = disciplines[k]
-        if d in ("fifo", "lcfs"):
-            newest = d == "lcfs"
-            best = None
-            best_cls = -1
-            best_pos = -1
-            for j in prep.station_classes[k]:
-                if queues[j]:
-                    pos = -1 if newest else 0
-                    cand = queues[j][pos]
-                    if best is None or (
-                        cand[1] > best[1] if newest else cand[1] < best[1]
-                    ):
-                        best, best_cls, best_pos = cand, j, pos
-            if best is not None:
-                queues[best_cls].pop(best_pos)
-            return best
-        for cls in prep.priorities[k]:
-            if queues[cls]:
-                return queues[cls].pop(0)
-        return None
-
-    processed = 0
-    inf = _math.inf
-    while True:
-        if processed >= max_events:
-            break
+    for _ in range(max_events):
         # min-scan over the live events by (time, priority, seq) — the
-        # exact heap order of the generic engine (priority 0 everywhere
-        # except the warm-up reset's -10)
-        bt = inf
-        bp = 0
+        # exact heap order of the generic engine.  The warm-up reset is
+        # seeded as the incumbent so its -10 priority wins time ties
+        # (bkind 3 suppresses seq comparisons against it); arrivals and
+        # completions share priority 0 and tie-break on seq alone.
         bs = -1
         bkind = 0  # 1 = arrival, 2 = completion, 3 = warm-up
         bj = -1
-        bk = -1
         bentry = None
         if wu_time is not None:
-            bt, bp, bs, bkind = wu_time, -10, wu_seq, 3
+            bt = wu_time
+            bkind = 3
+        else:
+            bt = inf
         for j in range(n):
             t = arr_time[j]
-            if t is not None and (
-                t < bt or (t == bt and (0, arr_seq[j]) < (bp, bs))
-            ):
-                bt, bp, bs, bkind, bj = t, 0, arr_seq[j], 1, j
+            if t < bt or (t == bt and bkind != 3 and arr_seq[j] < bs):
+                bt = t
+                bs = arr_seq[j]
+                bkind = 1
+                bj = j
         for k in range(K):
             for e in busy[k]:
                 t = e[1]
-                if t < bt or (t == bt and (0, e[2]) < (bp, bs)):
-                    bt, bp, bs, bkind, bk, bentry = t, 0, e[2], 2, k, e
-                    bj = -1
+                if t < bt or (t == bt and bkind != 3 and e[2] < bs):
+                    bt = t
+                    bs = e[2]
+                    bkind = 2
+                    bk = k
+                    bentry = e
         if bt > horizon:
             now = horizon
             break
         now = bt
-        if bkind == 3:
+        if bkind == 1:
+            # --- exogenous arrival of class bj ----------------------------
+            j = bj
+            tlevel += 1.0
+            if tlevel > tpeak:
+                tpeak = tlevel
+            job = [j, now, -1.0, -1.0]
+            qarea[j] += qlevel[j] * (now - qlast[j])
+            qlevel[j] += 1.0
+            qlast[j] = now
+            k = station_of[j]
+            busy_k = busy[k]
+            if len(busy_k) < n_servers[k]:
+                # idle server: start service on the fresh job
+                is_exp, s = samplers[j]
+                rem = float(rexp(s)) if is_exp else float(s(rng))
+                job[2] = rem
+                job[3] = now
+                wcount[j] += 1
+                wsum[j] += 1.0
+                wmean[j] += (1.0 / wsum[j]) * ((now - job[1]) - wmean[j])
+                busy_k.append([job, now + rem, seq, now])
+                seq += 1
+            else:
+                queued = True
+                if disc_codes[k] == 1:
+                    pp = prio_pos[k]
+                    worst = None
+                    worst_p = -1
+                    for e in busy_k:
+                        p = pp.get(e[0][0], 0)
+                        if worst is None or p > worst_p:
+                            worst, worst_p = e, p
+                    if pp.get(j, 0) < worst_p:
+                        wjob = worst[0]
+                        busy_k.remove(worst)
+                        wjob[2] -= now - worst[3]
+                        if wjob[2] < 1e-12:
+                            wjob[2] = 1e-12
+                        queues[wjob[0]].insert(0, wjob)
+                        is_exp, s = samplers[j]
+                        rem = float(rexp(s)) if is_exp else float(s(rng))
+                        job[2] = rem
+                        job[3] = now
+                        wcount[j] += 1
+                        wsum[j] += 1.0
+                        wmean[j] += (1.0 / wsum[j]) * ((now - job[1]) - wmean[j])
+                        busy_k.append([job, now + rem, seq, now])
+                        seq += 1
+                        queued = False
+                if queued:
+                    queues[j].append(job)
+            arr_time[j] = now + rexp(ascale[j])
+            arr_seq[j] = seq
+            seq += 1
+        elif bkind == 2:
+            # --- service completion at station bk -------------------------
+            k = bk
+            busy_k = busy[k]
+            job = bentry[0]
+            busy_k.remove(bentry)
+            cls = job[0]
+            visits[cls] += 1
+            qarea[cls] += qlevel[cls] * (now - qlast[cls])
+            qlevel[cls] -= 1.0
+            qlast[cls] = now
+            u = rrand()
+            if u < row_last[cls]:
+                # --- routed job enters class nxt (same entry logic) -------
+                nxt = bisect_right(cum_rows[cls], u)
+                job = [nxt, now, -1.0, -1.0]
+                qarea[nxt] += qlevel[nxt] * (now - qlast[nxt])
+                qlevel[nxt] += 1.0
+                qlast[nxt] = now
+                k2 = station_of[nxt]
+                busy_k2 = busy[k2]
+                if len(busy_k2) < n_servers[k2]:
+                    is_exp, s = samplers[nxt]
+                    rem = float(rexp(s)) if is_exp else float(s(rng))
+                    job[2] = rem
+                    job[3] = now
+                    wcount[nxt] += 1
+                    wsum[nxt] += 1.0
+                    wmean[nxt] += (1.0 / wsum[nxt]) * ((now - job[1]) - wmean[nxt])
+                    busy_k2.append([job, now + rem, seq, now])
+                    seq += 1
+                else:
+                    queued = True
+                    if disc_codes[k2] == 1:
+                        pp = prio_pos[k2]
+                        worst = None
+                        worst_p = -1
+                        for e in busy_k2:
+                            p = pp.get(e[0][0], 0)
+                            if worst is None or p > worst_p:
+                                worst, worst_p = e, p
+                        if pp.get(nxt, 0) < worst_p:
+                            wjob = worst[0]
+                            busy_k2.remove(worst)
+                            wjob[2] -= now - worst[3]
+                            if wjob[2] < 1e-12:
+                                wjob[2] = 1e-12
+                            queues[wjob[0]].insert(0, wjob)
+                            is_exp, s = samplers[nxt]
+                            rem = float(rexp(s)) if is_exp else float(s(rng))
+                            job[2] = rem
+                            job[3] = now
+                            wcount[nxt] += 1
+                            wsum[nxt] += 1.0
+                            wmean[nxt] += (1.0 / wsum[nxt]) * (
+                                (now - job[1]) - wmean[nxt]
+                            )
+                            busy_k2.append([job, now + rem, seq, now])
+                            seq += 1
+                            queued = False
+                    if queued:
+                        queues[nxt].append(job)
+            else:
+                tlevel -= 1.0
+                if tlevel > tpeak:
+                    tpeak = tlevel
+            # --- backfill freed servers from the queues -------------------
+            ns = n_servers[k]
+            d = disc_codes[k]
+            while len(busy_k) < ns:
+                njob = None
+                if d <= 1:
+                    for cls2 in priorities[k]:
+                        q2 = queues[cls2]
+                        if q2:
+                            njob = q2.pop(0)
+                            break
+                else:
+                    newest = d == 3
+                    best_cls = -1
+                    best_pos = -1
+                    for j2 in station_classes[k]:
+                        q2 = queues[j2]
+                        if q2:
+                            pos = -1 if newest else 0
+                            cand = q2[pos]
+                            if njob is None or (
+                                cand[1] > njob[1] if newest else cand[1] < njob[1]
+                            ):
+                                njob, best_cls, best_pos = cand, j2, pos
+                    if njob is not None:
+                        queues[best_cls].pop(best_pos)
+                if njob is None:
+                    break
+                rem = njob[2]
+                if rem < 0:
+                    is_exp, s = samplers[njob[0]]
+                    rem = float(rexp(s)) if is_exp else float(s(rng))
+                    njob[2] = rem
+                if njob[3] < 0:
+                    njob[3] = now
+                    cls2 = njob[0]
+                    wcount[cls2] += 1
+                    wsum[cls2] += 1.0
+                    wmean[cls2] += (1.0 / wsum[cls2]) * ((now - njob[1]) - wmean[cls2])
+                busy_k.append([njob, now + rem, seq, now])
+                seq += 1
+        else:
+            # --- warm-up reset --------------------------------------------
             wu_time = None
             for j in range(n):
                 qarea[j] = 0.0
@@ -784,39 +904,6 @@ def _flat_network_run(prep, horizon, rng, warmup_fraction, max_events):
                 wmean[j] = 0.0
                 visits[j] = 0
             mon_start = now
-        elif bkind == 1:
-            j = bj
-            tlevel += 1.0
-            if tlevel > tpeak:
-                tpeak = tlevel
-            enter_class(j, [j, now, -1.0, -1.0])
-            arr_time[j] = now + rexp(prep.ascale[j])
-            arr_seq[j] = seq
-            seq += 1
-        else:
-            k = bk
-            job = bentry[0]
-            busy[k].remove(bentry)
-            cls = job[0]
-            visits[cls] += 1
-            qarea[cls] += qlevel[cls] * (now - qlast[cls])
-            qlevel[cls] -= 1.0
-            qlast[cls] = now
-            u = rrand()
-            if u < prep.row_last[cls]:
-                nxt = bisect_right(prep.cum_rows[cls], u)
-                enter_class(nxt, [nxt, now, -1.0, -1.0])
-            else:
-                tlevel -= 1.0
-                if tlevel > tpeak:
-                    tpeak = tlevel
-            ns = n_servers[k]
-            while len(busy[k]) < ns:
-                njob = pick_next(k)
-                if njob is None:
-                    break
-                start_service(k, njob)
-        processed += 1
 
     denom = horizon - mon_start
     Lbar = np.array(
@@ -871,6 +958,44 @@ def lockstep_network_simulations(
 # ---------------------------------------------------------------------------
 
 
+def _polling_visit_core(
+    ts, sz, t, h, sp, batch, sv, scale, buf, bpos, chunk, warmup, h4, waits, served, i
+):
+    """Serve one station visit of the flat polling simulator.
+
+    Advances the clock ``t`` through up to ``batch`` services (``-1`` =
+    exhaustive) of queue ``i``, consuming pre-drawn unit exponentials
+    from ``buf`` and admitting arrivals from the sorted ``ts`` into the
+    ``[sp, h)`` pending window, with the identical float arithmetic the
+    event path performs.  Returns ``(status, t, h, sp, sv, bpos)`` where
+    status 0 means the visit completed, 1 means the service buffer is
+    exhausted (the caller refills ``buf`` and re-enters — the refill then
+    sits at the same position of the rng stream as the event path's), and
+    2 means the exhaustive visit diverged past four horizons.
+
+    Deliberately written over flat scalars and indexable numerics only:
+    :func:`repro.sim.accel.jit_or_fallback` can compile it unchanged
+    (arrays in, nopython, no fastmath) while the default interpreted path
+    feeds it plain Python lists and floats.
+    """
+    while h > sp and (batch < 0 or sv < batch):
+        if bpos == chunk:
+            return 1, t, h, sp, sv, bpos
+        arr = ts[sp]
+        sp += 1
+        if t > warmup:
+            waits[i] += t - arr
+            served[i] += 1
+        t += scale * buf[bpos]
+        bpos += 1
+        sv += 1
+        while h < sz and ts[h] <= t:
+            h += 1
+        if batch < 0 and t > h4:
+            return 2, t, h, sp, sv, bpos
+    return 0, t, h, sp, sv, bpos
+
+
 def _flat_polling_run(
     lam, svc_scales, sw_values, policy, horizon, rng, warmup_fraction, chunk=4096
 ):
@@ -888,8 +1013,16 @@ def _flat_polling_run(
     zero-switchover idle rule (a.s.-zero switchovers and an empty
     zero-length sweep jump the clock to the next arrival and record no
     cycle) is reproduced exactly.
+
+    The per-service loop lives in :func:`_polling_visit_core`; by default
+    it runs interpreted over plain Python floats and lists (arrival
+    times, the pre-drawn service buffer and the wait accumulators are
+    kept out of numpy, whose scalar indexing dominated the profile), and
+    under ``REPRO_NUMBA=1`` it is njit-compiled and fed numpy arrays
+    instead — identical IEEE arithmetic either way.
     """
     from repro.queueing.polling import PollingResult
+    from repro.sim import accel
 
     lam = np.asarray(lam, dtype=float)
     n = lam.size
@@ -906,59 +1039,75 @@ def _flat_polling_run(
             more = rng.exponential(1.0 / li, size=m // 2 + 10)
             ts = np.concatenate([ts, ts[-1] + np.cumsum(more)])
         arrivals.append(ts)
-    arr_lists = [[float(x) for x in a] for a in arrivals]
-    sizes = [len(a) for a in arr_lists]
+    std_exp = rng.standard_exponential
+    core = accel.jit_or_fallback("polling_visit_core", _polling_visit_core)
+    compiled = core is not _polling_visit_core
+    if compiled:
+        try:  # warm the lazy compile; fall back if numba rejects the kernel
+            core(
+                np.array([np.inf]), 1, 0.0, 0, 0, 0, 0, 1.0, np.zeros(1), 0, 1,
+                0.0, 1.0, np.zeros(1), np.zeros(1, dtype=np.int64), 0,
+            )
+        except Exception:
+            core = _polling_visit_core
+            compiled = False
+    if compiled:
+        ts_all = arrivals
+        buf = std_exp(chunk)
+        waits = np.zeros(n)
+        served = np.zeros(n, dtype=np.int64)
+    else:
+        ts_all = [a.tolist() for a in arrivals]
+        buf = std_exp(chunk).tolist()
+        waits = [0.0] * n
+        served = [0] * n
+    sizes = [len(a) for a in ts_all]
     sw_zero = all(v == 0.0 for v in sw_values)
     admit_ptr = [0] * n  # the event path's `heads`
     serve_ptr = [0] * n  # front of the pending window
     warmup = warmup_fraction * horizon
-    waits = np.zeros(n)
-    served = np.zeros(n, dtype=np.int64)
     t = 0.0
     i = 0
     cycles = 0
     cycle_start = 0.0
     cycle_durations: list[float] = []
-    std_exp = rng.standard_exponential
-    buf = std_exp(chunk)
     buf_pos = 0
     gated = policy == "gated"
     limited = policy == "limited"
     h4 = horizon * 4
     while t < horizon:
         t += sw_values[i]
-        ts = arr_lists[i]
+        ts = ts_all[i]
         sz = sizes[i]
         h = admit_ptr[i]
-        while h < sz and ts[h] <= t:
-            h += 1
-        admit_ptr[i] = h
+        if h < sz and ts[h] <= t:
+            # identical to the event path's linear admit scan: ts is
+            # sorted, so the insertion point after everything <= t is
+            # exactly where the scan stops
+            h = bisect_right(ts, t, h)
+        sp = serve_ptr[i]
         if gated:
-            batch = admit_ptr[i] - serve_ptr[i]
+            batch = h - sp
         elif limited:
-            batch = 1 if admit_ptr[i] > serve_ptr[i] else 0
+            batch = 1 if h > sp else 0
         else:
             batch = -1
-        sv = 0
-        scale = svc_scales[i]
-        while admit_ptr[i] > serve_ptr[i] and (batch < 0 or sv < batch):
-            arr = ts[serve_ptr[i]]
-            serve_ptr[i] += 1
-            if t > warmup:
-                waits[i] += t - arr
-                served[i] += 1
-            if buf_pos == chunk:
-                buf = std_exp(chunk)
+        if h > sp and batch != 0:
+            sv = 0
+            scale = svc_scales[i]
+            while True:
+                status, t, h, sp, sv, buf_pos = core(
+                    ts, sz, t, h, sp, batch, sv, scale, buf, buf_pos,
+                    chunk, warmup, h4, waits, served, i,
+                )
+                if status == 0:
+                    break
+                if status == 2:
+                    raise RuntimeError("polling simulation diverged")
+                buf = std_exp(chunk) if compiled else std_exp(chunk).tolist()
                 buf_pos = 0
-            t += float(scale * buf[buf_pos])
-            buf_pos += 1
-            sv += 1
-            h = admit_ptr[i]
-            while h < sz and ts[h] <= t:
-                h += 1
-            admit_ptr[i] = h
-            if batch < 0 and t > h4:
-                raise RuntimeError("polling simulation diverged")
+        admit_ptr[i] = h
+        serve_ptr[i] = sp
         i = (i + 1) % n
         if i == 0:
             if (
@@ -968,7 +1117,7 @@ def _flat_polling_run(
             ):
                 nxt = min(
                     (
-                        float(arr_lists[j][admit_ptr[j]])
+                        float(ts_all[j][admit_ptr[j]])
                         for j in range(n)
                         if admit_ptr[j] < sizes[j]
                     ),
@@ -981,6 +1130,9 @@ def _flat_polling_run(
                 cycle_durations.append(t - cycle_start)
             cycle_start = t
             cycles += 1
+    if not compiled:
+        waits = np.array(waits)
+        served = np.array(served, dtype=np.int64)
     mean_waits = np.where(served > 0, waits / np.maximum(served, 1), np.nan)
     rho_i = lam * np.asarray(svc_scales, dtype=float)
     weighted = float(np.nansum(rho_i * mean_waits))

@@ -235,3 +235,110 @@ def test_property_polling_kernel_equivalence(seed, short, extra, horizon):
     event_rows = [sc.simulate(ss, params) for ss in spawn_seed_sequences(seed, 2)]
     vec_rows = simulate_scenario_batch("E15", spawn_seed_sequences(seed, 2), params)
     assert_rows_identical(event_rows, vec_rows, context=f"E15 seed={seed}")
+
+
+@_PROPERTY_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    horizon=st.floats(min_value=50.0, max_value=250.0),
+    sid=st.sampled_from(["E13", "E14"]),
+)
+def test_property_network_scenario_kernel_equivalence(seed, horizon, sid):
+    # the instability (E13) and fluid-ranking (E14) kernels drive fixed
+    # multiclass networks through the flat engine — a random horizon cuts
+    # the event sequence at arbitrary points, so the min-scan calendar
+    # must agree with the event heap at *every* prefix, not just the
+    # FAST_PARAMS one
+    fluid = {"E13": {"fluid_horizon": 10.0}, "E14": {"fluid_horizon": 30.0}}
+    sc = get_scenario(sid)
+    params = sc.params({"horizon": horizon, **fluid[sid]})
+    event_rows = [sc.simulate(ss, params) for ss in spawn_seed_sequences(seed, 2)]
+    vec_rows = simulate_scenario_batch(sid, spawn_seed_sequences(seed, 2), params)
+    assert_rows_identical(event_rows, vec_rows, context=f"{sid} seed={seed}")
+
+
+@_PROPERTY_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    horizon=st.floats(min_value=30.0, max_value=200.0),
+    warmup=st.sampled_from([0.0, 0.1]),
+    data=st.data(),
+)
+def test_property_flat_network_engine_equivalence(seed, horizon, warmup, data):
+    # engine-level coverage beyond the registered scenarios: a random
+    # 3-class 2-station network with randomised disciplines (all four),
+    # arrival/service rates, routing chain and server counts — the flat
+    # lockstep engine must return bit-for-bit the event path's
+    # NetworkResult, replication by replication
+    from repro.distributions import Exponential
+    from repro.queueing.network import (
+        ClassConfig,
+        QueueingNetwork,
+        StationConfig,
+        simulate_network,
+    )
+    from repro.sim.vectorized import lockstep_network_simulations
+
+    station_of = [0, data.draw(st.integers(0, 1), label="station1"), 1]
+    mus = [data.draw(st.floats(0.8, 3.0), label=f"mu{j}") for j in range(3)]
+    # optional rates are exactly zero or bounded away from it — a
+    # subnormal rate yields an infinite inter-arrival time, which the
+    # event calendar (rightly) refuses to schedule
+    opt_rate = st.one_of(st.just(0.0), st.floats(0.05, 0.5))
+    lams = [
+        data.draw(st.floats(0.2, 0.6), label="lam0"),
+        data.draw(opt_rate, label="lam1"),
+        data.draw(opt_rate, label="lam2"),
+    ]
+    routing = np.zeros((3, 3))
+    routing[0, 1] = data.draw(st.floats(0.0, 0.9), label="p01")
+    routing[1, 2] = data.draw(st.floats(0.0, 0.9), label="p12")
+    stations = []
+    for k in range(2):
+        classes_here = [j for j in range(3) if station_of[j] == k]
+        disc = data.draw(
+            st.sampled_from(["priority", "preemptive", "fifo", "lcfs"]),
+            label=f"disc{k}",
+        )
+        stations.append(
+            StationConfig(
+                n_servers=data.draw(st.integers(1, 2), label=f"ns{k}"),
+                discipline=disc,
+                priority=tuple(
+                    data.draw(st.permutations(classes_here), label=f"prio{k}")
+                ),
+            )
+        )
+    net = QueueingNetwork(
+        [
+            ClassConfig(station_of[j], Exponential(mus[j]), arrival_rate=lams[j])
+            for j in range(3)
+        ],
+        stations,
+        routing,
+    )
+    children = np.random.SeedSequence(seed).spawn(2)
+    event = [
+        simulate_network(
+            net, horizon, np.random.default_rng(ss), warmup_fraction=warmup
+        )
+        for ss in children
+    ]
+    flat = lockstep_network_simulations(
+        net,
+        horizon,
+        [np.random.default_rng(ss) for ss in children],
+        warmup_fraction=warmup,
+    )
+    for r, (ev, vec) in enumerate(zip(event, flat)):
+        ctx = f"network seed={seed} rep={r}"
+        np.testing.assert_array_equal(
+            ev.mean_queue_lengths, vec.mean_queue_lengths, err_msg=ctx
+        )
+        np.testing.assert_array_equal(ev.mean_waits, vec.mean_waits, err_msg=ctx)
+        np.testing.assert_array_equal(ev.visit_counts, vec.visit_counts, err_msg=ctx)
+        assert ev.cost_rate == vec.cost_rate or (
+            math.isnan(ev.cost_rate) and math.isnan(vec.cost_rate)
+        ), ctx
+        assert ev.final_backlog == vec.final_backlog, ctx
+        assert ev.peak_backlog == vec.peak_backlog, ctx

@@ -3,25 +3,62 @@
 The full per-kernel table lives in
 ``benchmarks/bench_a04_vectorized_speedup.py``; this tier-1 smoke keeps a
 regression canary in the default test run using two cheap batched
-kernels whose vectorization wins by a wide margin (~5-15x), so the >= 1x
-assertion holds with plenty of headroom even on noisy CI machines.
+kernels whose vectorization wins by a wide margin (~5-15x).  The floor
+is no longer hardcoded: it is derived from the committed perf
+trajectory (``BENCH_a0x.json``), so the bar rises as the kernels get
+faster.  A generous fraction of the recorded speedup absorbs CI noise;
+1x remains the hard lower bound either way, and a missing or unreadable
+trajectory degrades to that hard bound rather than failing.
 """
 
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 import pytest
 
+from repro.bench import BenchRecordError, latest_record, load_trajectory
 from repro.experiments.backends import simulate_scenario_batch
 from repro.experiments.registry import get_scenario
 from repro.utils.rng import spawn_seed_sequences
 
 REPLICATIONS = 16
+# accept anything above this fraction of the committed full-config
+# speedup — wide slack because the baseline was measured unloaded while
+# tier-1 runs share the machine with the rest of the suite
+BASELINE_FRACTION = 0.3
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_a0x.json"
+
+
+def _baseline_floor(sid: str) -> float:
+    """Speedup floor for ``sid``: committed baseline scaled, else 1x."""
+    try:
+        rec = latest_record(
+            load_trajectory(TRAJECTORY), "a04_vectorized_speedup", "full"
+        )
+    except (OSError, BenchRecordError):
+        rec = None
+    if rec is None:
+        return 1.0
+    metric = rec["metrics"].get(f"{sid}.speedup")
+    if metric is None:
+        return 1.0
+    return max(1.0, BASELINE_FRACTION * float(metric["value"]))
+
+
+def test_committed_trajectory_provides_thresholds():
+    # guards the coupling this smoke relies on: if the committed
+    # trajectory loses its full a04 record, the floors silently fall
+    # back to 1x — fail loudly here instead
+    rec = latest_record(load_trajectory(TRAJECTORY), "a04_vectorized_speedup", "full")
+    assert rec is not None, "BENCH_a0x.json must keep a full a04 baseline record"
+    for sid in ("E1", "E4"):
+        assert _baseline_floor(sid) > 1.0, f"{sid} baseline too weak to gate on"
 
 
 @pytest.mark.parametrize("sid", ["E1", "E4"])
-def test_batched_kernel_speedup_at_least_one(sid):
+def test_batched_kernel_speedup_meets_baseline(sid):
     sc = get_scenario(sid)
     params = sc.params()
     # warm both paths (imports, permutation cache) before timing
@@ -38,9 +75,10 @@ def test_batched_kernel_speedup_at_least_one(sid):
         simulate_scenario_batch(sid, spawn_seed_sequences(1, REPLICATIONS), params)
         best_vec = min(best_vec, time.perf_counter() - t0)
 
+    floor = _baseline_floor(sid)
     speedup = best_event / best_vec
-    assert speedup >= 1.0, (
-        f"{sid}: vectorized backend not faster than event "
-        f"({best_event:.3f}s vs {best_vec:.3f}s, {speedup:.2f}x) — "
-        f"kernel degenerated to the slow path?"
+    assert speedup >= floor, (
+        f"{sid}: vectorized speedup {speedup:.2f}x below the baseline-derived "
+        f"floor {floor:.2f}x ({best_event:.3f}s vs {best_vec:.3f}s) — "
+        f"kernel degenerated, or the committed BENCH_a0x.json baseline is stale"
     )
