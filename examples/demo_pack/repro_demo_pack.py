@@ -1,0 +1,67 @@
+"""A minimal out-of-tree scenario pack.
+
+This single module plus the ``repro_demo_pack-0.1.0.dist-info`` directory
+next to it is everything a third-party scenario pack needs: a
+:class:`repro.experiments.packs.ScenarioPack` manifest exposed through
+the ``repro.scenario_packs`` entry-point group.  Put this directory on
+``PYTHONPATH`` (or pip-install a package declaring the same entry point)
+and the core CLIs pick the pack up without any edit to the core
+registry::
+
+    PYTHONPATH=src:examples/demo_pack repro-experiments packs
+    PYTHONPATH=src:examples/demo_pack repro-experiments run DEMO1 --replications 50
+    PYTHONPATH=src:examples/demo_pack repro-sweep run DEMO1 --axis rate=0.5,1.0,2.0
+
+The scenario itself is deliberately tiny: it estimates the mean of an
+exponential distribution and checks the estimate is positive and close
+to ``1/rate``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.experiments.packs import ScenarioPack
+
+Params = Mapping[str, Any]
+
+PACK = ScenarioPack(
+    name="demo",
+    version="0.1.0",
+    docs="examples/demo_pack/repro_demo_pack.py",
+    schemas={
+        "DEMO1": {
+            "type": "object",
+            "properties": {
+                "rate": {"type": "number", "exclusiveMinimum": 0},
+                "n_samples": {"type": "integer", "minimum": 2},
+            },
+            "additionalProperties": False,
+        },
+    },
+)
+
+
+@PACK.scenario(
+    "DEMO1",
+    title="Exponential-mean sanity scenario (demo pack)",
+    claim="The sample mean of Exp(rate) draws estimates 1/rate.",
+    verdict="Demo only: the estimate lands within 50% of 1/rate.",
+    defaults={"rate": 1.0, "n_samples": 100},
+    checks={
+        "mean_positive": lambda m: m["mean_estimate"] > 0,
+        "near_truth": lambda m: abs(m["rel_error"]) < 0.5,
+    },
+)
+def simulate_demo1(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
+    """One replication: the sample mean of ``n_samples`` Exp(rate) draws."""
+    rng = np.random.default_rng(ss)
+    rate = float(params["rate"])
+    draws = rng.exponential(1.0 / rate, size=int(params["n_samples"]))
+    mean = float(draws.mean())
+    return {
+        "mean_estimate": mean,
+        "rel_error": mean * rate - 1.0,
+    }

@@ -20,6 +20,13 @@ CI can gate on it::
 
 Imported re-exports are skipped (an object is checked only in the module
 whose ``__module__`` it carries), so each definition is reported once.
+
+With ``--packs`` the gate additionally walks every *discovered* scenario
+pack (built-in and entry-point, see :mod:`repro.experiments.packs`) and
+checks the modules defining their simulate functions — so a third-party
+pack on ``PYTHONPATH`` is held to the same docstring bar::
+
+    PYTHONPATH=src:examples/demo_pack python scripts/check_docstrings.py --packs
 """
 
 from __future__ import annotations
@@ -91,6 +98,19 @@ def module_violations(module: ModuleType) -> list[str]:
     return out
 
 
+def pack_modules() -> list[ModuleType]:
+    """The modules defining every discovered scenario pack's simulate
+    functions (built-in packs live under ``repro.experiments`` and are
+    walked anyway; this picks up entry-point packs too)."""
+    from repro.experiments.packs import discovered_packs
+
+    names: dict[str, None] = {}
+    for pack, _source in discovered_packs():
+        for sc in pack.scenarios.values():
+            names.setdefault(sc.simulate.__module__)
+    return [importlib.import_module(name) for name in sorted(names)]
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns 1 (and prints offenders) on any gap."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -100,14 +120,28 @@ def main(argv: list[str] | None = None) -> int:
         default=list(DEFAULT_PACKAGES),
         help=f"packages to walk (default: {', '.join(DEFAULT_PACKAGES)})",
     )
+    parser.add_argument(
+        "--packs",
+        action="store_true",
+        help="also walk the modules of every discovered scenario pack "
+        "(built-in and entry-point)",
+    )
     args = parser.parse_args(argv)
 
     violations: list[str] = []
     n_modules = 0
+    seen: set[str] = set()
+    modules: list[ModuleType] = []
     for package_name in args.packages:
-        for module in iter_modules(package_name):
-            n_modules += 1
-            violations.extend(module_violations(module))
+        modules.extend(iter_modules(package_name))
+    if args.packs:
+        modules.extend(pack_modules())
+    for module in modules:
+        if module.__name__ in seen:
+            continue
+        seen.add(module.__name__)
+        n_modules += 1
+        violations.extend(module_violations(module))
     if violations:
         print(
             f"{len(violations)} public definition(s) without a docstring:",

@@ -22,7 +22,7 @@ J. Niño-Mora, *Stochastic Scheduling* (Encyclopedia of Optimization, 2001):
 # sweep subsystem, and E12 gained the n_rhos/top_rho grid descriptors.
 # 1.2.0: the bench-trajectory subsystem and the profiled flat engines
 # (all outputs bit-identical to 1.1.0).
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro import batch, core, distributions, markov, mdp, sim, utils  # noqa: F401
 

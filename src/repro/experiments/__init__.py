@@ -8,8 +8,13 @@ discoverable objects:
   :class:`~repro.experiments.registry.Scenario` registry: each scenario
   bundles a per-replication ``simulate`` function with the paper claim it
   validates, default parameters, and named *shape checks*.
-* :mod:`repro.experiments.scenarios` — the built-in catalogue (E1–E19),
-  registered on import.
+* :mod:`repro.experiments.packs` — scenario *packs*: named, versioned
+  manifests bundling scenarios (with per-parameter JSON schemas) and
+  their vectorized kernels.  The built-in catalogue (E1–E19, A1–A3)
+  ships as five family packs; third-party packs register through the
+  ``repro.scenario_packs`` entry-point group without touching core.
+* :mod:`repro.experiments.scenarios` — compatibility shim re-exporting
+  the built-in packs' simulate functions under their historical names.
 * :mod:`repro.experiments.runner` — batched replications with multiprocess
   fan-out over spawned seed streams and vectorised aggregation; results
   are bit-identical for every worker count.
@@ -56,10 +61,20 @@ from repro.experiments.backends import (
     kernel_ids,
     resolve_backend,
 )
+from repro.experiments.packs import (
+    PackError,
+    ScenarioPack,
+    discovered_packs,
+    load_packs,
+    register_pack,
+)
 from repro.experiments.registry import (
+    CheckOutcome,
+    ParamValidationError,
     Scenario,
     get_scenario,
     list_scenarios,
+    pack_info,
     register,
     scenario,
     scenario_ids,
@@ -94,6 +109,14 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "scenario_ids",
+    "ScenarioPack",
+    "PackError",
+    "register_pack",
+    "load_packs",
+    "discovered_packs",
+    "pack_info",
+    "ParamValidationError",
+    "CheckOutcome",
     "BACKENDS",
     "MissingKernelError",
     "has_kernel",

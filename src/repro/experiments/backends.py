@@ -3,10 +3,11 @@
 Every scenario has a trusted *event-driven* backend: its ``simulate``
 function, run one replication at a time.  Scenarios listed in the kernel
 registry additionally have a *vectorized* backend: a batched-numpy kernel
-(defined here, on top of the primitives in :mod:`repro.sim.vectorized`)
-that simulates **all replications at once** while consuming identical
-randomness per replication — so the two backends return bit-for-bit the
-same per-replication metrics for the same spawned seeds.
+(declared by the scenario's pack, on top of the primitives in
+:mod:`repro.sim.vectorized`) that simulates **all replications at once**
+while consuming identical randomness per replication — so the two
+backends return bit-for-bit the same per-replication metrics for the
+same spawned seeds.
 
 Backend selection::
 
@@ -36,34 +37,53 @@ simulators in :mod:`repro.sim.vectorized` (flat network/polling engines
 and batched fleet rollouts); ``cached`` kernels hoist the
 replication-invariant part (for fully deterministic scenarios like
 E5/E18 that is the entire replication).
+
+The kernel *implementations* used to live in this module; they now ship
+with their scenarios in the built-in packs under
+:mod:`repro.experiments.packs`.  The historical ``batch_*`` names (and
+the private helpers a few kernels resolve at call time) are re-exported
+below so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.sim.vectorized import (
-    batched_product_mdp,
-    batched_switching_mdp,
-    exponential_family_st_ordered,
-    flowshop_makespan_batch,
-    get_kernel,
-    has_kernel,
-    kernel_ids,
-    lockstep_heterogeneous_rollouts,
-    lockstep_intree_makespans,
-    lockstep_network_simulations,
-    lockstep_polling_simulations,
-    lockstep_restless_rollouts,
-    min_flowtime_over_permutations,
-    restart_gittins_batch,
-    sequence_flowtime_batch,
-    subset_dp_batch,
-    vectorized_kernel,
+from repro.experiments.packs._shared import _crn_batches, _float_rows
+from repro.experiments.packs.bandits import (
+    _policy_values_batch,
+    _sequential_argmax,
+    batch_a1,
+    batch_e7,
+    batch_e9,
 )
+from repro.experiments.packs.flowshop import (
+    _broadcast_deterministic,
+    _uniform_rates,
+    batch_e1,
+    batch_e2,
+    batch_e3,
+    batch_e4,
+    batch_e5,
+    batch_e6,
+    batch_e16,
+    batch_e17,
+    batch_e18,
+)
+from repro.experiments.packs.polling import batch_e15
+from repro.experiments.packs.queueing import (
+    batch_a2,
+    batch_a3,
+    batch_e10,
+    batch_e11,
+    batch_e12,
+    batch_e13,
+    batch_e14,
+)
+from repro.experiments.packs.restless import batch_e8, batch_e19
+from repro.sim.vectorized import get_kernel, has_kernel, kernel_ids
 
 __all__ = [
     "BACKENDS",
@@ -126,1343 +146,5 @@ def simulate_scenario_batch(
         raise RuntimeError(
             f"kernel for {scenario_id} returned {len(rows)} rows for "
             f"{len(seeds)} seeds"
-        )
-    return rows
-
-
-def _float_rows(columns: Mapping[str, np.ndarray], n: int) -> list[dict[str, float]]:
-    """Transpose column vectors (or scalars) into per-replication dicts of
-    plain floats — the event path's return type."""
-    out: list[dict[str, float]] = []
-    for r in range(n):
-        out.append(
-            {
-                k: float(v) if np.ndim(v) == 0 else float(v[r])
-                for k, v in columns.items()
-            }
-        )
-    return out
-
-
-# ---------------------------------------------------------------------------
-# E1 — single-machine WSEPT (batched brute force + list evaluation)
-# ---------------------------------------------------------------------------
-
-@vectorized_kernel(
-    "E1",
-    mode="batched",
-    note="brute force over all n! sequences evaluated as one (reps, perms, "
-    "jobs) cumsum instead of per-permutation Python loops",
-)
-def batch_e1(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``batched`` kernel for E1: runs all replications at once on arrays with a replication axis;
-    bit-for-bit equal to ``simulate_e1`` on the same seeds.
-    """
-    from repro.batch.instances import DEFAULT_MEAN_RANGE, DEFAULT_WEIGHT_RANGE
-
-    n_brute, n_jobs = int(params["n_brute"]), int(params["n_jobs"])
-    N = len(seeds)
-    raw = np.empty((N, 2 * (n_brute + n_jobs)))
-    perms = np.empty((N, n_jobs), dtype=np.intp)
-    for r, ss in enumerate(seeds):
-        rng = np.random.default_rng(ss)
-        # one block draw consumes the same doubles as the event path's
-        # interleaved uniform(mean_range)/uniform(weight_range) calls
-        raw[r] = rng.random(2 * (n_brute + n_jobs))
-        perms[r] = rng.permutation(n_jobs)
-
-    def instance(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        lo_m, hi_m = DEFAULT_MEAN_RANGE
-        lo_w, hi_w = DEFAULT_WEIGHT_RANGE
-        drawn_means = lo_m + (hi_m - lo_m) * block[:, 0::2]
-        weights = lo_w + (hi_w - lo_w) * block[:, 1::2]
-        # Job.mean round-trips through the exponential rate: 1/(1/mean)
-        means = 1.0 / (1.0 / drawn_means)
-        return means, weights
-
-    def wsept_orders(means: np.ndarray, weights: np.ndarray) -> np.ndarray:
-        # stable argsort of -index == lexsort((arange, -index))
-        return np.argsort(-(weights / means), axis=1, kind="stable")
-
-    m_small, w_small = instance(raw[:, : 2 * n_brute])
-    best = min_flowtime_over_permutations(m_small, w_small)
-    wsept_small = sequence_flowtime_batch(
-        m_small, w_small, wsept_orders(m_small, w_small)
-    )
-    gap = wsept_small / best - 1.0
-
-    m_big, w_big = instance(raw[:, 2 * n_brute :])
-    fifo_order = np.broadcast_to(np.arange(n_jobs, dtype=np.intp), (N, n_jobs))
-    wsept = sequence_flowtime_batch(m_big, w_big, wsept_orders(m_big, w_big))
-    fifo = sequence_flowtime_batch(m_big, w_big, fifo_order)
-    rnd = sequence_flowtime_batch(m_big, w_big, perms)
-    return _float_rows(
-        {
-            "brute_gap": gap,
-            "wsept": wsept,
-            "fifo": fifo,
-            "random": rnd,
-            "fifo_ratio": fifo / wsept,
-            "random_ratio": rnd / wsept,
-        },
-        N,
-    )
-
-
-# ---------------------------------------------------------------------------
-# E3 / E4 — parallel-machine subset DPs, batched across replications
-# ---------------------------------------------------------------------------
-
-
-def _uniform_rates(seeds: Seeds, params: Params) -> np.ndarray:
-    lo, hi = params["rate_range"]
-    n = int(params["n_jobs"])
-    rates = np.empty((len(seeds), n))
-    for r, ss in enumerate(seeds):
-        rates[r] = np.random.default_rng(ss).uniform(lo, hi, size=n)
-    return rates
-
-
-@vectorized_kernel(
-    "E3",
-    mode="batched",
-    note="subset DP evaluated once over all replications (vector-valued "
-    "states) plus a batched stochastic-order certification",
-)
-def batch_e3(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``batched`` kernel for E3: runs all replications at once on arrays with a replication axis;
-    bit-for-bit equal to ``simulate_e3`` on the same seeds.
-    """
-    rates = _uniform_rates(seeds, params)
-    m = int(params["m"])
-    opt = subset_dp_batch(rates, m, objective="flowtime")
-    sept = subset_dp_batch(rates, m, objective="flowtime", policy="sept")
-    lept = subset_dp_batch(rates, m, objective="flowtime", policy="lept")
-    ordered = exponential_family_st_ordered(rates)
-    return _float_rows(
-        {
-            "opt": opt,
-            "sept_gap": sept / opt - 1.0,
-            "lept_ratio": lept / opt,
-            "family_ordered": ordered.astype(float),
-        },
-        len(seeds),
-    )
-
-
-@vectorized_kernel(
-    "E4",
-    mode="batched",
-    note="makespan subset DP evaluated once over all replications",
-)
-def batch_e4(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``batched`` kernel for E4: runs all replications at once on arrays with a replication axis;
-    bit-for-bit equal to ``simulate_e4`` on the same seeds.
-    """
-    rates = _uniform_rates(seeds, params)
-    m = int(params["m"])
-    opt = subset_dp_batch(rates, m, objective="makespan")
-    lept = subset_dp_batch(rates, m, objective="makespan", policy="lept")
-    sept = subset_dp_batch(rates, m, objective="makespan", policy="sept")
-    return _float_rows(
-        {
-            "opt": opt,
-            "lept_gap": lept / opt - 1.0,
-            "sept_penalty": sept / opt - 1.0,
-        },
-        len(seeds),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E5 / E18 — fully deterministic scenarios: compute once, broadcast
-# ---------------------------------------------------------------------------
-
-
-def _broadcast_deterministic(
-    scenario_id: str, seeds: Seeds, params: Params
-) -> list[dict[str, float]]:
-    """For a ``simulate`` that never touches its seed, every replication
-    is the same computation: run it once and replicate the row."""
-    from repro.experiments.registry import get_scenario
-
-    if not seeds:
-        return []
-    row = get_scenario(scenario_id).simulate(seeds[0], params)
-    return [dict(row) for _ in seeds]
-
-
-@vectorized_kernel(
-    "E5",
-    mode="cached",
-    note="the study instance is fixed and the enumeration exact — one "
-    "evaluation serves every replication",
-)
-def batch_e5(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``cached`` kernel for E5: hoists the replication-invariant work and evaluates it once for the batch;
-    bit-for-bit equal to ``simulate_e5`` on the same seeds.
-    """
-    return _broadcast_deterministic("E5", seeds, params)
-
-
-@vectorized_kernel(
-    "E18",
-    mode="cached",
-    note="fixed study instances, fully deterministic DPs — one evaluation "
-    "serves every replication",
-)
-def batch_e18(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``cached`` kernel for E18: hoists the replication-invariant work and evaluates it once for the batch;
-    bit-for-bit equal to ``simulate_e18`` on the same seeds.
-    """
-    return _broadcast_deterministic("E18", seeds, params)
-
-
-# ---------------------------------------------------------------------------
-# E7 — classical bandits: batched product-MDP assembly + policy tables
-# ---------------------------------------------------------------------------
-
-
-def _sequential_argmax(
-    values: np.ndarray, tie_rank: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Emulate ``max(range(A), key=lambda a: (values[:, a], tie_rank[a]))``
-    per row: a later action replaces the incumbent iff its key tuple is
-    strictly greater (value strictly greater, or exactly equal value and
-    strictly greater tie rank).  Returns (argmax, max values)."""
-    N, A = values.shape
-    best = np.zeros(N, dtype=np.int64)
-    best_val = values[:, 0].copy()
-    for a in range(1, A):
-        v = values[:, a]
-        better = (v > best_val) | ((v == best_val) & (tie_rank[a] > tie_rank[best]))
-        best = np.where(better, a, best)
-        best_val = np.where(better, v, best_val)
-    return best, best_val
-
-
-def _policy_values_batch(
-    T: np.ndarray, R: np.ndarray, policies: np.ndarray, beta: float
-) -> np.ndarray:
-    """Batched :meth:`FiniteMDP.policy_value`: exact discounted values of
-    per-replication deterministic policies, one LAPACK solve per slice
-    (bit-identical to the per-replication solve)."""
-    N, _, S, _ = T.shape
-    rows = np.arange(N)[:, None]
-    cols = np.arange(S)[None, :]
-    P_pi = T[rows, policies, cols]
-    r_pi = R[rows, policies, cols]
-    return np.linalg.solve(np.eye(S) - beta * P_pi, r_pi[..., None])[..., 0]
-
-
-@vectorized_kernel(
-    "E7",
-    mode="batched",
-    note="product MDPs assembled once for the whole batch and priority "
-    "policies evaluated by stacked linear solves; the per-replication "
-    "index-algorithm cross-check keeps its own exact control flow",
-)
-def batch_e7(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``batched`` kernel for E7: runs all replications at once on arrays with a replication axis;
-    bit-for-bit equal to ``simulate_e7`` on the same seeds.
-    """
-    from repro.bandits import (
-        gittins_indices_restart,
-        gittins_indices_vwb,
-        random_project,
-    )
-    from repro.mdp.core import FiniteMDP
-    from repro.mdp.solvers import policy_iteration
-
-    beta = float(params["beta"])
-    n_proj, n_states = int(params["n_projects"]), int(params["n_states"])
-    algo_states = int(params["algo_states"])
-    N = len(seeds)
-    projects = []
-    algo_projects = []
-    for ss in seeds:
-        rng = np.random.default_rng(ss)
-        projects.append([random_project(n_states, rng) for _ in range(n_proj)])
-        algo_projects.append(random_project(algo_states, rng))
-
-    Ps = [np.stack([projects[r][a].P for r in range(N)]) for a in range(n_proj)]
-    Rs = [np.stack([projects[r][a].R for r in range(N)]) for a in range(n_proj)]
-    T, R, states = batched_product_mdp(Ps, Rs)
-    start = states.index(tuple(0 for _ in range(n_proj)))
-
-    opt = np.empty(N)
-    for r in range(N):
-        mdp = FiniteMDP(T[r], R[r], validate=False)
-        opt[r] = policy_iteration(mdp, beta).value[start]
-
-    # Gittins priority policy: per-replication VWB indices, batched table
-    gammas = np.stack(
-        [
-            np.stack([gittins_indices_vwb(projects[r][a], beta) for a in range(n_proj)])
-            for r in range(N)
-        ]
-    )  # (N, n_proj, n_states)
-    tie_rank = -np.arange(n_proj)  # key (index, -a): ties to the lowest id
-    git_policy = np.empty((N, len(states)), dtype=np.int64)
-    myop_policy = np.empty((N, len(states)), dtype=np.int64)
-    for i, s in enumerate(states):
-        git_vals = np.stack(
-            [gammas[:, a, s[a]].astype(float) for a in range(n_proj)], axis=1
-        )
-        myop_vals = np.stack([Rs[a][:, s[a]] for a in range(n_proj)], axis=1)
-        git_policy[:, i] = _sequential_argmax(git_vals, tie_rank)[0]
-        myop_policy[:, i] = _sequential_argmax(myop_vals, tie_rank)[0]
-    git = _policy_values_batch(T, R, git_policy, beta)[:, start]
-    myop = _policy_values_batch(T, R, myop_policy, beta)[:, start]
-
-    algo_diff = np.empty(N)
-    for r in range(N):
-        proj = algo_projects[r]
-        algo_diff[r] = np.max(
-            np.abs(
-                gittins_indices_vwb(proj, beta) - gittins_indices_restart(proj, beta)
-            )
-        )
-    return _float_rows(
-        {
-            "opt": opt,
-            "gittins_gap": np.abs(git / opt - 1.0),
-            "myopic_loss": 1.0 - myop / opt,
-            "algo_diff": algo_diff,
-        },
-        N,
-    )
-
-
-# ---------------------------------------------------------------------------
-# E8 — restless fleets: shared bound/index computation + lockstep rollouts
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "E8",
-    mode="batched",
-    note="the LP bound and Whittle/myopic index tables are identical for "
-    "every replication and computed once; the fleet rollouts run in "
-    "lockstep across replications",
-)
-def batch_e8(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``batched`` kernel for E8: runs all replications at once on arrays with a replication axis;
-    bit-for-bit equal to ``simulate_e8`` on the same seeds.
-    """
-    from repro.bandits import average_relaxation_bound, myopic_rule, whittle_rule
-    from repro.experiments.scenarios import _e8_project
-
-    proj = _e8_project()
-    alpha = float(params["alpha"])
-    horizon, warmup = int(params["horizon"]), int(params["warmup"])
-    sizes = [int(n) for n in params["fleet_sizes"]]
-    N = len(seeds)
-
-    bound, _ = average_relaxation_bound(proj, alpha)
-    w_rule, m_rule = whittle_rule(proj), myopic_rule(proj)
-    K = proj.n_states
-    w_table = np.array([w_rule.index(0, s) for s in range(K)])
-    m_table = np.array([m_rule.index(0, s) for s in range(K)])
-    cum0 = np.cumsum(proj.P0, axis=1)
-    cum1 = np.cumsum(proj.P1, axis=1)
-
-    gens = [np.random.default_rng(ss).spawn(len(sizes) + 1) for ss in seeds]
-    gaps = np.empty((len(sizes), N))
-    whittle_large = np.zeros(N)
-    for i, n in enumerate(sizes):
-        got = lockstep_restless_rollouts(
-            cum0,
-            cum1,
-            proj.R0,
-            proj.R1,
-            w_table,
-            n,
-            int(alpha * n),
-            horizon,
-            [g[i] for g in gens],
-            warmup=warmup,
-        )
-        gaps[i] = bound - got
-        whittle_large = got
-    myop = lockstep_restless_rollouts(
-        cum0,
-        cum1,
-        proj.R0,
-        proj.R1,
-        m_table,
-        sizes[-1],
-        int(alpha * sizes[-1]),
-        horizon,
-        [g[-1] for g in gens],
-        warmup=warmup,
-    )
-    return _float_rows(
-        {
-            "bound": float(bound),
-            "first_gap": gaps[0],
-            "last_gap": gaps[-1],
-            # elementwise minimum replicates min() over the per-size floats
-            "min_gap": gaps.min(axis=0),
-            "whittle_large_n": whittle_large,
-            "myopic": myop,
-        },
-        N,
-    )
-
-
-# ---------------------------------------------------------------------------
-# E9 — switching costs: batched switching-MDP assembly + policy tables
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "E9",
-    mode="batched",
-    note="the joint switching MDP is assembled once for the whole batch "
-    "(the event path rebuilds it three times per replication) and both "
-    "heuristic policies share one set of VWB index tables",
-)
-def batch_e9(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``batched`` kernel for E9: runs all replications at once on arrays with a replication axis;
-    bit-for-bit equal to ``simulate_e9`` on the same seeds.
-    """
-    from repro.bandits import gittins_indices_vwb, random_project
-    from repro.mdp.core import FiniteMDP
-    from repro.mdp.solvers import policy_iteration
-
-    beta, cost = float(params["beta"]), float(params["cost"])
-    n_proj, n_states = int(params["n_projects"]), int(params["n_states"])
-    N = len(seeds)
-    # the event path draws every project from one generator in sequence
-    projects = []
-    for ss in seeds:
-        rng = np.random.default_rng(ss)
-        projects.append([random_project(n_states, rng) for _ in range(n_proj)])
-
-    Ps = [np.stack([projects[r][a].P for r in range(N)]) for a in range(n_proj)]
-    Rs = [np.stack([projects[r][a].R for r in range(N)]) for a in range(n_proj)]
-    T, R, states = batched_switching_mdp(Ps, Rs, cost)
-    start = states.index((tuple(0 for _ in range(n_proj)), -1))
-
-    opt = np.empty(N)
-    for r in range(N):
-        mdp = FiniteMDP(T[r], R[r], validate=False)
-        opt[r] = policy_iteration(mdp, beta).value[start]
-
-    gammas = np.stack(
-        [
-            np.stack([gittins_indices_vwb(projects[r][a], beta) for a in range(n_proj)])
-            for r in range(N)
-        ]
-    )
-    bonus = cost * (1.0 - beta)
-    plain_policy = np.empty((N, len(states)), dtype=np.int64)
-    hyst_policy = np.empty((N, len(states)), dtype=np.int64)
-    for i, (core, inc) in enumerate(states):
-        # key (value, incumbent flag, -a) -> integer tie rank
-        tie_rank = np.array(
-            [(1 if a == inc else 0) * n_proj + (n_proj - 1 - a) for a in range(n_proj)]
-        )
-        plain_vals = np.stack(
-            [gammas[:, a, core[a]].astype(float) for a in range(n_proj)], axis=1
-        )
-        hyst_vals = np.stack(
-            [
-                gammas[:, a, core[a]].astype(float) + (bonus if a == inc else 0.0)
-                for a in range(n_proj)
-            ],
-            axis=1,
-        )
-        plain_policy[:, i] = _sequential_argmax(plain_vals, tie_rank)[0]
-        hyst_policy[:, i] = _sequential_argmax(hyst_vals, tie_rank)[0]
-    plain = _policy_values_batch(T, R, plain_policy, beta)[:, start]
-    hyst = _policy_values_batch(T, R, hyst_policy, beta)[:, start]
-    return _float_rows(
-        {"opt": opt, "plain_frac": plain / opt, "hyst_frac": hyst / opt},
-        N,
-    )
-
-
-# ---------------------------------------------------------------------------
-# E10 / E11 — multiclass M/G/1 and Klimov: shared exact analysis, lockstep
-# network simulations
-# ---------------------------------------------------------------------------
-
-
-def _crn_batches(seeds: Seeds, k: int) -> list[list[np.random.Generator]]:
-    """Per-case generator batches under common random numbers: case ``i``
-    gets one fresh ``default_rng(ss)`` per replication — exactly the
-    generators ``crn_generators(ss, k)`` hands the event path's ``zip``."""
-    return [[np.random.default_rng(ss) for ss in seeds] for _ in range(k)]
-
-
-@vectorized_kernel(
-    "E10",
-    mode="lockstep",
-    note="the cµ/Cobham/polytope analysis is deterministic and hoisted out "
-    "of the replication loop; the CRN network simulations run through the "
-    "flat lockstep engine",
-)
-def batch_e10(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``lockstep`` kernel for E10: drives the whole batch through the flat lockstep simulators;
-    bit-for-bit equal to ``simulate_e10`` on the same seeds.
-    """
-    from repro.core.conservation import (
-        check_strong_conservation,
-        performance_polytope_vertices,
-    )
-    from repro.experiments.scenarios import _E10_ARRIVAL, _E10_COSTS, _e10_services
-    from repro.queueing import optimal_average_cost, order_average_cost
-    from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
-
-    services = _e10_services()
-    arrival, costs = list(_E10_ARRIVAL), list(_E10_COSTS)
-    horizon = float(params["horizon"])
-
-    opt_cost, cmu = optimal_average_cost(arrival, services, costs)
-    exact = {
-        perm: order_average_cost(arrival, services, costs, perm)
-        for perm in itertools.permutations(range(3))
-    }
-    best_perm = min(exact, key=exact.get)
-    worst_perm = max(exact, key=exact.get)
-    ms = np.array([s.mean for s in services])
-    m2 = np.array([s.second_moment for s in services])
-    n_vertices = float(len(performance_polytope_vertices(arrival, ms, m2)))
-    rtol = float(params["conservation_rtol"])
-
-    case_perms = (tuple(cmu), worst_perm)
-    sims = {}
-    for perm, rngs in zip(case_perms, _crn_batches(seeds, len(case_perms))):
-        net = QueueingNetwork(
-            [
-                ClassConfig(0, services[j], arrival_rate=arrival[j], cost=costs[j])
-                for j in range(3)
-            ],
-            [StationConfig(discipline="priority", priority=perm)],
-        )
-        sims[perm] = lockstep_network_simulations(net, horizon, rngs)
-    rows = []
-    for r in range(len(seeds)):
-        conserved = check_strong_conservation(
-            arrival, ms, m2, sims[tuple(cmu)][r].mean_waits, rtol=rtol
-        )
-        rows.append(
-            {
-                "opt_cost": float(opt_cost),
-                "cmu_picks_best": float(tuple(cmu) == best_perm),
-                "cmu_sim_ratio": float(sims[tuple(cmu)][r].cost_rate / opt_cost),
-                "worst_exact_ratio": float(exact[worst_perm] / opt_cost),
-                "worst_sim_ratio": float(sims[worst_perm][r].cost_rate / opt_cost),
-                "conservation_ok": float(conserved),
-                "n_vertices": n_vertices,
-            }
-        )
-    return rows
-
-
-@vectorized_kernel(
-    "E11",
-    mode="lockstep",
-    note="Klimov/cµ index analysis and network construction hoisted out of "
-    "the replication loop; the six CRN simulations run through the flat "
-    "lockstep engine",
-)
-def batch_e11(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``lockstep`` kernel for E11: drives the whole batch through the flat lockstep simulators;
-    bit-for-bit equal to ``simulate_e11`` on the same seeds.
-    """
-    from repro.distributions import Exponential
-    from repro.experiments.scenarios import (
-        _E11_COSTS,
-        _E11_FEEDBACK,
-        _E11_LAM,
-        _E11_MUS,
-    )
-    from repro.queueing.klimov import klimov_indices, klimov_order
-    from repro.queueing.mg1 import cmu_order
-    from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
-
-    lam, mus, costs = list(_E11_LAM), list(_E11_MUS), list(_E11_COSTS)
-    feedback = np.array(_E11_FEEDBACK)
-    means = [1.0 / m for m in mus]
-    horizon = float(params["horizon"])
-
-    k_order = tuple(klimov_order(costs, means, feedback))
-    naive = tuple(cmu_order(costs, means))
-    perms = list(itertools.permutations(range(3)))
-    reduce_ok = np.allclose(
-        klimov_indices(costs, means, np.zeros((3, 3))),
-        np.asarray(costs) / np.asarray(means),
-    )
-    results = {}
-    for perm, rngs in zip(perms, _crn_batches(seeds, len(perms))):
-        net = QueueingNetwork(
-            [
-                ClassConfig(0, Exponential(mus[j]), arrival_rate=lam[j], cost=costs[j])
-                for j in range(3)
-            ],
-            [StationConfig(discipline="priority", priority=perm)],
-            routing=feedback,
-        )
-        results[perm] = [
-            res.cost_rate
-            for res in lockstep_network_simulations(
-                net, horizon, rngs, warmup_fraction=0.2
-            )
-        ]
-    rows = []
-    for r in range(len(seeds)):
-        per_perm = {perm: results[perm][r] for perm in perms}
-        best = min(per_perm.values())
-        rows.append(
-            {
-                "klimov_cost": float(per_perm[k_order]),
-                "best_cost": float(best),
-                "klimov_vs_best": float(per_perm[k_order] / best),
-                "naive_cmu_ratio": float(per_perm[naive] / per_perm[k_order]),
-                "reduction_exact": float(reduce_ok),
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E16 — in-tree precedence: lockstep HLF / random list scheduling
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "E16",
-    mode="batched",
-    note="every batch of trees is simulated in lockstep (one completion "
-    "epoch per step across all replications); per-replication draws stay "
-    "on their own generators in the event path's order",
-)
-def batch_e16(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``batched`` kernel for E16: runs all replications at once on arrays with a replication axis;
-    bit-for-bit equal to ``simulate_e16`` on the same seeds.
-    """
-    from repro.batch import random_intree
-    from repro.utils.rng import crn_generators
-
-    m = int(params["m"])
-    sizes = [int(n) for n in params["sizes"]]
-    N = len(seeds)
-    main_rngs = [np.random.default_rng(ss) for ss in seeds]
-    children = [ss.spawn(len(sizes)) for ss in seeds]
-
-    columns: dict[str, np.ndarray] = {}
-    for si, n in enumerate(sizes):
-        parents = np.empty((N, n), dtype=np.int64)
-        levels = []
-        lb = np.empty(N)
-        for r in range(N):
-            seed_int = int(main_rngs[r].integers(0, 2**31 - 1))
-            tree = random_intree(n, seed_int)
-            parents[r] = tree.parent
-            lev = tree.levels()
-            levels.append(lev)
-            lb[r] = max(n / m, float(lev.max() + 1))
-        hlf_rngs, rnd_rngs, policy_rngs = [], [], []
-        for r in range(N):
-            h, w = crn_generators(children[r][si], 2)
-            hlf_rngs.append(h)
-            rnd_rngs.append(w)
-            policy_rngs.append(np.random.default_rng(children[r][si].spawn(1)[0]))
-
-        def hlf_select(r: int, ids: np.ndarray, m_: int) -> np.ndarray:
-            lev = levels[r][ids]
-            # stable argsort of -level == sorted(ids, key=(-level, id))
-            return ids[np.argsort(-lev, kind="stable")[:m_]]
-
-        def random_select(r: int, ids: np.ndarray, m_: int) -> np.ndarray:
-            k = min(m_, len(ids))
-            idx = policy_rngs[r].choice(len(ids), size=k, replace=False)
-            return ids[idx]
-
-        hlf = lockstep_intree_makespans(parents, m, 1.0, hlf_select, hlf_rngs)
-        rnd = lockstep_intree_makespans(parents, m, 1.0, random_select, rnd_rngs)
-        columns[f"hlf_ratio_n{n}"] = hlf / lb
-        columns[f"random_ratio_n{n}"] = rnd / lb
-    columns["hlf_ratio_small"] = columns[f"hlf_ratio_n{sizes[0]}"]
-    columns["hlf_ratio_large"] = columns[f"hlf_ratio_n{sizes[-1]}"]
-    columns["random_ratio_large"] = columns[f"random_ratio_n{sizes[-1]}"]
-    return _float_rows(columns, N)
-
-
-# ---------------------------------------------------------------------------
-# E2 — Sevcik preemptive index: deterministic memoryless half hoisted
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "E2",
-    mode="cached",
-    note="the memoryless-job half of the study is fully deterministic and "
-    "computed once for the whole batch; the random-SCV DHR half keeps its "
-    "exact per-replication DPs",
-)
-def batch_e2(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``cached`` kernel for E2: hoists the replication-invariant work and evaluates it once for the batch;
-    bit-for-bit equal to ``simulate_e2`` on the same seeds.
-    """
-    from repro.batch.sevcik import (
-        DiscreteJob,
-        GittinsJobIndex,
-        discretize_distribution,
-        evaluate_index_policy_dp,
-        nonpreemptive_wsept_cost,
-        preemptive_single_machine_mdp,
-    )
-    from repro.distributions import Exponential, HyperExponential
-
-    quantum = float(params["quantum"])
-    n_quanta = int(params["n_quanta"])
-    lo, hi = params["scv_range"]
-
-    mem = [
-        DiscreteJob(
-            id=j,
-            pmf=discretize_distribution(Exponential.from_mean(mean), 0.5, n_quanta),
-            weight=1.0,
-        )
-        for j, mean in enumerate((1.0, 2.0, 3.0))
-    ]
-    opt_mem, _ = preemptive_single_machine_mdp(mem)
-    gittins_mem = evaluate_index_policy_dp(mem, GittinsJobIndex(mem))
-    wsept_mem = nonpreemptive_wsept_cost(mem)
-    mem_metrics = {
-        "opt_mem": float(opt_mem),
-        "gittins_mem_gap": float(abs(gittins_mem / opt_mem - 1.0)),
-        "wsept_mem_premium": float(wsept_mem / opt_mem - 1.0),
-    }
-
-    rows = []
-    for ss in seeds:
-        rng = np.random.default_rng(ss)
-        scvs = rng.uniform(lo, hi, size=3)
-        dhr = [
-            DiscreteJob(
-                id=j,
-                pmf=discretize_distribution(
-                    HyperExponential.balanced_from_mean_scv(2.0, float(scv)),
-                    quantum,
-                    n_quanta,
-                ),
-                weight=1.0 + 0.3 * j,
-            )
-            for j, scv in enumerate(scvs)
-        ]
-        opt_dhr, _ = preemptive_single_machine_mdp(dhr)
-        gittins_dhr = evaluate_index_policy_dp(dhr, GittinsJobIndex(dhr))
-        wsept_dhr = nonpreemptive_wsept_cost(dhr)
-        rows.append(
-            {
-                "opt_dhr": float(opt_dhr),
-                "gittins_dhr_gap": float(abs(gittins_dhr / opt_dhr - 1.0)),
-                "wsept_dhr_premium": float(wsept_dhr / opt_dhr - 1.0),
-                **mem_metrics,
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E6 — Weiss turnpike: exact subset DPs batched across replications
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "E6",
-    mode="batched",
-    note="the nested-instance optimal and WSEPT subset DPs run once per "
-    "batch with vector-valued states instead of once per replication",
-)
-def batch_e6(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``batched`` kernel for E6: runs all replications at once on arrays with a replication axis;
-    bit-for-bit equal to ``simulate_e6`` on the same seeds.
-    """
-    ns = [int(n) for n in params["ns"]]
-    m = int(params["m"])
-    N = len(seeds)
-    n_max = max(ns)
-    rates = np.empty((N, n_max))
-    weights = np.empty((N, n_max))
-    for r, ss in enumerate(seeds):
-        rng = np.random.default_rng(ss)
-        # exact_gap_sweep re-seeds from a derived integer
-        inner = np.random.default_rng(int(rng.integers(0, 2**31 - 1)))
-        rates[r] = inner.uniform(0.3, 3.0, size=n_max)
-        weights[r] = inner.uniform(0.5, 2.0, size=n_max)
-
-    opts, vals = [], []
-    for n in ns:
-        r, w = rates[:, :n], weights[:, :n]
-        opts.append(subset_dp_batch(r, m, objective="flowtime", weights=w))
-        vals.append(
-            subset_dp_batch(
-                r, m, objective="flowtime", weights=w, policy="index", priority=w * r
-            )
-        )
-    gaps = [v - o for v, o in zip(vals, opts)]
-    max_gap, min_gap = gaps[0], gaps[0]
-    for g in gaps[1:]:
-        max_gap = np.maximum(max_gap, g)
-        min_gap = np.minimum(min_gap, g)
-    return _float_rows(
-        {
-            "opt_growth": opts[-1] / opts[0],
-            "max_abs_gap": max_gap,
-            "min_abs_gap": min_gap,
-            "last_rel_gap": gaps[-1] / opts[-1],
-        },
-        N,
-    )
-
-
-# ---------------------------------------------------------------------------
-# E12 — heavy traffic on parallel servers: lockstep M/M/m sweeps
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "E12",
-    mode="lockstep",
-    note="the pooled preemptive-cµ lower bound and the M/M/m network are "
-    "built once per sweep point; every replication's rho sweep advances "
-    "through the flat lockstep engine on its own carried-over stream",
-)
-def batch_e12(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``lockstep`` kernel for E12: drives the whole batch through the flat lockstep simulators;
-    bit-for-bit equal to ``simulate_e12`` on the same seeds.
-    """
-    from repro.queueing.heavy_traffic import build_mmk, pooled_lower_bound
-
-    mu = np.asarray(list(params["mu"]), dtype=float)
-    c = np.asarray(list(params["costs"]), dtype=float)
-    m = int(params["m"])
-    rhos = [float(r) for r in params["rhos"]]
-    horizon = float(params["horizon"])
-    n = mu.size
-    mix = np.full(n, 1.0 / n)
-    rho0 = min(rhos)
-    N = len(seeds)
-
-    # each replication's sweep reuses one generator across the rho points,
-    # exactly like parallel_server_experiment
-    rngs = [np.random.default_rng(ss) for ss in seeds]
-    ratios = np.empty((len(rhos), N))
-    bounds = np.empty(len(rhos))
-    costs_sim = np.empty((len(rhos), N))
-    for i, rho in enumerate(rhos):
-        if not 0 < rho < 1:
-            raise ValueError("rho values must be in (0, 1)")
-        lam = rho * m * mix * mu
-        net = build_mmk(lam, mu, c, m)
-        h = horizon * (1.0 - rho0) / (1.0 - rho)
-        results = lockstep_network_simulations(net, h, rngs, warmup_fraction=0.2)
-        bounds[i] = pooled_lower_bound(lam, mu, c, m)
-        for r, res in enumerate(results):
-            costs_sim[i, r] = res.cost_rate
-            ratios[i, r] = res.cost_rate / bounds[i]
-    min_ratio = ratios[0].copy()
-    for i in range(1, len(rhos)):
-        min_ratio = np.minimum(min_ratio, ratios[i])
-    return _float_rows(
-        {
-            "first_ratio": ratios[0],
-            "last_ratio": ratios[-1],
-            "min_ratio": min_ratio,
-            "last_bound": float(bounds[-1]),
-            "last_cost": costs_sim[-1],
-            "n_rhos": float(len(rhos)),
-            "top_rho": float(rhos[-1]),
-        },
-        N,
-    )
-
-
-# ---------------------------------------------------------------------------
-# E13 — Rybko–Stolyar instability: fluid analysis hoisted, lockstep sims
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "E13",
-    mode="lockstep",
-    note="both deterministic fluid-stability integrations and the three "
-    "network constructions are hoisted out of the replication loop; the "
-    "stochastic sample paths run through the flat lockstep engine",
-)
-def batch_e13(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``lockstep`` kernel for E13: drives the whole batch through the flat lockstep simulators;
-    bit-for-bit equal to ``simulate_e13`` on the same seeds.
-    """
-    from repro.queueing import (
-        FluidModel,
-        is_fluid_stable,
-        rybko_stolyar_network,
-        virtual_station_load,
-    )
-
-    horizon = float(params["horizon"])
-    dt, fh = float(params["fluid_dt"]), float(params["fluid_horizon"])
-    bad = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=True)
-    fifo = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=False)
-    safe = rybko_stolyar_network(1.0, 0.1, 0.4, priority_to_exit=True)
-
-    spawned = [np.random.default_rng(ss).spawn(3) for ss in seeds]
-    res_bad = lockstep_network_simulations(bad, horizon, [g[0] for g in spawned])
-    res_fifo = lockstep_network_simulations(fifo, horizon, [g[1] for g in spawned])
-    res_safe = lockstep_network_simulations(safe, horizon, [g[2] for g in spawned])
-
-    naive_stable = float(is_fluid_stable(FluidModel.from_network(bad), horizon=fh, dt=dt))
-    aug_stable = float(
-        is_fluid_stable(
-            FluidModel.from_network(bad, virtual_stations=((1, 3),)), horizon=fh, dt=dt
-        )
-    )
-    v_load = float(virtual_station_load(bad))
-    rows = []
-    for r in range(len(seeds)):
-        rows.append(
-            {
-                "bad_backlog": float(res_bad[r].final_backlog),
-                "fifo_backlog": float(res_fifo[r].final_backlog),
-                "safe_backlog": float(res_safe[r].final_backlog),
-                "instability_ratio": float(
-                    res_bad[r].final_backlog / max(res_fifo[r].final_backlog, 1.0)
-                ),
-                "virtual_load_bad": v_load,
-                "naive_fluid_stable": naive_stable,
-                "augmented_fluid_stable": aug_stable,
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E14 — fluid-guided policies: drain analysis hoisted, lockstep CRN sims
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "E14",
-    mode="lockstep",
-    note="the deterministic fluid drain integrations are computed once; "
-    "the CRN policy comparison runs through the flat lockstep engine",
-)
-def batch_e14(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``lockstep`` kernel for E14: drives the whole batch through the flat lockstep simulators;
-    bit-for-bit equal to ``simulate_e14`` on the same seeds.
-    """
-    from repro.experiments.scenarios import _e14_network
-    from repro.queueing import FluidModel, fluid_drain_time
-
-    horizon = float(params["horizon"])
-    dt, fh = float(params["fluid_dt"]), float(params["fluid_horizon"])
-    nets = {
-        "exit_first": _e14_network((2, 0), (1,)),
-        "entry_first": _e14_network((0, 2), (1,)),
-    }
-    drains = {
-        name: float(fluid_drain_time(FluidModel.from_network(net), [1, 1, 1], horizon=fh, dt=dt))
-        for name, net in nets.items()
-    }
-    costs = {}
-    for (name, net), rngs in zip(nets.items(), _crn_batches(seeds, len(nets))):
-        costs[name] = [
-            res.cost_rate for res in lockstep_network_simulations(net, horizon, rngs)
-        ]
-    rows = []
-    for r in range(len(seeds)):
-        rows.append(
-            {
-                "drain_exit_first": drains["exit_first"],
-                "drain_entry_first": drains["entry_first"],
-                "cost_exit_first": float(costs["exit_first"][r]),
-                "cost_entry_first": float(costs["entry_first"][r]),
-                "exit_vs_entry_cost": float(
-                    costs["exit_first"][r] / costs["entry_first"][r]
-                ),
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E15 — polling with switchovers: lockstep sweeps, conservation law hoisted
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "E15",
-    mode="lockstep",
-    note="the pseudo-conservation right-hand sides are deterministic and "
-    "hoisted; all six CRN (policy, switchover) cases run through the flat "
-    "polling engine with pre-drawn service blocks, including the "
-    "zero-switchover idle rule",
-)
-def batch_e15(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``lockstep`` kernel for E15: drives the whole batch through the flat lockstep simulators;
-    bit-for-bit equal to ``simulate_e15`` on the same seeds.
-    """
-    from repro.distributions import Deterministic, Exponential
-    from repro.experiments.scenarios import _E15_LAM
-    from repro.queueing import pseudo_conservation_rhs
-
-    svc_rates = (2.0, 1.5)
-    svc = [Exponential(r) for r in svc_rates]
-    lam = list(_E15_LAM)
-    horizon = float(params["horizon"])
-    short, long_ = params["switchover_means"]
-    N = len(seeds)
-
-    cases = [
-        (pol, sw_mean, label)
-        for sw_mean, label in ((float(short), "short"), (float(long_), "long"))
-        for pol in ("exhaustive", "gated", "limited")
-    ]
-    rhs = {
-        (pol, sw_mean): pseudo_conservation_rhs(
-            lam, svc, [Deterministic(sw_mean), Deterministic(sw_mean)], pol
-        )
-        for pol, sw_mean, _ in cases
-        if pol in ("exhaustive", "gated")
-    }
-    metrics: dict[str, list[float]] = {}
-    cons_errs: list[list[float]] = [[] for _ in range(N)]
-    for (pol, sw_mean, label), rngs in zip(cases, _crn_batches(seeds, len(cases))):
-        results = lockstep_polling_simulations(
-            lam, svc_rates, [sw_mean, sw_mean], pol, horizon, rngs
-        )
-        metrics[f"{pol}_{label}"] = [float(res.weighted_wait_sum) for res in results]
-        if pol in ("exhaustive", "gated"):
-            for r, res in enumerate(results):
-                cons_errs[r].append(
-                    abs(res.weighted_wait_sum / rhs[(pol, sw_mean)] - 1.0)
-                )
-    rows = []
-    for r in range(N):
-        row = {name: vals[r] for name, vals in metrics.items()}
-        row["max_conservation_err"] = float(max(cons_errs[r]))
-        rows.append(row)
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E17 — stochastic flow shops: batched makespan recurrences
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "E17",
-    mode="batched",
-    note="the four CRN sequence evaluations run as batched (reps,) "
-    "completion recurrences; the deterministic Johnson limit is computed "
-    "once for the whole batch",
-)
-def batch_e17(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``batched`` kernel for E17: runs all replications at once on arrays with a replication axis;
-    bit-for-bit equal to ``simulate_e17`` on the same seeds.
-    """
-    from repro.batch.flowshop import (
-        johnson_order_deterministic,
-        simulate_flowshop,
-        talwar_order,
-    )
-    from repro.experiments.scenarios import _E17_RATES, _E17_RUNNER_UP
-
-    rates = np.array(_E17_RATES)
-    order = talwar_order(rates)
-    N = len(seeds)
-    P = np.empty((N,) + rates.shape)
-    for r, ss in enumerate(seeds):
-        P[r] = np.random.default_rng(ss).exponential(1.0 / rates)
-
-    talwar_mk = flowshop_makespan_batch(P, order)
-    runner_up_mk = flowshop_makespan_batch(P, list(_E17_RUNNER_UP))
-    reverse_mk = flowshop_makespan_batch(P, order[::-1])
-    blocked_mk = flowshop_makespan_batch(P, order, blocking=True)
-
-    times = 1.0 / rates
-    j_order = johnson_order_deterministic(times)
-    mk_j = simulate_flowshop(times, j_order)[0]
-    best_det = min(
-        simulate_flowshop(times, list(p))[0]
-        for p in itertools.permutations(range(len(times)))
-    )
-    return _float_rows(
-        {
-            "talwar_makespan": talwar_mk,
-            "runner_up_ratio": runner_up_mk / talwar_mk,
-            "reverse_ratio": reverse_mk / talwar_mk,
-            "blocked_minus_talwar": blocked_mk - talwar_mk,
-            "johnson_gap": float(mk_j / best_det - 1.0),
-        },
-        N,
-    )
-
-
-# ---------------------------------------------------------------------------
-# E19 — heterogeneous restless fleets: lockstep rollouts
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "E19",
-    mode="lockstep",
-    note="both policy rollouts advance all replications' fleets in "
-    "lockstep on stacked (reps, projects, states) arrays; the Lagrangian "
-    "bound and Whittle tables keep their exact per-replication solves "
-    "(they depend on each replication's random projects and dominate the "
-    "runtime)",
-)
-def batch_e19(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``lockstep`` kernel for E19: drives the whole batch through the flat lockstep simulators;
-    bit-for-bit equal to ``simulate_e19`` on the same seeds.
-    """
-    from repro.bandits import (
-        heterogeneous_relaxation_bound,
-        random_restless_project,
-    )
-    from repro.bandits.restless import whittle_indices
-
-    n_proj, n_states = int(params["n_projects"]), int(params["n_states"])
-    m = int(params["m"])
-    horizon, warmup = int(params["horizon"]), int(params["warmup"])
-    N = len(seeds)
-
-    bounds = np.empty(N)
-    shadow = np.empty(N)
-    w_tables = np.empty((N, n_proj, n_states))
-    myop_tables = np.empty((N, n_proj, n_states))
-    cum0 = np.empty((N, n_proj, n_states, n_states))
-    cum1 = np.empty((N, n_proj, n_states, n_states))
-    R0 = np.empty((N, n_proj, n_states))
-    R1 = np.empty((N, n_proj, n_states))
-    sims_w, sims_m = [], []
-    for r, ss in enumerate(seeds):
-        rng = np.random.default_rng(ss)
-        projects = [random_restless_project(n_states, rng) for _ in range(n_proj)]
-        bounds[r], shadow[r] = heterogeneous_relaxation_bound(projects, m)
-        # heterogeneous_whittle_rule computes exactly these per-project
-        # tables; the rollout reads them as floats, like rule.index does
-        for k, p in enumerate(projects):
-            w_tables[r, k] = whittle_indices(p, criterion="average")
-            myop_tables[r, k] = p.R1 - p.R0
-            cum0[r, k] = np.cumsum(p.P0, axis=1)
-            cum1[r, k] = np.cumsum(p.P1, axis=1)
-            R0[r, k] = p.R0
-            R1[r, k] = p.R1
-        sw, sm = rng.spawn(2)
-        sims_w.append(sw)
-        sims_m.append(sm)
-
-    whittle = lockstep_heterogeneous_rollouts(
-        w_tables, cum0, cum1, R0, R1, m, horizon, sims_w, warmup=warmup
-    )
-    myopic = lockstep_heterogeneous_rollouts(
-        myop_tables, cum0, cum1, R0, R1, m, horizon, sims_m, warmup=warmup
-    )
-    return _float_rows(
-        {
-            "bound": bounds,
-            "shadow_price": shadow,
-            "whittle_frac": whittle / bounds,
-            "myopic_frac": myopic / bounds,
-        },
-        N,
-    )
-
-
-# ---------------------------------------------------------------------------
-# A1 — Gittins algorithm cross-check: restart value iterations batched
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "A1",
-    mode="batched",
-    note="the dominant restart-in-state value iterations run over the "
-    "whole batch with stacked matrix-vector products; the VWB recursion "
-    "keeps its exact per-replication control flow",
-)
-def batch_a1(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``batched`` kernel for A1: runs all replications at once on arrays with a replication axis;
-    bit-for-bit equal to ``simulate_a1`` on the same seeds.
-    """
-    from repro.bandits import gittins_indices_vwb, random_project
-
-    beta = float(params["beta"])
-    n_states = int(params["n_states"])
-    projs = [random_project(n_states, np.random.default_rng(ss)) for ss in seeds]
-    g_vwb = [gittins_indices_vwb(p, beta) for p in projs]
-    Ps = np.stack([p.P for p in projs])
-    Rs = np.stack([p.R for p in projs])
-    g_restart = restart_gittins_batch(Ps, Rs, beta, tol=1e-11)
-    rows = []
-    for r, p in enumerate(projs):
-        rows.append(
-            {
-                "algo_diff": float(np.max(np.abs(g_vwb[r] - g_restart[r]))),
-                "top_index_err": float(abs(np.max(g_vwb[r]) - np.max(p.R))),
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# A2 — M/M/1 accuracy anchor: lockstep simulation, closed forms hoisted
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "A2",
-    mode="lockstep",
-    note="the M/M/1 closed forms are computed once; the sample paths run "
-    "through the flat lockstep engine",
-)
-def batch_a2(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``lockstep`` kernel for A2: drives the whole batch through the flat lockstep simulators;
-    bit-for-bit equal to ``simulate_a2`` on the same seeds.
-    """
-    from repro.distributions import Exponential
-    from repro.queueing.mg1 import mm1_metrics
-    from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
-
-    rho = float(params["rho"])
-    horizon = float(params["horizon"])
-    net = QueueingNetwork(
-        [ClassConfig(0, Exponential(1.0), arrival_rate=rho)],
-        [StationConfig(discipline="priority", priority=(0,))],
-    )
-    theory = mm1_metrics(rho, 1.0)
-    results = lockstep_network_simulations(
-        net, horizon, [np.random.default_rng(ss) for ss in seeds]
-    )
-    rows = []
-    for res in results:
-        rows.append(
-            {
-                "L_sim": float(res.mean_queue_lengths[0]),
-                "Wq_sim": float(res.mean_waits[0]),
-                "L_abs_rel_err": float(
-                    abs(res.mean_queue_lengths[0] / theory["L"] - 1.0)
-                ),
-                "Wq_abs_rel_err": float(abs(res.mean_waits[0] / theory["Wq"] - 1.0)),
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# A3 — achievable-region LP: constraint assembly and vertex scan batched
-# ---------------------------------------------------------------------------
-
-
-@vectorized_kernel(
-    "A3",
-    mode="batched",
-    note="the polymatroid constraint assembly and the 120-permutation "
-    "Cobham vertex scan are batched across replications; each "
-    "replication's LP keeps its own exact HiGHS solve",
-)
-def batch_a3(seeds: Seeds, params: Params) -> list[dict[str, float]]:
-    """``batched`` kernel for A3: runs all replications at once on arrays with a replication axis;
-    bit-for-bit equal to ``simulate_a3`` on the same seeds.
-    """
-    from scipy.optimize import linprog
-
-    from repro.distributions import Exponential
-    from repro.queueing.mg1 import optimal_average_cost
-
-    n = int(params["n_classes"])
-    N = len(seeds)
-    lam = np.empty((N, n))
-    mus = np.empty((N, n))
-    c = np.empty((N, n))
-    for r, ss in enumerate(seeds):
-        rng = np.random.default_rng(ss)
-        lam[r] = rng.uniform(0.02, 0.8 / n, size=n)
-        # the event path draws each service rate with its own scalar call
-        mus[r] = [rng.uniform(0.8, 3.0) for _ in range(n)]
-        c[r] = rng.uniform(0.3, 3.0, size=n)
-    svcs = [[Exponential(mus[r, j]) for j in range(n)] for r in range(N)]
-    ms = 1.0 / mus  # Exponential.mean
-    m2 = np.stack(
-        [[s.second_moment for s in row] for row in svcs]
-    )  # base-class 2/rate^2 route, computed identically per class
-    rho = lam * ms
-
-    # batched workload set function b(S) for every proper subset + full set
-    def b_of(S: list[int]) -> np.ndarray:
-        rhoS = rho[:, S].sum(axis=1)
-        w0_full = (lam * m2).sum(axis=1) / 2.0
-        w0S = (lam[:, S] * m2[:, S]).sum(axis=1) / 2.0
-        return rhoS * (w0_full / (1.0 - rhoS)) + w0S
-
-    subsets = [
-        list(S)
-        for r_ in range(1, n)
-        for S in itertools.combinations(range(n), r_)
-    ]
-    A_ub = np.zeros((len(subsets), n))
-    for i, S in enumerate(subsets):
-        A_ub[i, S] = -1.0
-    b_ub_all = np.stack([-b_of(S) for S in subsets], axis=1)  # (N, n_subsets)
-    b_eq_all = b_of(list(range(n)))
-    A_eq = np.ones((1, n))
-    coeff = c / ms
-
-    x = np.empty((N, n))
-    for r in range(N):
-        res = linprog(
-            coeff[r],
-            A_ub=A_ub,
-            b_ub=b_ub_all[r],
-            A_eq=A_eq,
-            b_eq=np.array([b_eq_all[r]]),
-            bounds=[(0, None)] * n,
-            method="highs",
-        )
-        if not res.success:
-            raise RuntimeError(f"achievable-region LP failed: {res.message}")
-        x[r] = np.asarray(res.x)
-    W = (x - lam * m2 / 2.0) / np.where(rho > 0, rho, 1.0)
-    lp_cost = np.empty(N)
-    for r in range(N):
-        lp_cost[r] = np.dot(c[r], lam[r] * (W[r] + ms[r]))
-
-    # batched Cobham vertex identification over all permutations
-    perms = np.array(list(itertools.permutations(range(n))), dtype=np.intp)
-    w0 = (lam * m2).sum(axis=1) / 2.0  # same np.sum reduction as the scalar path
-    waits = np.empty((N, len(perms), n))
-    sigma_prev = np.zeros((N, len(perms)))
-    for pos in range(n):
-        cls = perms[:, pos]  # (n_perms,)
-        rho_cls = rho[:, cls]  # (N, n_perms)
-        sigma_k = sigma_prev + rho_cls
-        vals = w0[:, None] / ((1.0 - sigma_prev) * (1.0 - sigma_k))
-        np.put_along_axis(
-            waits, np.broadcast_to(cls[None, :, None], (N, len(perms), 1)),
-            vals[:, :, None], axis=2
-        )
-        sigma_prev = sigma_k
-    errs = np.max(np.abs(waits - W[:, None, :]), axis=2)
-    best_idx = np.argmin(errs, axis=1)  # first minimum, like the strict < scan
-
-    rows = []
-    for r, ss in enumerate(seeds):
-        exact, order = optimal_average_cost(lam[r], svcs[r], c[r])
-        sol_order = [int(j) for j in perms[best_idx[r]]]
-        rows.append(
-            {
-                "lp_cost": float(lp_cost[r]),
-                "cost_rel_gap": float(abs(lp_cost[r] / exact - 1.0)),
-                "orders_match": float(sol_order == list(order)),
-            }
         )
     return rows

@@ -4,6 +4,7 @@ Runs any subset of the registered scenarios with parallel replications and
 emits structured JSON and/or a Markdown claim-vs-measured report::
 
     repro-experiments --list
+    repro-experiments packs
     repro-experiments run E1 E2 --replications 200 --workers 4
     repro-experiments run all --replications 20 --json results.json \\
         --markdown EXPERIMENTS.md
@@ -36,7 +37,13 @@ import sys
 from typing import Any, Sequence
 
 from repro.experiments.backends import MissingKernelError
-from repro.experiments.registry import get_scenario, list_scenarios, scenario_ids
+from repro.experiments.registry import (
+    ParamValidationError,
+    get_scenario,
+    list_scenarios,
+    pack_info,
+    scenario_ids,
+)
 from repro.experiments.report import generate_markdown, results_to_json
 from repro.experiments.runner import run_scenarios
 from repro.sim.sequential import DEFAULT_MAX_REPS, DEFAULT_MIN_REPS
@@ -83,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     lst = sub.add_parser("list", help="list registered scenarios")
     lst.add_argument("--tag", action="append", default=[], help="filter by tag")
+
+    sub.add_parser(
+        "packs",
+        help="list discovered scenario packs (built-in and entry-point)",
+    )
 
     run = sub.add_parser("run", help="run a subset of scenarios")
     run.add_argument(
@@ -183,9 +195,32 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_list(tags: Sequence[str]) -> int:
     scenarios = list_scenarios(tuple(tags) or None)
     width = max((len(sc.scenario_id) for sc in scenarios), default=2)
+    packs = {sc.scenario_id: pack_info(sc.scenario_id) for sc in scenarios}
+    pack_width = max(
+        (len(f"{n}@{v}") for n, v in packs.values()), default=4
+    )
     for sc in scenarios:
         tag_str = f"  [{', '.join(sc.tags)}]" if sc.tags else ""
-        print(f"{sc.scenario_id:<{width}}  {sc.title}{tag_str}")
+        name, version = packs[sc.scenario_id]
+        print(
+            f"{sc.scenario_id:<{width}}  {f'{name}@{version}':<{pack_width}}  "
+            f"{sc.title}{tag_str}"
+        )
+    return 0
+
+
+def _cmd_packs() -> int:
+    from repro.experiments.packs import discovered_packs
+
+    for pack, source in discovered_packs():
+        print(f"{pack.name} {pack.version}  [{source}]")
+        if pack.docs:
+            print(f"  docs: {pack.docs}")
+        ids = sorted(sc.scenario_id for sc in pack.scenarios.values())
+        kernels = sorted(pack.kernels)
+        print(f"  scenarios ({len(ids)}): {', '.join(ids)}")
+        if kernels:
+            print(f"  vectorized kernels ({len(kernels)}): {', '.join(kernels)}")
     return 0
 
 
@@ -266,7 +301,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 max_reps=args.max_reps,
                 cache_dir=cache_dir,
             )[0]
-        except MissingKernelError as exc:
+        except (MissingKernelError, ParamValidationError) as exc:
             raise CliError(str(exc)) from exc
         results.append(res)
         if not args.quiet:
@@ -339,6 +374,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.list_only or args.command == "list":
             return _cmd_list(getattr(args, "tag", []))
+        if args.command == "packs":
+            return _cmd_packs()
         if args.command == "run":
             return _cmd_run(args)
         parser.print_help()

@@ -1,0 +1,33 @@
+"""Helpers shared by the built-in scenario-pack kernel implementations."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+Params = Mapping[str, Any]
+Seeds = Sequence[np.random.SeedSequence]
+
+__all__ = ["_crn_batches", "_float_rows"]
+
+
+def _float_rows(columns: Mapping[str, np.ndarray], n: int) -> list[dict[str, float]]:
+    """Transpose column vectors (or scalars) into per-replication dicts of
+    plain floats — the event path's return type."""
+    out: list[dict[str, float]] = []
+    for r in range(n):
+        out.append(
+            {
+                k: float(v) if np.ndim(v) == 0 else float(v[r])
+                for k, v in columns.items()
+            }
+        )
+    return out
+
+
+def _crn_batches(seeds: Seeds, k: int) -> list[list[np.random.Generator]]:
+    """Per-case generator batches under common random numbers: case ``i``
+    gets one fresh ``default_rng(ss)`` per replication — exactly the
+    generators ``crn_generators(ss, k)`` hands the event path's ``zip``."""
+    return [[np.random.default_rng(ss) for ss in seeds] for _ in range(k)]

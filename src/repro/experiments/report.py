@@ -192,10 +192,12 @@ def _result_section(res: Mapping[str, Any]) -> list[str]:
             f"| {_fmt(m['min'])} | {_fmt(m['max'])} |"
         )
     checks = res.get("checks", {})
+    check_errors = res.get("check_errors", {})
     if checks:
         out.append("\n**Shape checks.**")
         for name, ok in sorted(checks.items()):
-            out.append(f"- {'✅' if ok else '❌'} `{name}`")
+            suffix = f" — raised {check_errors[name]}" if name in check_errors else ""
+            out.append(f"- {'✅' if ok else '❌'} `{name}`{suffix}")
     all_pass = res.get("all_checks_pass", all(checks.values()) if checks else True)
     if all_pass:
         out.append(f"\n**Verdict.** {res.get('verdict', '')}\n")

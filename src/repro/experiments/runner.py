@@ -101,6 +101,9 @@ class ScenarioResult:
     metrics: dict[str, MetricSummary]
     checks: dict[str, bool]
     elapsed_seconds: float
+    # check name -> "ExcType: message" for checks that raised instead of
+    # returning; such checks appear as False in ``checks``
+    check_errors: dict[str, str] = field(default_factory=dict)
     samples: dict[str, list[float]] = field(default_factory=dict, repr=False)
     backend: str = "event"  # the backend that actually ran (never "auto")
     # adaptive-precision bookkeeping: None for fixed-n runs, else the
@@ -131,6 +134,7 @@ class ScenarioResult:
             "params": _jsonable(self.params),
             "metrics": {k: v.to_dict() for k, v in self.metrics.items()},
             "checks": dict(self.checks),
+            "check_errors": dict(self.check_errors),
             "all_checks_pass": self.all_checks_pass,
             "elapsed_seconds": self.elapsed_seconds,
             "backend": self.backend,
@@ -348,7 +352,11 @@ def run_scenario(
         store.save(sc.scenario_id, merged, seed, rows)
 
     metrics, samples = _aggregate(rows, level)
-    checks = sc.evaluate_checks({k: v.mean for k, v in metrics.items()})
+    outcomes = sc.check_outcomes({k: v.mean for k, v in metrics.items()})
+    checks = {name: out.passed for name, out in outcomes.items()}
+    check_errors = {
+        name: out.error for name, out in outcomes.items() if out.error is not None
+    }
     return ScenarioResult(
         scenario_id=sc.scenario_id,
         title=sc.title,
@@ -359,6 +367,7 @@ def run_scenario(
         params=dict(merged),
         metrics=metrics,
         checks=checks,
+        check_errors=check_errors,
         elapsed_seconds=elapsed,
         samples=samples,
         backend=resolved,

@@ -1,1483 +1,90 @@
-"""The built-in scenario catalogue: one registered scenario per survey
-claim E1–E19.
+"""Compatibility shim over the built-in scenario packs.
 
-Each ``simulate_*`` function is one *replication* of the experiment: it
-derives all randomness from the child seed sequence it is handed, measures
-a dictionary of named metrics, and leaves averaging/confidence intervals
-to the replication runner.  Where the original benchmark averaged an inner
-loop by hand (e.g. E16's 400 in-tree runs, E17's 4000 flow-shop draws),
-the scenario instead measures a *single* draw and lets the runner supply
-the replications — that is what makes the parallel fan-out effective.
+The survey's scenario catalogue used to live here as one 1500-line
+module; it is now split by workload family into the built-in packs under
+:mod:`repro.experiments.packs` (flowshop / bandits / restless / queueing
+/ polling).  Importing this module keeps working — it loads every pack
+into the global registry and re-exports the simulate functions (and the
+module-private constants/helpers some kernels resolve at call time)
+under their historical names.
 
-Policy comparisons inside a replication use common random numbers: either
-the policies are evaluated exactly on one shared random instance, or the
-simulated policies replay identical streams via
-:func:`repro.utils.rng.crn_generators`.
-
-Defaults are sized so that one replication costs milliseconds to a few
-hundred milliseconds; raise ``horizon``-style parameters for tighter
-single-run estimates, or raise replication counts (cheap, parallel) for
-tighter intervals.
+New code should import from :mod:`repro.experiments` (registry lookups)
+or the specific pack module instead.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Mapping
 
-import numpy as np
-
-from repro.experiments.registry import scenario
-from repro.utils.rng import crn_generators
+from repro.experiments.packs import load_packs
+from repro.experiments.packs.bandits import (
+    simulate_a1,
+    simulate_e7,
+    simulate_e9,
+)
+from repro.experiments.packs.flowshop import (
+    _E17_RATES,
+    _E17_RUNNER_UP,
+    _int_seed,
+    simulate_e1,
+    simulate_e2,
+    simulate_e3,
+    simulate_e4,
+    simulate_e5,
+    simulate_e6,
+    simulate_e16,
+    simulate_e17,
+    simulate_e18,
+)
+from repro.experiments.packs.polling import _E15_LAM, simulate_e15
+from repro.experiments.packs.queueing import (
+    _E10_ARRIVAL,
+    _E10_COSTS,
+    _E11_COSTS,
+    _E11_FEEDBACK,
+    _E11_LAM,
+    _E11_MUS,
+    _e10_services,
+    _e14_network,
+    simulate_a2,
+    simulate_a3,
+    simulate_e10,
+    simulate_e11,
+    simulate_e12,
+    simulate_e13,
+    simulate_e14,
+)
+from repro.experiments.packs.restless import (
+    _e8_project,
+    simulate_e8,
+    simulate_e19,
+)
 
 Params = Mapping[str, Any]
 
-
-def _int_seed(rng: np.random.Generator) -> int:
-    """A derived integer seed for helpers that only accept ints."""
-    return int(rng.integers(0, 2**31 - 1))
-
-
-# ---------------------------------------------------------------------------
-# E1 — WSEPT on a single machine
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E1",
-    title="WSEPT minimises expected weighted flowtime on one machine",
-    claim=(
-        "WSEPT minimises expected weighted flowtime on one machine "
-        "(Rothkopf [34] / Smith [37]): the static index rule w_i/p_i is "
-        "exactly optimal among nonanticipative nonpreemptive policies."
-    ),
-    verdict=(
-        "Reproduced exactly: zero gap to brute force on every instance; "
-        "FIFO and random orders lose by the expected margins."
-    ),
-    defaults={"n_brute": 7, "n_jobs": 50},
-    checks={
-        "wsept_exactly_optimal": lambda m: m["brute_gap"] < 1e-9,
-        "wsept_beats_fifo": lambda m: m["fifo_ratio"] > 1.0,
-        "wsept_beats_random": lambda m: m["random_ratio"] > 1.0,
-    },
-    tags=("batch", "exact"),
-)
-def simulate_e1(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E1: WSEPT minimises expected weighted flowtime on one machine.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.batch import (
-        brute_force_optimal_sequence,
-        expected_weighted_flowtime,
-        fifo_order,
-        random_exponential_batch,
-        random_order,
-        wsept_order,
-    )
-
-    rng = np.random.default_rng(ss)
-    # exact-optimality check on a brute-forceable instance
-    small = random_exponential_batch(int(params["n_brute"]), rng)
-    _, best = brute_force_optimal_sequence(small)
-    gap = expected_weighted_flowtime(small, wsept_order(small)) / best - 1.0
-
-    # policy comparison on a larger instance (same rng draw = same instance
-    # for every policy: common random numbers at the instance level)
-    jobs = random_exponential_batch(int(params["n_jobs"]), rng)
-    wsept = expected_weighted_flowtime(jobs, wsept_order(jobs))
-    fifo = expected_weighted_flowtime(jobs, fifo_order(jobs))
-    rnd = expected_weighted_flowtime(jobs, random_order(jobs, rng))
-    return {
-        "brute_gap": float(gap),
-        "wsept": float(wsept),
-        "fifo": float(fifo),
-        "random": float(rnd),
-        "fifo_ratio": float(fifo / wsept),
-        "random_ratio": float(rnd / wsept),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E2 — Sevcik's preemptive index
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E2",
-    title="Sevcik/Gittins preemptive index vs nonpreemptive WSEPT",
-    claim=(
-        "Sevcik's preemptive index is optimal when preemption is allowed "
-        "[35]; it strictly beats nonpreemptive WSEPT for DHR "
-        "(high-variance) jobs and coincides with it for memoryless jobs."
-    ),
-    verdict=(
-        "Reproduced: the index policy matches the exact DAG optimum; WSEPT "
-        "pays a premium under DHR and nothing under memoryless jobs."
-    ),
-    defaults={"n_quanta": 12, "quantum": 0.8, "scv_range": (5.0, 10.0)},
-    checks={
-        "index_optimal_dhr": lambda m: m["gittins_dhr_gap"] < 1e-8,
-        "preemption_helps_dhr": lambda m: m["wsept_dhr_premium"] > 0.01,
-        "index_optimal_memoryless": lambda m: m["gittins_mem_gap"] < 1e-8,
-        "no_gain_memoryless": lambda m: abs(m["wsept_mem_premium"]) < 0.05,
-    },
-    tags=("batch", "exact", "preemptive"),
-)
-def simulate_e2(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E2: Sevcik/Gittins preemptive index vs nonpreemptive WSEPT.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.batch.sevcik import (
-        DiscreteJob,
-        GittinsJobIndex,
-        discretize_distribution,
-        evaluate_index_policy_dp,
-        nonpreemptive_wsept_cost,
-        preemptive_single_machine_mdp,
-    )
-    from repro.distributions import Exponential, HyperExponential
-
-    rng = np.random.default_rng(ss)
-    quantum = float(params["quantum"])
-    n_quanta = int(params["n_quanta"])
-    lo, hi = params["scv_range"]
-    scvs = rng.uniform(lo, hi, size=3)
-    dhr = [
-        DiscreteJob(
-            id=j,
-            pmf=discretize_distribution(
-                HyperExponential.balanced_from_mean_scv(2.0, float(scv)),
-                quantum,
-                n_quanta,
-            ),
-            weight=1.0 + 0.3 * j,
-        )
-        for j, scv in enumerate(scvs)
-    ]
-    mem = [
-        DiscreteJob(
-            id=j,
-            pmf=discretize_distribution(Exponential.from_mean(mean), 0.5, n_quanta),
-            weight=1.0,
-        )
-        for j, mean in enumerate((1.0, 2.0, 3.0))
-    ]
-
-    opt_dhr, _ = preemptive_single_machine_mdp(dhr)
-    gittins_dhr = evaluate_index_policy_dp(dhr, GittinsJobIndex(dhr))
-    wsept_dhr = nonpreemptive_wsept_cost(dhr)
-    opt_mem, _ = preemptive_single_machine_mdp(mem)
-    gittins_mem = evaluate_index_policy_dp(mem, GittinsJobIndex(mem))
-    wsept_mem = nonpreemptive_wsept_cost(mem)
-    return {
-        "opt_dhr": float(opt_dhr),
-        "gittins_dhr_gap": float(abs(gittins_dhr / opt_dhr - 1.0)),
-        "wsept_dhr_premium": float(wsept_dhr / opt_dhr - 1.0),
-        "opt_mem": float(opt_mem),
-        "gittins_mem_gap": float(abs(gittins_mem / opt_mem - 1.0)),
-        "wsept_mem_premium": float(wsept_mem / opt_mem - 1.0),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E3 / E4 — SEPT flowtime and LEPT makespan on identical parallel machines
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E3",
-    title="SEPT minimises flowtime on identical parallel machines",
-    claim=(
-        "SEPT minimises total expected flowtime on identical parallel "
-        "machines for exponential jobs (Glazebrook [20]); the general "
-        "version requires a stochastically ordered family "
-        "(Weber–Varaiya–Walrand [43])."
-    ),
-    verdict=(
-        "Reproduced exactly against the subset DP; the instances satisfy "
-        "the ordering hypothesis."
-    ),
-    defaults={"n_jobs": 8, "m": 2, "rate_range": (0.3, 3.0)},
-    checks={
-        "sept_exactly_optimal": lambda m: m["sept_gap"] < 1e-9,
-        "lept_no_better": lambda m: m["lept_ratio"] >= 1.0 - 1e-9,
-        "family_st_ordered": lambda m: m["family_ordered"] == 1.0,
-    },
-    tags=("batch", "exact", "parallel-machines"),
-)
-def simulate_e3(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E3: SEPT minimises flowtime on identical parallel machines.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.batch import flowtime_dp, policy_flowtime_dp
-    from repro.distributions import Exponential, is_stochastically_ordered_family
-
-    rng = np.random.default_rng(ss)
-    lo, hi = params["rate_range"]
-    rates = rng.uniform(lo, hi, size=int(params["n_jobs"]))
-    m = int(params["m"])
-    opt = flowtime_dp(rates, m)
-    sept = policy_flowtime_dp(rates, m, "sept")
-    lept = policy_flowtime_dp(rates, m, "lept")
-    ordered = is_stochastically_ordered_family([Exponential(r) for r in rates])
-    return {
-        "opt": float(opt),
-        "sept_gap": float(sept / opt - 1.0),
-        "lept_ratio": float(lept / opt),
-        "family_ordered": float(ordered),
-    }
-
-
-@scenario(
-    "E4",
-    title="LEPT minimises expected makespan on identical parallel machines",
-    claim=(
-        "LEPT minimises expected makespan on identical parallel machines "
-        "for exponential jobs (Bruno–Downey–Frederickson [10])."
-    ),
-    verdict=(
-        "Reproduced exactly; the opposite rule (SEPT) pays a visible "
-        "makespan penalty."
-    ),
-    defaults={"n_jobs": 8, "m": 2, "rate_range": (0.3, 3.0)},
-    checks={
-        "lept_exactly_optimal": lambda m: m["lept_gap"] < 1e-9,
-        "sept_visibly_worse": lambda m: m["sept_penalty"] > 0.0,
-    },
-    tags=("batch", "exact", "parallel-machines"),
-)
-def simulate_e4(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E4: LEPT minimises expected makespan on identical parallel machines.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.batch import makespan_dp, policy_makespan_dp
-
-    rng = np.random.default_rng(ss)
-    lo, hi = params["rate_range"]
-    rates = rng.uniform(lo, hi, size=int(params["n_jobs"]))
-    m = int(params["m"])
-    opt = makespan_dp(rates, m)
-    lept = policy_makespan_dp(rates, m, "lept")
-    sept = policy_makespan_dp(rates, m, "sept")
-    return {
-        "opt": float(opt),
-        "lept_gap": float(lept / opt - 1.0),
-        "sept_penalty": float(sept / opt - 1.0),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E5 — two-point counterexample (exact, fixed instance)
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E5",
-    title="Two-point jobs on two machines break SEPT",
-    claim=(
-        "Outside the assumptions the simple rules fail: with two-point "
-        "processing times on two machines SEPT is strictly suboptimal "
-        "(Coffman–Hofri–Weiss [13])."
-    ),
-    verdict=(
-        "Reproduced with exact enumeration: SEPT is >2% above the optimal "
-        "order on the study instance; several orders strictly beat it."
-    ),
-    defaults={"m": 2},
-    checks={
-        "sept_strictly_suboptimal": lambda m: m["sept_ratio"] > 1.02,
-        "several_orders_beat_sept": lambda m: m["n_better_orders"] >= 1.0,
-    },
-    tags=("batch", "exact", "counterexample"),
-)
-def simulate_e5(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E5: Two-point jobs on two machines break SEPT.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.batch import Job, sept_order
-    from repro.batch.parallel import exact_two_point_list_flowtime
-    from repro.distributions import TwoPoint
-
-    # The study instance (found by exact search); the computation is fully
-    # deterministic, so every replication returns identical metrics.
-    jobs = [
-        Job(0, TwoPoint(1.016, 11.897, 0.935)),
-        Job(1, TwoPoint(1.343, 7.954, 0.609)),
-        Job(2, TwoPoint(1.832, 7.195, 0.556)),
-        Job(3, TwoPoint(0.932, 15.481, 0.749)),
-    ]
-    m = int(params["m"])
-    sept = tuple(sept_order(jobs))
-    values = {
-        perm: exact_two_point_list_flowtime(jobs, m, list(perm))
-        for perm in itertools.permutations(range(len(jobs)))
-    }
-    best = min(values.values())
-    return {
-        "sept_value": float(values[sept]),
-        "best_value": float(best),
-        "sept_ratio": float(values[sept] / best),
-        "n_better_orders": float(
-            sum(v < values[sept] - 1e-9 for v in values.values())
-        ),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E6 — Weiss's turnpike
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E6",
-    title="WSEPT turnpike: the absolute gap is bounded in n",
-    claim=(
-        "Weiss's turnpike [46]: WSEPT's absolute suboptimality gap on "
-        "parallel machines is bounded independent of n, so its relative "
-        "gap vanishes as the batch grows."
-    ),
-    verdict=(
-        "Reproduced with exact DP values: the optimum grows ~n^2 while the "
-        "gap stays O(1); relative gap < 1% at the largest size."
-    ),
-    defaults={"ns": (4, 8, 12), "m": 2},
-    checks={
-        "optimum_grows": lambda m: m["opt_growth"] > 3.0,
-        "abs_gap_bounded": lambda m: m["max_abs_gap"] < 0.5,
-        "gaps_nonnegative": lambda m: m["min_abs_gap"] >= -1e-9,
-        "rel_gap_vanishes": lambda m: m["last_rel_gap"] < 0.01,
-    },
-    tags=("batch", "exact", "asymptotics"),
-)
-def simulate_e6(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E6: WSEPT turnpike: the absolute gap is bounded in n.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.batch.turnpike import exact_gap_sweep
-
-    rng = np.random.default_rng(ss)
-    ns = [int(n) for n in params["ns"]]
-    points = exact_gap_sweep(ns, m=int(params["m"]), seed=_int_seed(rng))
-    return {
-        "opt_growth": float(points[-1].optimal_value / points[0].optimal_value),
-        "max_abs_gap": float(max(p.absolute_gap for p in points)),
-        "min_abs_gap": float(min(p.absolute_gap for p in points)),
-        "last_rel_gap": float(points[-1].relative_gap),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E7 — Gittins index optimality for classical bandits
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E7",
-    title="Gittins index rule vs exact product-space DP",
-    claim=(
-        "The Gittins index rule is optimal for classical multi-armed "
-        "bandits (Gittins–Jones [19]); indices are efficiently computable "
-        "[40] while the joint DP state space grows exponentially."
-    ),
-    verdict=(
-        "Reproduced: the index policy matches product-space DP on every "
-        "instance; two independent index algorithms agree; the myopic rule "
-        "is weakly suboptimal."
-    ),
-    defaults={"n_projects": 3, "n_states": 3, "beta": 0.9, "algo_states": 8},
-    checks={
-        "gittins_optimal": lambda m: m["gittins_gap"] < 1e-8,
-        "algorithms_agree": lambda m: m["algo_diff"] < 1e-6,
-        "myopic_no_better": lambda m: m["myopic_loss"] >= -1e-9,
-    },
-    tags=("bandits", "exact"),
-)
-def simulate_e7(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E7: Gittins index rule vs exact product-space DP.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.bandits import (
-        evaluate_priority_policy,
-        gittins_indices_restart,
-        gittins_indices_vwb,
-        gittins_policy,
-        optimal_bandit_value,
-        random_project,
-    )
-    from repro.core.indices import StaticIndexRule
-
-    rng = np.random.default_rng(ss)
-    beta = float(params["beta"])
-    n_proj, n_states = int(params["n_projects"]), int(params["n_states"])
-    projects = [random_project(n_states, rng) for _ in range(n_proj)]
-    opt = optimal_bandit_value(projects, beta)
-    git = evaluate_priority_policy(projects, gittins_policy(projects, beta).rule, beta)
-    myopic_table = {
-        (pid, s): float(projects[pid].R[s])
-        for pid in range(n_proj)
-        for s in range(n_states)
-    }
-    myop = evaluate_priority_policy(projects, StaticIndexRule(myopic_table), beta)
-
-    proj = random_project(int(params["algo_states"]), rng)
-    algo_diff = float(
-        np.max(np.abs(gittins_indices_vwb(proj, beta) - gittins_indices_restart(proj, beta)))
-    )
-    return {
-        "opt": float(opt),
-        "gittins_gap": float(abs(git / opt - 1.0)),
-        "myopic_loss": float(1.0 - myop / opt),
-        "algo_diff": algo_diff,
-    }
-
-
-# ---------------------------------------------------------------------------
-# E8 — Whittle index for restless bandits
-# ---------------------------------------------------------------------------
-
-
-def _e8_project():
-    """The 4-state deteriorating/recovering machine from the benchmark."""
-    from repro.bandits.restless import RestlessProject
-
-    K = 4
-    P0 = np.zeros((K, K))
-    for s in range(K):
-        P0[s, max(s - 1, 0)] += 0.35
-        P0[s, s] += 0.65
-    P1 = np.zeros((K, K))
-    for s in range(K):
-        P1[s, K - 1] += 0.8
-        P1[s, min(s + 1, K - 1)] += 0.2
-    R0 = np.linspace(0.0, 1.0, K)
-    R1 = np.full(K, -0.05)
-    return RestlessProject(P0=P0, P1=P1, R0=R0, R1=R1)
-
-
-@scenario(
-    "E8",
-    title="Whittle index: near-optimality against the LP relaxation bound",
-    claim=(
-        "Whittle's restless index [48] is near-optimal and asymptotically "
-        "optimal as N grows with m/N fixed (Weber–Weiss [44]); the LP "
-        "relaxation [7] upper-bounds every policy."
-    ),
-    verdict=(
-        "Reproduced: the bound dominates simulation everywhere; the "
-        "per-project gap shrinks with N and ends within a few percent of "
-        "the bound."
-    ),
-    defaults={"alpha": 0.3, "fleet_sizes": (10, 40, 160), "horizon": 2000, "warmup": 200},
-    checks={
-        "bound_dominates": lambda m: m["min_gap"] > -0.02,
-        "gap_shrinks_with_n": lambda m: m["last_gap"] <= m["first_gap"] + 0.01,
-        "whittle_beats_myopic": lambda m: m["whittle_large_n"] >= m["myopic"] - 0.02,
-    },
-    tags=("bandits", "simulation", "asymptotics"),
-)
-def simulate_e8(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E8: Whittle index: near-optimality against the LP relaxation bound.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.bandits import (
-        average_relaxation_bound,
-        myopic_rule,
-        simulate_restless,
-        whittle_rule,
-    )
-
-    proj = _e8_project()
-    alpha = float(params["alpha"])
-    horizon, warmup = int(params["horizon"]), int(params["warmup"])
-    bound, _ = average_relaxation_bound(proj, alpha)
-    w_rule, m_rule = whittle_rule(proj), myopic_rule(proj)
-
-    sizes = [int(n) for n in params["fleet_sizes"]]
-    rngs = np.random.default_rng(ss).spawn(len(sizes) + 1)
-    gaps = []
-    whittle_large = 0.0
-    for rng, n in zip(rngs, sizes):
-        got = simulate_restless(
-            proj, n, int(alpha * n), w_rule, horizon, rng, warmup=warmup
-        )
-        gaps.append(bound - got)
-        whittle_large = got
-    myop = simulate_restless(
-        proj,
-        sizes[-1],
-        int(alpha * sizes[-1]),
-        m_rule,
-        horizon,
-        rngs[-1],
-        warmup=warmup,
-    )
-    return {
-        "bound": float(bound),
-        "first_gap": float(gaps[0]),
-        "last_gap": float(gaps[-1]),
-        "min_gap": float(min(gaps)),
-        "whittle_large_n": float(whittle_large),
-        "myopic": float(myop),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E9 — switching costs break the Gittins rule
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E9",
-    title="Switching penalties break Gittins; hysteresis recovers the gap",
-    claim=(
-        "With switching penalties the Gittins rule loses optimality "
-        "(Asawa–Teneketzis [2]); a hysteresis index heuristic recovers "
-        "most of the gap."
-    ),
-    verdict=(
-        "Reproduced: plain Gittins is strictly suboptimal on found "
-        "instances; hysteresis recovers the bulk of the gap."
-    ),
-    defaults={"beta": 0.9, "cost": 1.0, "n_states": 3, "n_projects": 2},
-    checks={
-        "hysteresis_no_worse": lambda m: m["hyst_frac"] >= m["plain_frac"] - 1e-9,
-        "hysteresis_near_optimal": lambda m: m["hyst_frac"] > 0.95,
-        "plain_not_always_optimal": lambda m: m["plain_frac"] < 1.0 - 1e-12,
-    },
-    tags=("bandits", "exact", "counterexample"),
-)
-def simulate_e9(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E9: Switching penalties break Gittins; hysteresis recovers the gap.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.bandits import (
-        evaluate_switching_policy,
-        gittins_with_hysteresis,
-        optimal_switching_value,
-        plain_gittins_switch_policy,
-        random_project,
-    )
-
-    rng = np.random.default_rng(ss)
-    beta, cost = float(params["beta"]), float(params["cost"])
-    projects = [
-        random_project(int(params["n_states"]), rng)
-        for _ in range(int(params["n_projects"]))
-    ]
-    opt = optimal_switching_value(projects, cost, beta)
-    plain = evaluate_switching_policy(
-        projects, cost, beta, plain_gittins_switch_policy(projects, beta)
-    )
-    hyst = evaluate_switching_policy(
-        projects, cost, beta, gittins_with_hysteresis(projects, cost, beta)
-    )
-    return {
-        "opt": float(opt),
-        "plain_frac": float(plain / opt),
-        "hyst_frac": float(hyst / opt),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E10 — cµ rule for the multiclass M/G/1
-# ---------------------------------------------------------------------------
-
-_E10_ARRIVAL = (0.2, 0.25, 0.15)
-_E10_COSTS = (1.0, 2.5, 1.8)
-
-
-def _e10_services():
-    from repro.distributions import Erlang, Exponential, HyperExponential
-
-    return [
-        Exponential(1.2),
-        Erlang(2, 2.0),
-        HyperExponential.balanced_from_mean_scv(0.9, 3.0),
-    ]
-
-
-@scenario(
-    "E10",
-    title="cµ rule optimality for the multiclass M/G/1",
-    claim=(
-        "The cµ rule is optimal for the multiclass M/G/1 [15]; the "
-        "achievable region is a polytope whose vertices are the strict "
-        "priority rules [14, 17], so simulation, Cobham's formulas and the "
-        "conservation laws must agree."
-    ),
-    verdict=(
-        "Reproduced: cµ selects the best priority order; simulation matches "
-        "Cobham's formulas; simulated waits satisfy strong conservation."
-    ),
-    defaults={"horizon": 8000.0, "conservation_rtol": 0.15},
-    checks={
-        "cmu_is_best_vertex": lambda m: m["cmu_picks_best"] == 1.0,
-        "sim_matches_cobham": lambda m: abs(m["cmu_sim_ratio"] - 1.0) < 0.1,
-        "conservation_holds": lambda m: m["conservation_ok"] >= 0.5,
-        "polytope_has_all_vertices": lambda m: m["n_vertices"] == 6.0,
-    },
-    tags=("queueing", "simulation", "conservation"),
-)
-def simulate_e10(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E10: cµ rule optimality for the multiclass M/G/1.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.core.conservation import (
-        check_strong_conservation,
-        performance_polytope_vertices,
-    )
-    from repro.queueing import optimal_average_cost, order_average_cost, simulate_network
-    from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
-
-    services = _e10_services()
-    arrival, costs = list(_E10_ARRIVAL), list(_E10_COSTS)
-    horizon = float(params["horizon"])
-
-    opt_cost, cmu = optimal_average_cost(arrival, services, costs)
-    exact = {
-        perm: order_average_cost(arrival, services, costs, perm)
-        for perm in itertools.permutations(range(3))
-    }
-    best_perm = min(exact, key=exact.get)
-    worst_perm = max(exact, key=exact.get)
-
-    # CRN: both simulated orders replay the identical event stream.
-    sims = {}
-    for perm, rng in zip((tuple(cmu), worst_perm), crn_generators(ss, 2)):
-        net = QueueingNetwork(
-            [
-                ClassConfig(0, services[j], arrival_rate=arrival[j], cost=costs[j])
-                for j in range(3)
-            ],
-            [StationConfig(discipline="priority", priority=perm)],
-        )
-        sims[perm] = simulate_network(net, horizon, rng)
-
-    ms = np.array([s.mean for s in services])
-    m2 = np.array([s.second_moment for s in services])
-    conserved = check_strong_conservation(
-        arrival, ms, m2, sims[tuple(cmu)].mean_waits,
-        rtol=float(params["conservation_rtol"]),
-    )
-    return {
-        "opt_cost": float(opt_cost),
-        "cmu_picks_best": float(tuple(cmu) == best_perm),
-        "cmu_sim_ratio": float(sims[tuple(cmu)].cost_rate / opt_cost),
-        "worst_exact_ratio": float(exact[worst_perm] / opt_cost),
-        "worst_sim_ratio": float(sims[worst_perm].cost_rate / opt_cost),
-        "conservation_ok": float(conserved),
-        "n_vertices": float(len(performance_polytope_vertices(arrival, ms, m2))),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E11 — Klimov's model with Markovian feedback
-# ---------------------------------------------------------------------------
-
-_E11_LAM = (0.25, 0.1, 0.0)
-_E11_MUS = (2.0, 1.5, 1.0)
-_E11_COSTS = (1.0, 3.0, 2.0)
-_E11_FEEDBACK = (
-    (0.0, 0.3, 0.2),
-    (0.0, 0.0, 0.4),
-    (0.1, 0.0, 0.0),
-)
-
-
-@scenario(
-    "E11",
-    title="Klimov's index rule for the M/G/1 with feedback",
-    claim=(
-        "Klimov's index rule is optimal for the M/G/1 with Markovian "
-        "feedback [24] and reduces to cµ without feedback."
-    ),
-    verdict=(
-        "Reproduced: Klimov's order is best among all simulated priority "
-        "orders (within Monte-Carlo noise) and the no-feedback reduction "
-        "is exact."
-    ),
-    defaults={"horizon": 6000.0},
-    checks={
-        "klimov_best_order": lambda m: m["klimov_vs_best"] <= 1.05,
-        "reduces_to_cmu": lambda m: m["reduction_exact"] == 1.0,
-    },
-    tags=("queueing", "simulation", "feedback"),
-)
-def simulate_e11(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E11: Klimov's index rule for the M/G/1 with feedback.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.distributions import Exponential
-    from repro.queueing.klimov import klimov_indices, klimov_order
-    from repro.queueing.mg1 import cmu_order
-    from repro.queueing.network import (
-        ClassConfig,
-        QueueingNetwork,
-        StationConfig,
-        simulate_network,
-    )
-
-    lam, mus, costs = list(_E11_LAM), list(_E11_MUS), list(_E11_COSTS)
-    feedback = np.array(_E11_FEEDBACK)
-    means = [1.0 / m for m in mus]
-    horizon = float(params["horizon"])
-
-    k_order = tuple(klimov_order(costs, means, feedback))
-    naive = tuple(cmu_order(costs, means))
-    perms = list(itertools.permutations(range(3)))
-    # CRN: every priority order replays the same arrival/service stream.
-    results = {}
-    for perm, rng in zip(perms, crn_generators(ss, len(perms))):
-        net = QueueingNetwork(
-            [
-                ClassConfig(0, Exponential(mus[j]), arrival_rate=lam[j], cost=costs[j])
-                for j in range(3)
-            ],
-            [StationConfig(discipline="priority", priority=perm)],
-            routing=feedback,
-        )
-        results[perm] = simulate_network(net, horizon, rng, warmup_fraction=0.2).cost_rate
-    best = min(results.values())
-    reduce_ok = np.allclose(
-        klimov_indices(costs, means, np.zeros((3, 3))),
-        np.asarray(costs) / np.asarray(means),
-    )
-    return {
-        "klimov_cost": float(results[k_order]),
-        "best_cost": float(best),
-        "klimov_vs_best": float(results[k_order] / best),
-        "naive_cmu_ratio": float(results[naive] / results[k_order]),
-        "reduction_exact": float(reduce_ok),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E12 — heavy traffic on parallel servers
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E12",
-    title="cµ on parallel servers: asymptotic optimality in heavy traffic",
-    claim=(
-        "On parallel servers the cµ/Klimov heuristic is asymptotically "
-        "optimal in heavy traffic (Glazebrook–Niño-Mora [22]): its gap to "
-        "the pooled lower bound vanishes as rho -> 1."
-    ),
-    verdict=(
-        "Reproduced: the cost ratio to the pooled preemptive-cµ lower "
-        "bound decreases towards 1 as rho -> 1."
-    ),
-    defaults={
-        "mu": (4.0, 1.0),
-        "costs": (1.0, 2.0),
-        "m": 2,
-        "rhos": (0.6, 0.9, 0.95),
-        "horizon": 12000.0,
-    },
-    checks={
-        "bound_respected": lambda m: m["min_ratio"] > 0.9,
-        # a single-rho grid (e.g. one point of a `repro-sweep` rho sweep,
-        # where the decrease is asserted *across* sweep points) has no
-        # decrease to show — the check only claims it for real grids
-        "ratio_decreases": lambda m: m["n_rhos"] < 2
-        or m["last_ratio"] < m["first_ratio"],
-        # at the default horizon the rho=0.95 point is still transient-
-        # biased; raise `horizon` for the sharper 1.1-style threshold.
-        # Tightness is only claimed when the grid actually reaches heavy
-        # traffic (top rho >= 0.95)
-        "heavy_traffic_tight": lambda m: m["top_rho"] < 0.95
-        or m["last_ratio"] < 1.2,
-    },
-    tags=("queueing", "simulation", "heavy-traffic"),
-)
-def simulate_e12(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E12: cµ on parallel servers: asymptotic optimality in heavy traffic.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.queueing import parallel_server_experiment
-
-    rng = np.random.default_rng(ss)
-    pts = parallel_server_experiment(
-        list(params["mu"]),
-        list(params["costs"]),
-        int(params["m"]),
-        list(params["rhos"]),
-        rng,
-        horizon=float(params["horizon"]),
-    )
-    ratios = [p.ratio for p in pts]
-    return {
-        "first_ratio": float(ratios[0]),
-        "last_ratio": float(ratios[-1]),
-        "min_ratio": float(min(ratios)),
-        "last_bound": float(pts[-1].pooled_bound),
-        "last_cost": float(pts[-1].cmu_cost),
-        # deterministic grid descriptors, so the shape checks can tell a
-        # real rho grid from a degenerate single-rho sweep point
-        "n_rhos": float(len(pts)),
-        "top_rho": float(pts[-1].rho),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E13 — Rybko–Stolyar instability
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E13",
-    title="Rybko–Stolyar: priority instability under nominal underload",
-    claim=(
-        "Stability is subtle in multiclass networks [9]: a priority policy "
-        "can diverge with every station underloaded (Rybko–Stolyar); the "
-        "naive fluid model misses it and the virtual-station augmented "
-        "fluid catches it."
-    ),
-    verdict=(
-        "Reproduced: exit-priority diverges at virtual load 1.2 while FIFO "
-        "and the virtual-load-0.8 variant stay stable; only the augmented "
-        "fluid model predicts the instability."
-    ),
-    defaults={"horizon": 2000.0, "fluid_dt": 0.01, "fluid_horizon": 80.0},
-    checks={
-        "priority_diverges": lambda m: m["instability_ratio"] > 10.0,
-        "safe_variant_stable": lambda m: m["safe_backlog"] < 100.0,
-        "naive_fluid_blind": lambda m: m["naive_fluid_stable"] == 1.0,
-        "augmented_fluid_sees_it": lambda m: m["augmented_fluid_stable"] == 0.0,
-    },
-    tags=("queueing", "simulation", "stability"),
-)
-def simulate_e13(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E13: Rybko–Stolyar: priority instability under nominal underload.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.queueing import (
-        FluidModel,
-        is_fluid_stable,
-        rybko_stolyar_network,
-        simulate_network,
-        virtual_station_load,
-    )
-
-    horizon = float(params["horizon"])
-    dt, fh = float(params["fluid_dt"]), float(params["fluid_horizon"])
-    bad = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=True)
-    fifo = rybko_stolyar_network(1.0, 0.1, 0.6, priority_to_exit=False)
-    safe = rybko_stolyar_network(1.0, 0.1, 0.4, priority_to_exit=True)
-
-    rngs = np.random.default_rng(ss).spawn(3)
-    res_bad = simulate_network(bad, horizon, rngs[0])
-    res_fifo = simulate_network(fifo, horizon, rngs[1])
-    res_safe = simulate_network(safe, horizon, rngs[2])
-
-    naive_stable = is_fluid_stable(FluidModel.from_network(bad), horizon=fh, dt=dt)
-    aug_stable = is_fluid_stable(
-        FluidModel.from_network(bad, virtual_stations=((1, 3),)), horizon=fh, dt=dt
-    )
-    return {
-        "bad_backlog": float(res_bad.final_backlog),
-        "fifo_backlog": float(res_fifo.final_backlog),
-        "safe_backlog": float(res_safe.final_backlog),
-        "instability_ratio": float(
-            res_bad.final_backlog / max(res_fifo.final_backlog, 1.0)
-        ),
-        "virtual_load_bad": float(virtual_station_load(bad)),
-        "naive_fluid_stable": float(naive_stable),
-        "augmented_fluid_stable": float(aug_stable),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E14 — fluid-guided policies
-# ---------------------------------------------------------------------------
-
-
-def _e14_network(priority_a, priority_b):
-    from repro.distributions import Exponential
-    from repro.queueing.network import ClassConfig, QueueingNetwork, StationConfig
-
-    classes = [
-        ClassConfig(0, Exponential(3.0), arrival_rate=0.8, cost=1.0),
-        ClassConfig(1, Exponential(2.0), arrival_rate=0.0, cost=2.0),
-        ClassConfig(0, Exponential(2.5), arrival_rate=0.0, cost=4.0),
-    ]
-    routing = np.zeros((3, 3))
-    routing[0, 1] = 1.0
-    routing[1, 2] = 1.0
-    return QueueingNetwork(
-        classes,
-        [
-            StationConfig(discipline="priority", priority=tuple(priority_a)),
-            StationConfig(discipline="priority", priority=tuple(priority_b)),
-        ],
-        routing,
-    )
-
-
-@scenario(
-    "E14",
-    title="Fluid-model heuristics rank MQN policies correctly",
-    claim=(
-        "Fluid-model heuristics guide good multiclass-queueing-network "
-        "policies (Chen–Yao [11], Atkins–Chen [3]): fluid drain analysis "
-        "predicts relative policy quality in the stochastic network."
-    ),
-    verdict=(
-        "Reproduced: fluid drain analysis and stochastic simulation rank "
-        "the candidate policies consistently."
-    ),
-    defaults={"horizon": 6000.0, "fluid_dt": 0.01, "fluid_horizon": 120.0},
-    checks={
-        "both_drain_finite": lambda m: m["drain_exit_first"] < np.inf
-        and m["drain_entry_first"] < np.inf,
-        "fluid_choice_wins_sim": lambda m: m["exit_vs_entry_cost"] <= 1.02,
-    },
-    tags=("queueing", "simulation", "fluid"),
-)
-def simulate_e14(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E14: Fluid-model heuristics rank MQN policies correctly.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.queueing import FluidModel, fluid_drain_time, simulate_network
-
-    horizon = float(params["horizon"])
-    dt, fh = float(params["fluid_dt"]), float(params["fluid_horizon"])
-    nets = {
-        "exit_first": _e14_network((2, 0), (1,)),
-        "entry_first": _e14_network((0, 2), (1,)),
-    }
-    drains, costs = {}, {}
-    # CRN across the two candidate policies.
-    for (name, net), rng in zip(nets.items(), crn_generators(ss, len(nets))):
-        fm = FluidModel.from_network(net)
-        drains[name] = fluid_drain_time(fm, [1, 1, 1], horizon=fh, dt=dt)
-        costs[name] = simulate_network(net, horizon, rng).cost_rate
-    return {
-        "drain_exit_first": float(drains["exit_first"]),
-        "drain_entry_first": float(drains["entry_first"]),
-        "cost_exit_first": float(costs["exit_first"]),
-        "cost_entry_first": float(costs["entry_first"]),
-        "exit_vs_entry_cost": float(costs["exit_first"] / costs["entry_first"]),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E15 — polling with switchover times
-# ---------------------------------------------------------------------------
-
-_E15_LAM = (0.3, 0.2)
-
-
-@scenario(
-    "E15",
-    title="Polling with changeovers: exhaustive <= gated <= limited",
-    claim=(
-        "Changeover/setup times change optimal control (polling systems, "
-        "Levy–Sidi [25]): local policies rank exhaustive <= gated <= "
-        "limited in weighted waits; the pseudo-conservation law pins the "
-        "simulator; longer setups hurt every policy."
-    ),
-    verdict=(
-        "Reproduced: the policy ordering holds at both switchover levels, "
-        "the pseudo-conservation law matches simulation, and longer setups "
-        "hurt every policy."
-    ),
-    defaults={"horizon": 12000.0, "switchover_means": (0.1, 0.4)},
-    checks={
-        "exhaustive_best": lambda m: m["exhaustive_short"] <= m["gated_short"] * 1.05
-        and m["exhaustive_long"] <= m["gated_long"] * 1.05,
-        "gated_beats_limited": lambda m: m["gated_short"] <= m["limited_short"] * 1.05
-        and m["gated_long"] <= m["limited_long"] * 1.05,
-        "pseudo_conservation": lambda m: m["max_conservation_err"] < 0.15,
-        "setups_hurt": lambda m: m["exhaustive_long"] > m["exhaustive_short"]
-        and m["gated_long"] > m["gated_short"]
-        and m["limited_long"] > m["limited_short"],
-    },
-    tags=("queueing", "simulation", "polling"),
-)
-def simulate_e15(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E15: Polling with changeovers: exhaustive <= gated <= limited.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.distributions import Deterministic, Exponential
-    from repro.queueing import PollingSystem, pseudo_conservation_rhs
-
-    svc = [Exponential(2.0), Exponential(1.5)]
-    lam = list(_E15_LAM)
-    horizon = float(params["horizon"])
-    short, long_ = params["switchover_means"]
-
-    metrics: dict[str, float] = {}
-    cons_errs = []
-    cases = [
-        (pol, sw_mean, label)
-        for sw_mean, label in ((float(short), "short"), (float(long_), "long"))
-        for pol in ("exhaustive", "gated", "limited")
-    ]
-    # CRN: all six (policy, switchover) cases replay the same streams.
-    for (pol, sw_mean, label), rng in zip(cases, crn_generators(ss, len(cases))):
-        sw = [Deterministic(sw_mean), Deterministic(sw_mean)]
-        res = PollingSystem(lam, svc, sw, pol).simulate(horizon, rng)
-        metrics[f"{pol}_{label}"] = float(res.weighted_wait_sum)
-        if pol in ("exhaustive", "gated"):
-            rhs = pseudo_conservation_rhs(lam, svc, sw, pol)
-            cons_errs.append(abs(res.weighted_wait_sum / rhs - 1.0))
-    metrics["max_conservation_err"] = float(max(cons_errs))
-    return metrics
-
-
-# ---------------------------------------------------------------------------
-# E16 — HLF under in-tree precedence
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E16",
-    title="HLF asymptotic optimality under in-tree precedence",
-    claim=(
-        "HLF (Highest Level First) is asymptotically optimal for expected "
-        "makespan of i.i.d. exponential jobs under in-tree precedence on "
-        "parallel machines (Papadimitriou–Tsitsiklis [31])."
-    ),
-    verdict=(
-        "Reproduced: HLF's makespan ratio to the universal lower bound "
-        "improves with batch size and beats the random eligible-set policy."
-    ),
-    defaults={"sizes": (20, 60, 180), "m": 3},
-    checks={
-        "ratio_improves_with_n": lambda m: m["hlf_ratio_large"]
-        <= m["hlf_ratio_small"] + 0.05,
-        "hlf_near_bound": lambda m: m["hlf_ratio_large"] < 1.4,
-        "hlf_beats_random": lambda m: m["random_ratio_large"]
-        >= m["hlf_ratio_large"] - 0.02,
-    },
-    tags=("batch", "simulation", "precedence"),
-)
-def simulate_e16(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E16: HLF asymptotic optimality under in-tree precedence.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.batch import random_intree, simulate_intree_makespan
-    from repro.batch.precedence import hlf_policy, random_policy
-
-    m = int(params["m"])
-    sizes = [int(n) for n in params["sizes"]]
-    rng = np.random.default_rng(ss)
-    metrics: dict[str, float] = {}
-    for n, child in zip(sizes, ss.spawn(len(sizes))):
-        tree = random_intree(n, _int_seed(rng))
-        lb = max(n / m, float(tree.levels().max() + 1))
-        # CRN: HLF and the random policy see the same service-time stream;
-        # the random policy's *decisions* draw from a separate stream so
-        # they do not desynchronise the paired service times.
-        hlf_rng, rnd_rng = crn_generators(child, 2)
-        policy_rng = np.random.default_rng(child.spawn(1)[0])
-        hlf = simulate_intree_makespan(tree, m, 1.0, hlf_policy(tree), hlf_rng)
-        rnd = simulate_intree_makespan(tree, m, 1.0, random_policy(policy_rng), rnd_rng)
-        metrics[f"hlf_ratio_n{n}"] = float(hlf / lb)
-        metrics[f"random_ratio_n{n}"] = float(rnd / lb)
-    # aliases for the asymptotic-trend checks, valid for any sizes override
-    metrics["hlf_ratio_small"] = metrics[f"hlf_ratio_n{sizes[0]}"]
-    metrics["hlf_ratio_large"] = metrics[f"hlf_ratio_n{sizes[-1]}"]
-    metrics["random_ratio_large"] = metrics[f"random_ratio_n{sizes[-1]}"]
-    return metrics
-
-
-# ---------------------------------------------------------------------------
-# E17 — stochastic flow shops
-# ---------------------------------------------------------------------------
-
-# A fixed 5-job, 2-machine rate matrix (the study instance from the
-# benchmark, drawn once from rng(17)); per-replication randomness is the
-# realised processing times.
-_E17_RATES = (
-    (1.46865, 2.08557),
-    (1.31226, 2.05519),
-    (0.75568, 2.67148),
-    (2.50876, 0.64199),
-    (2.22997, 2.64313),
-)
-# The strongest competitor among the other 119 permutations, found by an
-# exhaustive CRN pilot (4000 shared realisations per permutation): Talwar's
-# order (3,4,0,1,2) came first at 4.78494, this runner-up second at
-# 4.78591. Beating it under CRN certifies "best of all permutations"
-# without re-enumerating 120 sequences every replication.
-_E17_RUNNER_UP = (3, 0, 4, 1, 2)
-
-
-@scenario(
-    "E17",
-    title="Two-machine exponential flow shop: Talwar's rule",
-    claim=(
-        "Stochastic flow shops (Wie–Pinedo [49]): Talwar's index rule "
-        "(decreasing mu1 - mu2) minimises expected makespan in the "
-        "2-machine exponential flow shop; blocking only increases "
-        "makespans; Johnson's rule is the deterministic limit."
-    ),
-    verdict=(
-        "Reproduced: Talwar matches the empirically best permutation "
-        "(CRN comparison against the strongest competitor), beats its "
-        "reverse, blocking increases the makespan realisation-by-"
-        "realisation, and Johnson's rule is exactly optimal in the "
-        "deterministic limit."
-    ),
-    defaults={},
-    checks={
-        "talwar_best_permutation": lambda m: m["runner_up_ratio"] >= 1.0 / 1.02,
-        "talwar_beats_reverse": lambda m: m["reverse_ratio"] >= 0.98,
-        "blocking_hurts": lambda m: m["blocked_minus_talwar"] >= -1e-9,
-        "johnson_exact_deterministic": lambda m: m["johnson_gap"] < 1e-9,
-    },
-    tags=("batch", "simulation", "flowshop"),
-)
-def simulate_e17(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E17: Two-machine exponential flow shop: Talwar's rule.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.batch.flowshop import (
-        johnson_order_deterministic,
-        simulate_flowshop,
-        talwar_order,
-    )
-
-    rates = np.array(_E17_RATES)
-    order = talwar_order(rates)
-    rng = np.random.default_rng(ss)
-    # One realisation of the processing times, shared by every sequence
-    # (common random numbers): the blocking comparison is then monotone
-    # realisation-by-realisation, as the theory states.
-    P = rng.exponential(1.0 / rates)
-    talwar_mk = simulate_flowshop(P, order)[0]
-    runner_up_mk = simulate_flowshop(P, list(_E17_RUNNER_UP))[0]
-    reverse_mk = simulate_flowshop(P, order[::-1])[0]
-    blocked_mk = simulate_flowshop(P, order, blocking=True)[0]
-
-    # deterministic limit: Johnson's rule vs all permutations of the means
-    times = 1.0 / rates
-    j_order = johnson_order_deterministic(times)
-    mk_j = simulate_flowshop(times, j_order)[0]
-    best_det = min(
-        simulate_flowshop(times, list(p))[0]
-        for p in itertools.permutations(range(len(times)))
-    )
-    return {
-        "talwar_makespan": float(talwar_mk),
-        "runner_up_ratio": float(runner_up_mk / talwar_mk),
-        "reverse_ratio": float(reverse_mk / talwar_mk),
-        "blocked_minus_talwar": float(blocked_mk - talwar_mk),
-        "johnson_gap": float(mk_j / best_det - 1.0),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E18 — uniform machines
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E18",
-    title="Uniform machines: threshold structure beyond naive greedy",
-    claim=(
-        "Uniform (speed-heterogeneous) machines [1, 12, 33]: optimal "
-        "policies have threshold/matching structure — slow machines should "
-        "sometimes idle — beyond the SEPT-to-fastest greedy heuristic."
-    ),
-    verdict=(
-        "Reproduced: greedy is exactly optimal for identical unweighted "
-        "jobs but strictly loses on weighted heterogeneous instances; "
-        "values are monotone in machine speed."
-    ),
-    defaults={},
-    checks={
-        "greedy_optimal_identical": lambda m: m["greedy_identical_gap"] < 1e-9,
-        "greedy_loses_weighted": lambda m: m["greedy_weighted_ratio"] > 1.01,
-        "monotone_in_speed": lambda m: m["speedup_ratio"] < 1.0,
-    },
-    tags=("batch", "exact", "uniform-machines"),
-)
-def simulate_e18(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E18: Uniform machines: threshold structure beyond naive greedy.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.batch.uniform_machines import (
-        greedy_assignment,
-        uniform_flowtime_dp,
-        uniform_policy_flowtime_dp,
-    )
-
-    # The study instances are fixed; the scenario is fully deterministic.
-    rates_id = np.array([1.0, 1.0, 1.0])
-    speeds = np.array([1.0, 0.15])
-    opt_id = uniform_flowtime_dp(rates_id, speeds)
-    greedy_id = uniform_policy_flowtime_dp(
-        rates_id, speeds, greedy_assignment(rates_id, speeds)
-    )
-
-    rates_w = np.array([1.4950, 0.3967, 0.2793, 4.1037])
-    speeds_w = np.array([0.9171, 0.6263])
-    weights = np.array([3.6745, 2.7638, 4.6819, 4.0977])
-    opt_w = uniform_flowtime_dp(rates_w, speeds_w, weights=weights)
-    greedy_w = uniform_policy_flowtime_dp(
-        rates_w, speeds_w, greedy_assignment(rates_w, speeds_w), weights=weights
-    )
-    opt_faster = uniform_flowtime_dp(rates_id, np.array([1.0, 0.6]))
-    return {
-        "greedy_identical_gap": float(greedy_id / opt_id - 1.0),
-        "greedy_weighted_ratio": float(greedy_w / opt_w),
-        "speedup_ratio": float(opt_faster / opt_id),
-    }
-
-
-# ---------------------------------------------------------------------------
-# E19 — heterogeneous restless fleets
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "E19",
-    title="Heterogeneous restless fleets vs the Lagrangian bound",
-    claim=(
-        "Heterogeneous restless fleets (Bertsimas–Niño-Mora [7]): index "
-        "heuristics tested computationally against the Lagrangian "
-        "relaxation bound."
-    ),
-    verdict=(
-        "Reproduced: the Lagrangian dual bound dominates simulation; the "
-        "Whittle policy operates close to the bound and at or above the "
-        "myopic policy."
-    ),
-    defaults={"n_projects": 6, "n_states": 3, "m": 2, "horizon": 4000, "warmup": 400},
-    checks={
-        "bound_respected": lambda m: m["whittle_frac"] <= 1.05,
-        "whittle_matches_myopic": lambda m: m["whittle_frac"]
-        >= m["myopic_frac"] - 0.05,
-        "whittle_near_bound": lambda m: m["whittle_frac"] >= 0.8,
-    },
-    tags=("bandits", "simulation", "heterogeneous"),
-)
-def simulate_e19(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of E19: Heterogeneous restless fleets vs the Lagrangian bound.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.bandits import (
-        heterogeneous_relaxation_bound,
-        heterogeneous_whittle_rule,
-        random_restless_project,
-        simulate_heterogeneous_restless,
-    )
-    from repro.core.indices import IndexRule
-
-    class MyopicHet(IndexRule):
-        def __init__(self, projects):
-            self._gaps = [p.R1 - p.R0 for p in projects]
-
-        def index(self, item, state=None):
-            return float(self._gaps[int(item)][0 if state is None else int(state)])
-
-        @property
-        def name(self):
-            return "Myopic[het]"
-
-    rng = np.random.default_rng(ss)
-    projects = [
-        random_restless_project(int(params["n_states"]), rng)
-        for _ in range(int(params["n_projects"]))
-    ]
-    m = int(params["m"])
-    horizon, warmup = int(params["horizon"]), int(params["warmup"])
-    bound, lam_star = heterogeneous_relaxation_bound(projects, m)
-    w_rule = heterogeneous_whittle_rule(projects, criterion="average")
-
-    sim_w, sim_m = rng.spawn(2)
-    whittle = simulate_heterogeneous_restless(
-        projects, m, w_rule, horizon, sim_w, warmup=warmup
-    )
-    myopic = simulate_heterogeneous_restless(
-        projects, m, MyopicHet(projects), horizon, sim_m, warmup=warmup
-    )
-    return {
-        "bound": float(bound),
-        "shadow_price": float(lam_star),
-        "whittle_frac": float(whittle / bound),
-        "myopic_frac": float(myopic / bound),
-    }
-
-
-# ---------------------------------------------------------------------------
-# A1–A3 — ablations (algorithmic cross-checks, kept in the registry so the
-# generated EXPERIMENTS.md retains its ablation sections)
-# ---------------------------------------------------------------------------
-
-
-@scenario(
-    "A1",
-    title="Ablation: VWB vs restart-in-state Gittins algorithms",
-    claim=(
-        "Ablation: the VWB largest-index-first recursion and the "
-        "Katehakis–Veinott restart-in-state formulation are independent "
-        "algorithms for the same Gittins indices and must agree to "
-        "numerical precision."
-    ),
-    verdict="Agreement to 1e-6 at every tested size.",
-    defaults={"n_states": 20, "beta": 0.9},
-    checks={
-        "algorithms_agree": lambda m: m["algo_diff"] < 1e-6,
-        "top_index_is_top_reward": lambda m: m["top_index_err"] < 1e-8,
-    },
-    tags=("bandits", "exact", "ablation"),
-)
-def simulate_a1(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of A1: Ablation: VWB vs restart-in-state Gittins algorithms.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.bandits import (
-        gittins_indices_restart,
-        gittins_indices_vwb,
-        random_project,
-    )
-
-    rng = np.random.default_rng(ss)
-    beta = float(params["beta"])
-    proj = random_project(int(params["n_states"]), rng)
-    g_vwb = gittins_indices_vwb(proj, beta)
-    g_restart = gittins_indices_restart(proj, beta, tol=1e-11)
-    return {
-        "algo_diff": float(np.max(np.abs(g_vwb - g_restart))),
-        # the top Gittins index equals the top one-step reward
-        "top_index_err": float(abs(np.max(g_vwb) - np.max(proj.R))),
-    }
-
-
-@scenario(
-    "A2",
-    title="Ablation: event-engine M/M/1 accuracy anchor",
-    claim=(
-        "Ablation: the discrete-event engine must reproduce the M/M/1 "
-        "closed forms (L, Wq) within Monte-Carlo tolerance — the accuracy "
-        "anchor under every queueing experiment."
-    ),
-    verdict="Simulator matches closed forms within Monte-Carlo tolerance.",
-    defaults={"rho": 0.7, "horizon": 20000.0},
-    checks={
-        "queue_length_matches": lambda m: m["L_abs_rel_err"] < 0.1,
-        "waiting_time_matches": lambda m: m["Wq_abs_rel_err"] < 0.1,
-    },
-    tags=("sim", "simulation", "ablation"),
-)
-def simulate_a2(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of A2: Ablation: event-engine M/M/1 accuracy anchor.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.distributions import Exponential
-    from repro.queueing.mg1 import mm1_metrics
-    from repro.queueing.network import (
-        ClassConfig,
-        QueueingNetwork,
-        StationConfig,
-        simulate_network,
-    )
-
-    rho = float(params["rho"])
-    net = QueueingNetwork(
-        [ClassConfig(0, Exponential(1.0), arrival_rate=rho)],
-        [StationConfig(discipline="priority", priority=(0,))],
-    )
-    res = simulate_network(
-        net, float(params["horizon"]), np.random.default_rng(ss)
-    )
-    theory = mm1_metrics(rho, 1.0)
-    return {
-        "L_sim": float(res.mean_queue_lengths[0]),
-        "Wq_sim": float(res.mean_waits[0]),
-        "L_abs_rel_err": float(abs(res.mean_queue_lengths[0] / theory["L"] - 1.0)),
-        "Wq_abs_rel_err": float(abs(res.mean_waits[0] / theory["Wq"] - 1.0)),
-    }
-
-
-@scenario(
-    "A3",
-    title="Ablation: achievable-region LP route to the cµ rule",
-    claim=(
-        "Ablation: the achievable-region LP over the conservation-law "
-        "polytope must land on the same priority rule and value as the "
-        "interchange-argument/Cobham derivation of cµ."
-    ),
-    verdict=(
-        "The LP reproduces the interchange-argument rule and value exactly "
-        "at every class count tested."
-    ),
-    defaults={"n_classes": 5},
-    checks={
-        "lp_value_matches_cobham": lambda m: m["cost_rel_gap"] < 1e-7,
-        "lp_order_matches_cmu": lambda m: m["orders_match"] == 1.0,
-    },
-    tags=("core", "exact", "ablation"),
-)
-def simulate_a3(ss: np.random.SeedSequence, params: Params) -> dict[str, float]:
-    """One replication of A3: Ablation: achievable-region LP route to the cµ rule.
-
-    Derives all randomness from ``ss`` and measures the metric
-    dictionary the registry entry's shape checks are evaluated on.
-    """
-    from repro.core import achievable_region_lp
-    from repro.distributions import Exponential
-    from repro.queueing.mg1 import optimal_average_cost
-
-    rng = np.random.default_rng(ss)
-    n = int(params["n_classes"])
-    lam = rng.uniform(0.02, 0.8 / n, size=n)
-    svcs = [Exponential(rng.uniform(0.8, 3.0)) for _ in range(n)]
-    ms = [s.mean for s in svcs]
-    m2 = [s.second_moment for s in svcs]
-    c = rng.uniform(0.3, 3.0, size=n)
-    sol = achievable_region_lp(lam, ms, m2, c)
-    exact, order = optimal_average_cost(lam, svcs, c)
-    return {
-        "lp_cost": float(sol.optimal_cost),
-        "cost_rel_gap": float(abs(sol.optimal_cost / exact - 1.0)),
-        "orders_match": float(list(sol.priority_order) == list(order)),
-    }
+load_packs()
+
+__all__ = [
+    "simulate_e1",
+    "simulate_e2",
+    "simulate_e3",
+    "simulate_e4",
+    "simulate_e5",
+    "simulate_e6",
+    "simulate_e7",
+    "simulate_e8",
+    "simulate_e9",
+    "simulate_e10",
+    "simulate_e11",
+    "simulate_e12",
+    "simulate_e13",
+    "simulate_e14",
+    "simulate_e15",
+    "simulate_e16",
+    "simulate_e17",
+    "simulate_e18",
+    "simulate_e19",
+    "simulate_a1",
+    "simulate_a2",
+    "simulate_a3",
+]

@@ -12,10 +12,11 @@ result is bit-identical to a cold run.
 Key scheme
 ----------
 ``sha256(canonical_json(payload))`` where the payload holds the store
-schema version, the package version, the scenario id, the canonically
-serialised parameter mapping (sorted keys, numpy scalars normalised — see
-:func:`repro.utils.serialization.canonical_json`) and the root seed's
-entropy/spawn-key.  The simulation *backend* is deliberately absent: the
+schema version, the owning scenario pack's ``(name, version)`` (see
+:func:`repro.experiments.registry.pack_info`), the scenario id, the
+canonically serialised parameter mapping (sorted keys, numpy scalars
+normalised — see :func:`repro.utils.serialization.canonical_json`) and
+the root seed's entropy/spawn-key.  The simulation *backend* is deliberately absent: the
 event and vectorized backends are bit-for-bit equivalent, so their
 samples are interchangeable.  The confidence level and replication count
 are also absent — they do not affect the samples, only statistics derived
@@ -23,10 +24,12 @@ from them.
 
 Invalidation
 ------------
-Changing any key component — including upgrading the package, whose
-version is part of the payload, since a scenario's ``simulate`` may
-legitimately change between releases — simply addresses a different
-entry; stale entries are never silently reused.  The full payload is
+Changing any key component — including bumping the owning pack's
+version, since a scenario's ``simulate`` may legitimately change between
+pack releases — simply addresses a different entry; stale entries are
+never silently reused.  Keying on the *pack* version rather than the
+package version means bumping one pack invalidates exactly that pack's
+entries and leaves every other pack's cache intact.  The full payload is
 stored alongside the matrix and compared on load, so a hash collision or
 a tampered file degrades to a cache miss, as does any unreadable or
 corrupt file.
@@ -49,13 +52,12 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-import repro
 from repro.utils.rng import as_seed_sequence
 from repro.utils.serialization import canonical_json, jsonable
 
 __all__ = ["SampleStore", "STORE_SCHEMA"]
 
-STORE_SCHEMA = 1
+STORE_SCHEMA = 2
 
 
 def _seed_fingerprint(seed: int | np.random.SeedSequence) -> dict[str, Any]:
@@ -103,9 +105,12 @@ class SampleStore:
                 "seed=None draws fresh OS entropy and has no stable cache "
                 "identity; pass an integer root seed to use the sample store"
             )
+        from repro.experiments.registry import pack_info
+
+        pack_name, pack_version = pack_info(scenario_id)
         return {
             "store_schema": STORE_SCHEMA,
-            "version": repro.__version__,
+            "pack": {"name": pack_name, "version": pack_version},
             "scenario_id": scenario_id,
             "params": jsonable(params),
             "seed": _seed_fingerprint(seed),

@@ -48,7 +48,7 @@ from repro.experiments.cli import (
     _parse_param,
     _validate_run_args as _validate_shared_run_args,
 )
-from repro.experiments.registry import get_scenario, list_scenarios
+from repro.experiments.registry import get_scenario, list_scenarios, pack_info
 from repro.experiments.report import generate_sweep_markdown, sweep_to_json
 from repro.experiments.sweeps import SWEEP_MODES, SweepSpec, run_sweep
 from repro.sim.sequential import DEFAULT_MAX_REPS, DEFAULT_MIN_REPS
@@ -261,7 +261,8 @@ def _cmd_list(scenario_id: str | None) -> int:
             sc = get_scenario(scenario_id)
         except KeyError as exc:
             raise CliError(exc.args[0]) from exc
-        print(f"{sc.scenario_id}  {sc.title}")
+        pack_name, pack_version = pack_info(sc.scenario_id)
+        print(f"{sc.scenario_id}  {sc.title}  [{pack_name}@{pack_version}]")
         if not sc.defaults:
             print("  (no sweepable parameters)")
         for name, default in sc.defaults.items():
@@ -269,7 +270,8 @@ def _cmd_list(scenario_id: str | None) -> int:
         return 0
     for sc in list_scenarios():
         names = ", ".join(sc.defaults) if sc.defaults else "—"
-        print(f"{sc.scenario_id:<4} {sc.title}")
+        pack_name, pack_version = pack_info(sc.scenario_id)
+        print(f"{sc.scenario_id:<4} {sc.title}  [{pack_name}@{pack_version}]")
         print(f"     params: {names}")
     return 0
 

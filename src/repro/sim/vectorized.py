@@ -134,32 +134,57 @@ class VectorizedKernel:
 
 
 _KERNELS: dict[str, VectorizedKernel] = {}
+# key -> human-readable owner, named in genuine-collision errors
+_KERNEL_OWNERS: dict[str, str] = {}
 _BINDINGS_LOADED = False
 
 
 def _ensure_loaded() -> None:
-    # The scenario kernels live in repro.experiments.backends and register
-    # on import; defer that import (mirroring the scenario registry) so
-    # sim <-> experiments does not cycle at module-import time.  The
-    # loaded flag is only set on success — and a partial registration is
-    # rolled back — so a failed import propagates now but stays retryable
-    # instead of silently reporting an empty kernel registry forever.
+    # The scenario kernels live in the family packs under
+    # repro.experiments.packs and register on pack discovery; defer that
+    # (mirroring the scenario registry) so sim <-> experiments does not
+    # cycle at module-import time.  The loaded flag is only set on success,
+    # and pack registration is idempotent, so a failed discovery propagates
+    # now but stays retryable instead of silently reporting an empty
+    # kernel registry forever.
     global _BINDINGS_LOADED
     if not _BINDINGS_LOADED:
-        try:
-            from repro.experiments import backends  # noqa: F401
-        except BaseException:
-            _KERNELS.clear()
-            raise
+        from repro.experiments.packs import load_packs
+
+        load_packs()
         _BINDINGS_LOADED = True
 
 
-def register_kernel(kernel: VectorizedKernel) -> VectorizedKernel:
-    """Add a kernel to the registry; duplicate scenario ids are an error."""
+def _kernel_fingerprint(fn) -> tuple:
+    # same re-import-stable identity as the scenario registry's: qualname
+    # plus code location survives importlib.reload and double imports
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return (id(fn),)
+    return (fn.__qualname__, code.co_filename, code.co_firstlineno)
+
+
+def register_kernel(
+    kernel: VectorizedKernel, *, owner: str | None = None
+) -> VectorizedKernel:
+    """Add a kernel to the registry.
+
+    Re-registering an identical ``(scenario id, fn)`` pair — including the
+    same function re-created by a module re-import — is an idempotent
+    no-op returning the existing kernel; a genuine collision (same id,
+    different function) raises, naming the owner of the existing entry.
+    """
     key = kernel.scenario_id.upper()
-    if key in _KERNELS:
-        raise ValueError(f"kernel for {kernel.scenario_id!r} already registered")
+    existing = _KERNELS.get(key)
+    if existing is not None:
+        if _kernel_fingerprint(existing.fn) == _kernel_fingerprint(kernel.fn):
+            return existing
+        raise ValueError(
+            f"kernel for {kernel.scenario_id!r} already registered by "
+            f"{_KERNEL_OWNERS.get(key, 'an unknown owner')}"
+        )
     _KERNELS[key] = kernel
+    _KERNEL_OWNERS[key] = owner or f"module {getattr(kernel.fn, '__module__', '?')!r}"
     return kernel
 
 

@@ -78,12 +78,24 @@ def test_run_once_is_seed_deterministic():
     assert set(a) >= {"brute_gap", "wsept", "fifo_ratio", "random_ratio"}
 
 
-def test_duplicate_registration_rejected():
-    sc = get_scenario("E1")
-    with pytest.raises(ValueError, match="already registered"):
-        from repro.experiments.registry import register
+def test_reregistering_identical_scenario_is_a_noop():
+    # re-importing a pack module re-registers the same simulate functions;
+    # that must not blow up (it used to raise "already registered")
+    from repro.experiments.registry import register
 
-        register(sc)
+    sc = get_scenario("E1")
+    assert register(sc) is get_scenario("E1")
+
+
+def test_genuine_id_collision_names_the_owner():
+    from dataclasses import replace
+
+    from repro.experiments.registry import register
+
+    sc = get_scenario("E1")
+    imposter = replace(sc, simulate=lambda ss, params: {"x": 0.0})
+    with pytest.raises(ValueError, match="already registered by pack 'flowshop-batch'"):
+        register(imposter)
 
 
 # ---------------------------------------------------------------------------

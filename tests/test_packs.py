@@ -1,0 +1,401 @@
+"""Tests for the scenario-pack subsystem: manifest validation, discovery
+(built-in and entry-point), schema-validated params, idempotent
+re-registration, pack-scoped store keys, and the check-crash fix."""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PackError,
+    ParamValidationError,
+    Scenario,
+    ScenarioPack,
+    discovered_packs,
+    generate_markdown,
+    get_scenario,
+    pack_info,
+    run_scenario,
+    scenario_ids,
+)
+from repro.experiments.cli import main as cli_main
+from repro.experiments.store import SampleStore
+from repro.experiments.sweep_cli import main as sweep_main
+from repro.utils.schema import schema_errors, validate_schema
+
+REPO = Path(__file__).parent.parent
+DEMO_DIR = REPO / "examples" / "demo_pack"
+
+
+def _sim(ss, params):
+    return {"x": 1.0}
+
+
+# ---------------------------------------------------------------------------
+# built-in discovery
+# ---------------------------------------------------------------------------
+
+
+def test_builtin_packs_carry_the_whole_catalogue():
+    packs = {pack.name: pack for pack, source in discovered_packs() if source == "builtin"}
+    assert set(packs) == {
+        "flowshop-batch",
+        "bandits",
+        "restless",
+        "queueing-networks",
+        "polling",
+    }
+    owned = sorted(sid for pack in packs.values() for sid in pack.scenarios)
+    assert len(owned) == 22
+    assert sorted(sid.upper() for sid in scenario_ids()) == owned
+
+
+def test_pack_info_resolves_for_every_scenario():
+    for sid in scenario_ids():
+        name, version = pack_info(sid)
+        assert name in {
+            "flowshop-batch",
+            "bandits",
+            "restless",
+            "queueing-networks",
+            "polling",
+        }
+        assert version == "1.0.0"
+
+
+def test_every_builtin_scenario_declares_a_schema():
+    for sid in scenario_ids():
+        sc = get_scenario(sid)
+        assert sc.schema is not None, f"{sid} ships without a param schema"
+        # defaults must satisfy the declared schema
+        assert schema_errors(sc.defaults, sc.schema) == []
+
+
+# ---------------------------------------------------------------------------
+# manifest validation
+# ---------------------------------------------------------------------------
+
+
+def test_pack_rejects_dangling_kernel():
+    pack = ScenarioPack("p", "1.0")
+    pack.kernel("NOPE", mode="batched", note="-")(_sim)
+    with pytest.raises(PackError, match="no.*matching scenario"):
+        pack.validate()
+
+
+def test_pack_rejects_bad_metadata():
+    with pytest.raises(PackError, match="name"):
+        ScenarioPack("", "1.0").validate()
+    with pytest.raises(PackError, match="version"):
+        ScenarioPack("p", "").validate()
+
+
+def test_pack_rejects_defaults_violating_schema():
+    pack = ScenarioPack("p", "1.0")
+    pack.scenario(
+        "BAD1",
+        title="-",
+        claim="-",
+        verdict="-",
+        defaults={"n": 0},
+        checks={"ok": lambda m: True},
+        schema={
+            "type": "object",
+            "properties": {"n": {"type": "integer", "minimum": 1}},
+            "additionalProperties": False,
+        },
+    )(_sim)
+    with pytest.raises(PackError, match="defaults violate"):
+        pack.validate()
+
+
+def test_pack_rejects_duplicate_scenario_declaration():
+    pack = ScenarioPack("p", "1.0")
+    deco = pack.scenario("X1", title="-", claim="-", verdict="-")
+    deco(_sim)
+    with pytest.raises(PackError, match="twice"):
+        pack.scenario("x1", title="-", claim="-", verdict="-")(_sim)
+
+
+def test_register_pack_rejects_non_pack():
+    from repro.experiments import register_pack
+
+    with pytest.raises(PackError, match="ScenarioPack"):
+        register_pack(object())  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# idempotent re-registration / collisions
+# ---------------------------------------------------------------------------
+
+
+def test_reimporting_a_builtin_pack_module_is_a_noop():
+    # the historical crash: importing repro.experiments.scenarios twice
+    # (or reloading a pack module) raised "already registered"
+    from repro.experiments import register_pack
+    from repro.experiments.packs import flowshop
+
+    before = get_scenario("E1")
+    module = importlib.reload(flowshop)
+    register_pack(module.PACK, source="builtin")
+    assert get_scenario("E1") is before  # original registration retained
+    assert scenario_ids() == [f"A{i}" for i in range(1, 4)] + [
+        f"E{i}" for i in range(1, 20)
+    ]
+
+
+def test_cross_pack_collision_names_the_owning_pack():
+    from repro.experiments import register_pack
+
+    pack = ScenarioPack("intruder", "0.1")
+    pack.scenario("E1", title="-", claim="-", verdict="-")(_sim)
+    with pytest.raises(ValueError, match="already registered by pack 'flowshop-batch'"):
+        register_pack(pack)
+
+
+# ---------------------------------------------------------------------------
+# schema-validated params
+# ---------------------------------------------------------------------------
+
+
+def test_params_rejects_schema_violations_with_actionable_message():
+    sc = get_scenario("E5")
+    with pytest.raises(ParamValidationError) as err:
+        sc.params({"m": 0})
+    msg = str(err.value)
+    assert "E5" in msg and "m" in msg and "declared defaults" in msg
+
+
+def test_params_still_rejects_unknown_keys_as_keyerror():
+    with pytest.raises(KeyError, match="no parameter"):
+        get_scenario("E5").params({"bogus": 1})
+
+
+def test_cli_run_exits_2_on_schema_invalid_param(capsys):
+    assert cli_main(["run", "E5", "--param", "m=0"]) == 2
+    assert "invalid parameters for scenario E5" in capsys.readouterr().err
+
+
+def test_sweep_cli_exits_2_on_schema_invalid_axis_value(capsys):
+    code = sweep_main(
+        ["run", "E12", "--axis", "rhos=(1.5,)", "--replications", "2"]
+    )
+    assert code == 2
+    assert "invalid parameters for scenario E12" in capsys.readouterr().err
+
+
+def test_schema_validator_json_semantics():
+    # bools are not integers/numbers; tuples are arrays
+    assert schema_errors(True, {"type": "integer"})
+    assert schema_errors((1, 2), {"type": "array", "items": {"type": "integer"}}) == []
+    assert schema_errors(3, {"type": "number"}) == []
+    with pytest.raises(ValueError, match="unknown type"):
+        validate_schema(1, {"type": "int"})
+    errs = schema_errors(
+        {"a": -1, "b": 2},
+        {
+            "type": "object",
+            "properties": {"a": {"type": "number", "exclusiveMinimum": 0}},
+            "additionalProperties": False,
+        },
+    )
+    assert len(errs) == 2  # bound violation + unknown property
+
+
+# ---------------------------------------------------------------------------
+# pack-scoped store keys
+# ---------------------------------------------------------------------------
+
+
+def test_store_key_invalidation_is_scoped_to_the_bumped_pack(tmp_path, monkeypatch):
+    store = SampleStore(tmp_path)
+    key_e1 = store.key("E1", {}, 0)
+    key_e10 = store.key("E10", {}, 0)
+    # bump the flowshop pack only
+    from repro.experiments import registry
+
+    monkeypatch.setitem(registry._PACK_OF, "E1", ("flowshop-batch", "9.9.9"))
+    assert store.key("E1", {}, 0) != key_e1  # bumped pack: new key
+    assert store.key("E10", {}, 0) == key_e10  # other packs: untouched
+
+
+def test_store_roundtrip_with_pack_keyed_payload(tmp_path):
+    store = SampleStore(tmp_path)
+    rows = [{"m": 1.0}, {"m": 2.0}]
+    assert store.save("E1", {}, 7, rows)
+    loaded = store.load("E1", {}, 7)
+    assert loaded is not None
+    payload = store.payload("E1", {}, 7)
+    assert payload["pack"] == {"name": "flowshop-batch", "version": "1.0.0"}
+    assert "version" not in payload  # the old package-version key is gone
+
+
+# ---------------------------------------------------------------------------
+# check crashes are failures, not aborts (the evaluate_checks bugfix)
+# ---------------------------------------------------------------------------
+
+_CRASHY = Scenario(
+    scenario_id="ZZCRASH",
+    title="crashy checks",
+    claim="-",
+    verdict="-",
+    simulate=lambda ss, params: {"x": float(np.random.default_rng(ss).random())},
+    checks={
+        "fine": lambda m: m["x"] >= 0,
+        "key_error": lambda m: m["missing_metric"] > 0,
+        "zero_div": lambda m: (m["x"] / 0.0) > 0,
+    },
+)
+
+
+def test_crashing_check_counts_as_failed_with_error_summary():
+    res = run_scenario(_CRASHY, replications=3, seed=0, workers=1)
+    assert res.checks["fine"] is True
+    assert res.checks["key_error"] is False
+    assert res.checks["zero_div"] is False
+    assert not res.all_checks_pass
+    assert res.check_errors["key_error"].startswith("KeyError")
+    assert "ZeroDivisionError" in res.check_errors["zero_div"]
+    assert "fine" not in res.check_errors
+
+
+def test_check_errors_surface_in_json_and_markdown():
+    res = run_scenario(_CRASHY, replications=3, seed=0, workers=1)
+    doc = json.loads(json.dumps(res.to_dict()))
+    assert doc["check_errors"]["zero_div"].startswith("ZeroDivisionError")
+    md = generate_markdown([res])
+    assert "❌ `zero_div` — raised ZeroDivisionError" in md
+    assert "❌ `key_error` — raised KeyError" in md
+    assert "✅ `fine`" in md
+
+
+def test_check_outcomes_on_scenario_object():
+    outcomes = _CRASHY.check_outcomes({"x": 1.0})
+    assert outcomes["fine"].passed and outcomes["fine"].error is None
+    assert not outcomes["zero_div"].passed
+    assert outcomes["zero_div"].error.startswith("ZeroDivisionError")
+
+
+# ---------------------------------------------------------------------------
+# entry-point discovery (subprocess: keeps this process's registry clean)
+# ---------------------------------------------------------------------------
+
+
+def _run(args, *, extra_path, cwd=REPO):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src"), str(extra_path)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.run(
+        [sys.executable, *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+@pytest.mark.slow
+def test_demo_pack_discovered_via_entry_point_and_runs_through_both_clis(tmp_path):
+    proc = _run(["-m", "repro.experiments.cli", "packs"], extra_path=DEMO_DIR)
+    assert proc.returncode == 0, proc.stderr
+    assert "demo 0.1.0  [entry-point]" in proc.stdout
+    assert "DEMO1" in proc.stdout
+
+    proc = _run(
+        ["-m", "repro.experiments.cli", "run", "DEMO1", "--replications", "20",
+         "--json", str(tmp_path / "r.json")],
+        extra_path=DEMO_DIR,
+    )
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads((tmp_path / "r.json").read_text())
+    assert doc["results"][0]["scenario_id"] == "DEMO1"
+    assert doc["results"][0]["all_checks_pass"] is True
+
+    proc = _run(
+        ["-m", "repro.experiments.sweep_cli", "run", "DEMO1",
+         "--axis", "rate=0.5,2.0", "--replications", "5"],
+        extra_path=DEMO_DIR,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+    # schema violation from an entry-point pack exits 2 too
+    proc = _run(
+        ["-m", "repro.experiments.cli", "run", "DEMO1", "--param", "rate=-1"],
+        extra_path=DEMO_DIR,
+    )
+    assert proc.returncode == 2
+    assert "invalid parameters for scenario DEMO1" in proc.stderr
+
+
+@pytest.mark.slow
+def test_api_doc_pack_guide_example_executes(tmp_path):
+    # the "writing a scenario pack" guide must stay runnable: extract its
+    # first python code block and execute it (subprocess, so the example's
+    # register_pack call cannot pollute this process's registry)
+    text = (REPO / "docs" / "API.md").read_text()
+    section = text.split("## Scenario packs (writing your own)")[1]
+    code = section.split("```python\n")[1].split("```")[0]
+    script = tmp_path / "guide_example.py"
+    script.write_text(code)
+    proc = _run([str(script)], extra_path=tmp_path)
+    assert proc.returncode == 0, proc.stderr
+
+
+@pytest.mark.slow
+def test_broken_entry_point_pack_is_skipped_with_warning(tmp_path):
+    (tmp_path / "broken_pack.py").write_text("raise RuntimeError('boom')\n")
+    dist = tmp_path / "broken_pack-0.1.dist-info"
+    dist.mkdir()
+    (dist / "METADATA").write_text(
+        "Metadata-Version: 2.1\nName: broken-pack\nVersion: 0.1\n"
+    )
+    (dist / "entry_points.txt").write_text(
+        "[repro.scenario_packs]\nbroken = broken_pack:PACK\n"
+    )
+    proc = _run(
+        ["-W", "always", "-c",
+         "from repro.experiments import scenario_ids; print(len(scenario_ids()))"],
+        extra_path=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "22"  # registry intact
+    assert "failed to load" in proc.stderr and "broken" in proc.stderr
+
+
+@pytest.mark.slow
+def test_malformed_entry_point_manifest_is_skipped_with_warning(tmp_path):
+    # loads fine but the manifest is invalid (kernel without a scenario)
+    (tmp_path / "malformed_pack.py").write_text(
+        "from repro.experiments.packs import ScenarioPack\n"
+        "PACK = ScenarioPack('malformed', '0.1')\n"
+        "@PACK.kernel('GHOST', mode='batched', note='-')\n"
+        "def k(seeds, params):\n"
+        "    return []\n"
+    )
+    dist = tmp_path / "malformed_pack-0.1.dist-info"
+    dist.mkdir()
+    (dist / "METADATA").write_text(
+        "Metadata-Version: 2.1\nName: malformed-pack\nVersion: 0.1\n"
+    )
+    (dist / "entry_points.txt").write_text(
+        "[repro.scenario_packs]\nmalformed = malformed_pack:PACK\n"
+    )
+    proc = _run(
+        ["-W", "always", "-c",
+         "from repro.experiments import scenario_ids; print(len(scenario_ids()))"],
+        extra_path=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "22"
+    assert "failed to load" in proc.stderr and "malformed" in proc.stderr

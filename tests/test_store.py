@@ -65,11 +65,11 @@ def test_numpy_scalars_normalise_to_python_scalars(tmp_path):
     assert store.key("E1", {"p": np.int64(3)}, 0) == store.key("E1", {"p": 3}, 0)
 
 
-def test_schema_version_is_part_of_the_key(tmp_path):
+def test_schema_version_and_pack_are_part_of_the_key(tmp_path):
     store = SampleStore(tmp_path)
     payload = store.payload("E1", {"p": 1}, 0)
     assert payload["store_schema"] == STORE_SCHEMA
-    assert "version" in payload
+    assert payload["pack"] == {"name": "flowshop-batch", "version": "1.0.0"}
 
 
 def test_saves_are_monotone(tmp_path):
