@@ -23,6 +23,7 @@ from repro.bandits.relaxation import (
     whittle_rule,
 )
 from repro.bandits.restless import RestlessProject, is_indexable, whittle_indices
+from repro.utils.rng import spawn_seed_sequences
 from repro.core.indices import IndexRule
 
 K = 5  # condition states
@@ -78,9 +79,12 @@ def main() -> None:
     print(f"fleet: N = {N} machines, crew capacity m = {m} per shift")
     print(f"Whittle LP relaxation bound (per machine-shift): {bound:.4f}\n")
     print(f"{'policy':<24} {'avg revenue/machine':>20} {'% of bound':>12}")
-    for k, (name, rule) in enumerate(policies.items()):
+    # one spawned stream per policy: independent by construction, unlike
+    # adjacent integer seeds
+    streams = spawn_seed_sequences(10, len(policies))
+    for (name, rule), ss in zip(policies.items(), streams):
         got = simulate_restless(
-            proj, N, m, rule, horizon, np.random.default_rng(10 + k), warmup=warmup
+            proj, N, m, rule, horizon, np.random.default_rng(ss), warmup=warmup
         )
         print(f"{name:<24} {got:>20.4f} {100 * got / bound:>11.1f}%")
     print("\nBoth index policies operate essentially at the relaxation bound")

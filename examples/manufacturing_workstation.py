@@ -24,6 +24,7 @@ from repro.queueing.network import (
     StationConfig,
     simulate_network,
 )
+from repro.utils.rng import spawn_seed_sequences
 
 # ---------------------------------------------------------------------------
 # Model: classes 0-2 are fresh parts A/B/C; classes 3-4 are rework queues.
@@ -78,9 +79,12 @@ def main() -> None:
         "Klimov rule": k_order,
     }
     print(f"{'policy':<30} {'cost rate':>10} {'mean WIP':>10}")
-    for k, (name, order) in enumerate(policies.items()):
+    # one spawned stream per policy: independent by construction, unlike
+    # adjacent integer seeds
+    streams = spawn_seed_sequences(100, len(policies))
+    for (name, order), ss in zip(policies.items(), streams):
         net = build(order)
-        res = simulate_network(net, horizon, np.random.default_rng(100 + k),
+        res = simulate_network(net, horizon, np.random.default_rng(ss),
                                warmup_fraction=0.2)
         wip = res.mean_queue_lengths.sum()
         print(f"{name:<30} {res.cost_rate:>10.4f} {wip:>10.3f}")

@@ -1,118 +1,43 @@
 #!/usr/bin/env python
-"""Docstring-coverage gate for the public API surface.
+"""Docstring-coverage gate — now a thin shim over ``repro-lint`` REP012.
 
-Walks every module under the packages named on the command line (default:
-``repro.experiments``, ``repro.sim`` and ``repro.bench`` — the public
-face of the repo) and asserts that
-
-* every module has a module docstring,
-* every public top-level function and class *defined in* that module has
-  a docstring, and
-* every public method/property defined in such a class has a docstring
-  (inherited members and dataclass-generated dunders are out of scope).
-
-"Public" means the name does not start with ``_``.  Violations are
-printed one per line as ``module:qualname`` and the exit status is 1, so
-CI can gate on it::
+Historically this script did its own import-and-inspect walk; the check
+lives in :mod:`repro.lint.rules_contract` today (rule ``REP012``), so
+docstring coverage and the rest of the static-analysis gate share one
+AST walk and one CI step.  This shim keeps the old command-line shape
+working: package names map to their source directories and the linter
+runs with only REP012 selected::
 
     PYTHONPATH=src python scripts/check_docstrings.py
     PYTHONPATH=src python scripts/check_docstrings.py repro.experiments
-
-Imported re-exports are skipped (an object is checked only in the module
-whose ``__module__`` it carries), so each definition is reported once.
-
-With ``--packs`` the gate additionally walks every *discovered* scenario
-pack (built-in and entry-point, see :mod:`repro.experiments.packs`) and
-checks the modules defining their simulate functions — so a third-party
-pack on ``PYTHONPATH`` is held to the same docstring bar::
-
     PYTHONPATH=src:examples/demo_pack python scripts/check_docstrings.py --packs
+
+Exit status: 0 full coverage, 1 gaps (one ``path:line:col: REP012 ...``
+diagnostic per gap), 2 usage errors.  Prefer calling ``repro-lint``
+directly; this wrapper exists so older CI recipes and muscle memory
+keep working.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
-import inspect
-import pkgutil
 import sys
-from types import ModuleType
 
 DEFAULT_PACKAGES = ("repro.experiments", "repro.sim", "repro.bench")
 
 
-def iter_modules(package_name: str) -> list[ModuleType]:
-    """Import a package and every module beneath it, in name order."""
-    package = importlib.import_module(package_name)
-    modules = [package]
-    search = getattr(package, "__path__", None)
-    if search is not None:
-        for info in sorted(
-            pkgutil.walk_packages(search, prefix=package.__name__ + "."),
-            key=lambda info: info.name,
-        ):
-            modules.append(importlib.import_module(info.name))
-    return modules
-
-
-def _has_docstring(obj: object) -> bool:
-    doc = inspect.getdoc(obj)
-    return bool(doc and doc.strip())
-
-
-def _class_violations(cls: type, prefix: str) -> list[str]:
-    """Undocumented public methods/properties defined in ``cls`` itself."""
-    out = []
-    for name, member in vars(cls).items():
-        if name.startswith("_"):
-            continue
-        func = None
-        if isinstance(member, (staticmethod, classmethod)):
-            func = member.__func__
-        elif isinstance(member, property):
-            func = member.fget
-        elif inspect.isfunction(member):
-            func = member
-        if func is not None and not _has_docstring(func):
-            out.append(f"{prefix}.{name}")
-    return out
-
-
-def module_violations(module: ModuleType) -> list[str]:
-    """All undocumented public definitions of one module."""
-    out = []
-    if not _has_docstring(module):
-        out.append(f"{module.__name__}:<module docstring>")
-    for name, obj in vars(module).items():
-        if name.startswith("_"):
-            continue
-        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
-            continue
-        if getattr(obj, "__module__", None) != module.__name__:
-            continue  # re-export; checked where it is defined
-        label = f"{module.__name__}:{name}"
-        if not _has_docstring(obj):
-            out.append(label)
-        if inspect.isclass(obj):
-            out.extend(_class_violations(obj, label))
-    return out
-
-
-def pack_modules() -> list[ModuleType]:
-    """The modules defining every discovered scenario pack's simulate
-    functions (built-in packs live under ``repro.experiments`` and are
-    walked anyway; this picks up entry-point packs too)."""
-    from repro.experiments.packs import discovered_packs
-
-    names: dict[str, None] = {}
-    for pack, _source in discovered_packs():
-        for sc in pack.scenarios.values():
-            names.setdefault(sc.simulate.__module__)
-    return [importlib.import_module(name) for name in sorted(names)]
+def package_path(name: str) -> str:
+    """The filesystem directory (or module file) backing ``name``."""
+    module = importlib.import_module(name)
+    search = getattr(module, "__path__", None)
+    if search:
+        return list(search)[0]
+    return module.__file__  # a plain module: lint just that file
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns 1 (and prints offenders) on any gap."""
+    """CLI entry point; delegates to ``repro-lint --select REP012``."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "packages",
@@ -128,33 +53,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    violations: list[str] = []
-    n_modules = 0
-    seen: set[str] = set()
-    modules: list[ModuleType] = []
-    for package_name in args.packages:
-        modules.extend(iter_modules(package_name))
+    from repro.lint.cli import main as lint_main
+
+    try:
+        paths = [package_path(name) for name in args.packages]
+    except ImportError as exc:
+        print(f"check_docstrings: error: {exc}", file=sys.stderr)
+        return 2
+    lint_args = [*paths, "--select", "REP012"]
     if args.packs:
-        modules.extend(pack_modules())
-    for module in modules:
-        if module.__name__ in seen:
-            continue
-        seen.add(module.__name__)
-        n_modules += 1
-        violations.extend(module_violations(module))
-    if violations:
-        print(
-            f"{len(violations)} public definition(s) without a docstring:",
-            file=sys.stderr,
-        )
-        for item in violations:
-            print(f"  {item}", file=sys.stderr)
-        return 1
-    print(
-        f"docstring coverage OK: {n_modules} modules in "
-        f"{', '.join(args.packages)}"
-    )
-    return 0
+        lint_args.append("--packs")
+    return lint_main(lint_args)
 
 
 if __name__ == "__main__":

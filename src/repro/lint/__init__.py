@@ -1,0 +1,60 @@
+"""``repro-lint``: dependency-free static analysis for the repo's contracts.
+
+The repo's core promise — bit-identical results across backends, worker
+counts, cache resumes, and pack versions — rests on conventions no test
+can see being violated *before* it happens: never touch global RNG
+state, always thread ``np.random.Generator``/``SeedSequence`` explicitly,
+keep pack manifests self-consistent, never read wall clocks inside
+simulation paths.  This package machine-checks those conventions with a
+small AST-based engine (stdlib only, mirroring the house style of
+:mod:`repro.utils.schema`):
+
+* :mod:`repro.lint.engine` — file walking, diagnostics, the rule
+  registry, and graceful ``REP000`` degradation for unparseable files;
+* :mod:`repro.lint.suppress` — the
+  ``# repro-lint: disable=REP001`` suppression-comment grammar;
+* :mod:`repro.lint.rules_determinism` — REP001–REP004 (global RNG,
+  unseeded ``default_rng``, wall clocks, set-iteration order);
+* :mod:`repro.lint.rules_contract` — REP010–REP013 (schema↔defaults
+  parity, kernel↔scenario pairing, docstring coverage, bench-metric
+  gating slack);
+* :mod:`repro.lint.cli` — the ``repro-lint`` console script
+  (exit 0 clean / 1 findings / 2 usage error).
+
+Library use::
+
+    from repro.lint import lint_paths
+    diagnostics, n_files = lint_paths(["src"], select=["REP001"])
+    for d in diagnostics:
+        print(d.format())
+"""
+
+from repro.lint.engine import (
+    PARSE_RULE_ID,
+    Diagnostic,
+    LintError,
+    ModuleContext,
+    Rule,
+    active_rules,
+    all_rules,
+    collect_files,
+    lint_file,
+    lint_paths,
+    register_rule,
+)
+from repro.lint.suppress import suppressed_rules
+
+__all__ = [
+    "PARSE_RULE_ID",
+    "Diagnostic",
+    "LintError",
+    "ModuleContext",
+    "Rule",
+    "active_rules",
+    "all_rules",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "register_rule",
+    "suppressed_rules",
+]

@@ -1,0 +1,173 @@
+"""The ``repro-lint`` command-line interface.
+
+Statically checks the determinism, RNG-stream, and pack-contract
+invariants over any set of files or directories::
+
+    repro-lint                        # lint src/ and benchmarks/
+    repro-lint src benchmarks examples/demo_pack
+    repro-lint --select REP001,REP003 src
+    repro-lint --ignore REP012 src
+    repro-lint --packs                # + modules of discovered packs
+    repro-lint --list-rules
+
+Without an installed entry point the module form works identically::
+
+    PYTHONPATH=src python -m repro.lint.cli
+
+Diagnostics print one per line as ``path:line:col: REPNNN message``.
+Exit codes match the other CLIs: 0 clean, 1 findings, 2 usage or
+internal errors.  Unparseable files are reported as a single ``REP000``
+diagnostic (exit 1), never a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.lint.engine import LintError, active_rules, all_rules, lint_paths
+
+__all__ = ["main", "build_parser", "CliError", "DEFAULT_PATHS"]
+
+#: Directories linted when no paths are given (those that exist).
+DEFAULT_PATHS = ("src", "benchmarks")
+
+
+class CliError(Exception):
+    """A user-facing CLI error (printed without a traceback, exit 2)."""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Statically check the repo's determinism and "
+        "pack-contract invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: "
+        f"{' '.join(DEFAULT_PATHS)}, those that exist)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="run only these comma-separated rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="skip these comma-separated rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--packs",
+        action="store_true",
+        help="additionally lint the modules of every discovered scenario "
+        "pack (built-in and entry-point)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (diagnostics still print)",
+    )
+    return parser
+
+
+def _split_ids(chunks: Sequence[str]) -> list[str]:
+    """Flatten repeated/comma-separated rule-id flags, upper-cased."""
+    out = []
+    for chunk in chunks:
+        out.extend(part.strip().upper() for part in chunk.split(",") if part.strip())
+    return out
+
+
+def _pack_module_files() -> list[str]:
+    """Absolute paths of every module defining a discovered pack's
+    simulate functions (imports the registry; broken entry-point packs
+    are skipped with the registry's own warning)."""
+    import importlib
+
+    from repro.experiments.packs import discovered_packs
+
+    files: dict[str, None] = {}
+    for pack, _source in discovered_packs():
+        for sc in pack.scenarios.values():
+            module = importlib.import_module(sc.simulate.__module__)
+            path = getattr(module, "__file__", None)
+            if path:
+                files.setdefault(path)
+    return list(files)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro-lint`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.list_rules:
+            for rule_id, rule in sorted(all_rules().items()):
+                print(f"{rule_id}  {rule.summary}")
+            return 0
+        paths = args.paths or [p for p in DEFAULT_PATHS if _exists(p)]
+        extra = _pack_module_files() if args.packs else []
+        if not paths and not extra:
+            raise CliError(
+                f"no paths given and none of the defaults "
+                f"({', '.join(DEFAULT_PATHS)}) exist here"
+            )
+        diagnostics, n_files = lint_paths(
+            paths,
+            select=_split_ids(args.select) or None,
+            ignore=_split_ids(args.ignore) or None,
+            extra_files=extra,
+        )
+        for diag in diagnostics:
+            print(diag.format())
+        if not args.quiet:
+            n_rules = len(active_rules(_split_ids(args.select) or None,
+                                       _split_ids(args.ignore) or None))
+            if diagnostics:
+                n_bad = len({d.path for d in diagnostics})
+                print(
+                    f"repro-lint: {len(diagnostics)} finding(s) in {n_bad} "
+                    f"of {n_files} file(s)",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"repro-lint: {n_files} file(s) clean "
+                    f"({n_rules} rules)",
+                    file=sys.stderr,
+                )
+        return 1 if diagnostics else 0
+    except (CliError, LintError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+def _exists(path: str) -> bool:
+    from pathlib import Path
+
+    return Path(path).exists()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

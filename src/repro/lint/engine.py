@@ -1,0 +1,339 @@
+"""The ``repro-lint`` analysis engine: contexts, diagnostics, rule registry.
+
+One linted file becomes one :class:`ModuleContext` — the parsed AST plus
+the resolved import table and the scope flags the rules key off (is this
+module under ``repro.sim``?  does it define a scenario pack?).  A *rule*
+is a plain function from a context to diagnostics, registered under a
+stable ``REPNNN`` id via :func:`register_rule`; the engine walks files,
+runs every active rule, and filters the result through the suppression
+comments (:mod:`repro.lint.suppress`).
+
+Unparseable or unreadable files never raise: they degrade to a single
+``REP000`` diagnostic naming ``file:line:col`` (the same convention as
+:class:`repro.bench.record.BenchRecordError`), so one corrupt file cannot
+take down a whole lint run.  A rule that itself crashes on a file is a
+bug in the linter and raises :class:`LintError` naming the file and rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.lint.suppress import suppressed_rules
+
+__all__ = [
+    "PARSE_RULE_ID",
+    "Diagnostic",
+    "LintError",
+    "ModuleContext",
+    "Rule",
+    "active_rules",
+    "all_rules",
+    "collect_files",
+    "dotted_name",
+    "lint_file",
+    "lint_paths",
+    "register_rule",
+]
+
+#: Pseudo-rule id for files the engine cannot read or parse.  Always
+#: active: ``--select``/``--ignore`` never hide a broken file.
+PARSE_RULE_ID = "REP000"
+
+
+class LintError(ValueError):
+    """An internal linter failure (a rule crashed on a file) or a
+    misconfigured run (unknown rule id, nonexistent path)."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: ``path:line:col`` plus the rule id and message."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """The canonical one-line rendering, ``path:line:col: REPNNN msg``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check: a stable id, a one-line summary, and a
+    function from a :class:`ModuleContext` to its diagnostics."""
+
+    rule_id: str
+    summary: str
+    check: Callable[["ModuleContext"], Iterable[Diagnostic]]
+
+
+# rule id -> Rule, in registration order (dicts preserve it)
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, summary: str):
+    """Decorator registering a check function under ``rule_id``.
+
+    Ids must be unique and of the form ``REPNNN``; re-registering an id
+    raises :class:`LintError` (rules are module-level singletons).
+    """
+
+    def decorate(fn: Callable[[ModuleContext], Iterable[Diagnostic]]):
+        if rule_id in _RULES:
+            raise LintError(f"lint rule {rule_id!r} is already registered")
+        _RULES[rule_id] = Rule(rule_id=rule_id, summary=summary, check=fn)
+        return fn
+
+    return decorate
+
+
+def all_rules() -> dict[str, Rule]:
+    """Every registered rule, id -> :class:`Rule` (registration order)."""
+    _load_rule_modules()
+    return dict(_RULES)
+
+
+def active_rules(
+    select: Sequence[str] | None = None, ignore: Sequence[str] | None = None
+) -> list[Rule]:
+    """The rules a run should execute after ``--select``/``--ignore``.
+
+    ``select`` keeps exactly the named ids (default: all), ``ignore``
+    then removes ids; an unknown id in either raises :class:`LintError`
+    naming the known rules.
+    """
+    rules = all_rules()
+    for name, given in (("--select", select), ("--ignore", ignore)):
+        unknown = sorted(set(given or ()) - set(rules))
+        if unknown:
+            raise LintError(
+                f"{name}: unknown rule id(s) {', '.join(unknown)}; "
+                f"known rules: {', '.join(sorted(rules))}"
+            )
+    chosen = set(select) if select else set(rules)
+    chosen -= set(ignore or ())
+    return [rule for rid, rule in rules.items() if rid in chosen]
+
+
+def _load_rule_modules() -> None:
+    """Import the bundled rule modules (idempotent; they self-register)."""
+    from repro.lint import rules_contract, rules_determinism  # noqa: F401
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The dotted source text of a ``Name``/``Attribute`` chain, e.g.
+    ``"np.random.seed"`` — ``None`` for anything more exotic."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _import_table(tree: ast.Module) -> dict[str, str]:
+    """Local name -> the dotted module/object it was imported as.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+    import default_rng as rng`` maps ``rng -> numpy.random.default_rng``.
+    Only top-level and function-local imports reachable by a plain walk
+    are recorded, which covers the repo's lazy-import house style.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname is None and "." in alias.name:
+                    # `import numpy.random` binds `numpy`, resolving to itself
+                    table[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+class ModuleContext:
+    """Everything the rules need to know about one parsed file."""
+
+    def __init__(self, path: str, text: str, tree: ast.Module) -> None:
+        self.path = path
+        self.text = text
+        self.tree = tree
+        #: local name -> dotted import source (see :func:`_import_table`)
+        self.imports: Mapping[str, str] = _import_table(tree)
+        self._module_name: str | None = None
+        self._is_pack: bool | None = None
+
+    @property
+    def module_name(self) -> str:
+        """The dotted module guess from the file path: the segments from
+        the last ``repro`` path component down (``repro.sim.engine``), or
+        the bare stem for files outside a ``repro`` package."""
+        if self._module_name is None:
+            parts = Path(self.path).with_suffix("").parts
+            if "repro" in parts:
+                sub = list(parts[len(parts) - 1 - parts[::-1].index("repro") :])
+                if sub[-1] == "__init__":
+                    sub.pop()
+                self._module_name = ".".join(sub)
+            else:
+                self._module_name = Path(self.path).stem
+        return self._module_name
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether this module lives in (or under) one of ``packages``
+        (dotted names like ``"repro.sim"``)."""
+        name = self.module_name
+        return any(name == p or name.startswith(p + ".") for p in packages)
+
+    @property
+    def is_pack_module(self) -> bool:
+        """Whether this module defines a scenario pack (it instantiates
+        or imports :class:`repro.experiments.packs.ScenarioPack`)."""
+        if self._is_pack is None:
+            self._is_pack = any(
+                source == "repro.experiments.packs.ScenarioPack"
+                for source in self.imports.values()
+            ) or any(
+                isinstance(node, ast.Call)
+                and (self.resolve(node.func) or "").endswith(
+                    "repro.experiments.packs.ScenarioPack"
+                )
+                for node in ast.walk(self.tree)
+            )
+        return self._is_pack
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """The import-resolved dotted name of a ``Name``/``Attribute``
+        chain: with ``import numpy as np``, ``np.random.seed`` resolves
+        to ``"numpy.random.seed"``.  ``None`` when the chain's head is
+        not a recorded import (locals, attributes of call results)."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        source = self.imports.get(head)
+        if source is None:
+            return None
+        return f"{source}.{rest}" if rest else source
+
+    def diag(self, node: ast.AST, rule_id: str, message: str) -> Diagnostic:
+        """A :class:`Diagnostic` anchored at ``node``'s position."""
+        return Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+def lint_file(path: str, rules: Sequence[Rule]) -> list[Diagnostic]:
+    """All surviving diagnostics of ``rules`` for one file.
+
+    Read/parse failures degrade to one ``REP000`` diagnostic naming
+    ``file:line:col`` instead of a traceback; suppression comments
+    (``# repro-lint: disable=REP001``) are applied before returning.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Diagnostic(path, 1, 1, PARSE_RULE_ID, f"cannot read file: {exc}")]
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path,
+                exc.lineno or 1,
+                exc.offset or 1,
+                PARSE_RULE_ID,
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path, text, tree)
+    out: list[Diagnostic] = []
+    for rule in rules:
+        try:
+            out.extend(rule.check(ctx))
+        except Exception as exc:
+            raise LintError(
+                f"{path}: internal error in rule {rule.rule_id}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+    suppressed = suppressed_rules(text)
+    return sorted(
+        (
+            d
+            for d in out
+            if not (
+                (per_line := suppressed.get(d.line))
+                and (d.rule_id in per_line or "ALL" in per_line)
+            )
+        ),
+        key=lambda d: (d.line, d.col, d.rule_id),
+    )
+
+
+def collect_files(paths: Sequence[str]) -> list[str]:
+    """Expand files and directories into a sorted, deduplicated list of
+    ``.py`` files (``__pycache__`` and dot-directories are skipped).
+    A nonexistent path raises :class:`LintError`."""
+    seen: dict[str, None] = {}
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            seen.setdefault(str(p))
+        elif p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                parts = sub.parts
+                if "__pycache__" in parts or any(
+                    part.startswith(".") and part not in (".", "..")
+                    for part in parts
+                ):
+                    continue
+                seen.setdefault(str(sub))
+        else:
+            raise LintError(f"path does not exist: {raw}")
+    return list(seen)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    extra_files: Sequence[str] = (),
+) -> tuple[list[Diagnostic], int]:
+    """Lint every ``.py`` file under ``paths`` (plus ``extra_files``).
+
+    Returns ``(diagnostics, n_files_scanned)`` with diagnostics sorted by
+    ``(path, line, col, rule id)``.  This is the library entry point the
+    CLI, the docstring-gate shim, and the meta-tests all share.
+    """
+    files = collect_files(paths)
+    known = {os.path.abspath(f) for f in files}
+    for extra in extra_files:
+        if os.path.abspath(extra) not in known:
+            files.append(extra)
+            known.add(os.path.abspath(extra))
+    rules = active_rules(select, ignore)
+    out: list[Diagnostic] = []
+    for path in files:
+        out.extend(lint_file(path, rules))
+    return sorted(out, key=lambda d: (d.path, d.line, d.col, d.rule_id)), len(files)

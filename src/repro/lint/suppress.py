@@ -1,0 +1,60 @@
+"""Suppression comments: ``# repro-lint: disable=REP001[,REP002]``.
+
+The grammar is deliberately tiny:
+
+* a **trailing** directive suppresses the named rules on its own line::
+
+      rng = np.random.default_rng()  # repro-lint: disable=REP002
+
+* a **whole-line** directive (the comment is the entire line) suppresses
+  the named rules on the line immediately below it — handy above long
+  decorator calls and multi-line statements::
+
+      # repro-lint: disable=REP010
+      @PACK.scenario("E99", ...)
+
+* ``disable=all`` suppresses every rule on the targeted line.
+
+Rule ids are case-insensitive and comma-separated.  Directives are found
+with the tokenizer, so a directive-shaped *string literal* never
+suppresses anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["suppressed_rules"]
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def suppressed_rules(text: str) -> dict[int, frozenset[str]]:
+    """Map line number -> upper-cased rule ids suppressed on that line.
+
+    ``"ALL"`` in a line's set means every rule is suppressed there.  On
+    tokenizer failure (the engine reports unparseable files separately,
+    as ``REP000``) no suppressions are returned.
+    """
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(tok.string)
+        if match is None:
+            continue
+        rules = {r.strip().upper() for r in match.group(1).split(",") if r.strip()}
+        if not rules:
+            continue
+        line = tok.start[0]
+        # a comment-only line shields the line below; a trailing comment
+        # shields its own line
+        target = line + 1 if tok.line.lstrip().startswith("#") else line
+        out.setdefault(target, set()).update(rules)
+    return {line: frozenset(rules) for line, rules in out.items()}
