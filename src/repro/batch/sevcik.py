@@ -275,9 +275,10 @@ def simulate_preemptive_single_machine(
     actual processing times. One value per replication."""
     out = np.empty(n_replications)
     for r in range(n_replications):
-        # realised processing times
+        # realised processing times; sequential draws from the caller's one
+        # stream are this API's documented contract, pinned by golden stats
         realised = {
-            j.id: 1 + int(rng.choice(j.max_quanta, p=j.pmf)) for j in jobs
+            j.id: 1 + int(rng.choice(j.max_quanta, p=j.pmf)) for j in jobs  # repro-lint: disable=REP031
         }
         attained = {j.id: 0 for j in jobs}
         remaining = {j.id for j in jobs}

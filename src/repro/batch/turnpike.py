@@ -167,19 +167,22 @@ def weiss_gap_analysis(
         Number of identical machines.
     """
     out = []
+    # The seed-offset stream derivations below predate the spawn idiom and
+    # are pinned by the E6 golden stats — rewriting them to
+    # spawn_seed_sequences would change every published number.
     for i, n in enumerate(ns):
-        inst_rng = np.random.default_rng(None if seed is None else seed + i)
+        inst_rng = np.random.default_rng(None if seed is None else seed + i)  # repro-lint: disable=REP030
         jobs = make_jobs(n, inst_rng)
         order = wsept_order(jobs)
         base = None if seed is None else seed * 1000 + i
-        rngs = spawn_generators(base, n_replications)
+        rngs = spawn_generators(base, n_replications)  # repro-lint: disable=REP030
         vals = np.array(
             [
                 simulate_parallel_nonpreemptive(jobs, m, order, rng).weighted_flowtime
                 for rng in rngs
             ]
         )
-        lb_rngs = spawn_generators(None if base is None else base + 777, n_replications)
+        lb_rngs = spawn_generators(None if base is None else base + 777, n_replications)  # repro-lint: disable=REP030
         lbs = np.array([_realized_eei_bound(jobs, m, rng) for rng in lb_rngs])
         ci_v = mean_confidence_interval(vals)
         ci_l = mean_confidence_interval(lbs)

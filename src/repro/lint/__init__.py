@@ -4,20 +4,38 @@ The repo's core promise — bit-identical results across backends, worker
 counts, cache resumes, and pack versions — rests on conventions no test
 can see being violated *before* it happens: never touch global RNG
 state, always thread ``np.random.Generator``/``SeedSequence`` explicitly,
-keep pack manifests self-consistent, never read wall clocks inside
-simulation paths.  This package machine-checks those conventions with a
+derive independent streams by spawning (never seed arithmetic), keep
+pack manifests self-consistent, keep dependencies pointing down the
+layering table.  This package machine-checks those conventions with a
 small AST-based engine (stdlib only, mirroring the house style of
 :mod:`repro.utils.schema`):
 
-* :mod:`repro.lint.engine` — file walking, diagnostics, the rule
-  registry, and graceful ``REP000`` degradation for unparseable files;
+* :mod:`repro.lint.engine` — file walking, diagnostics, the two-scope
+  rule registry (module and project rules), the cache-aware
+  :func:`lint_paths` driver, and graceful ``REP000`` degradation for
+  unparseable files;
 * :mod:`repro.lint.suppress` — the
   ``# repro-lint: disable=REP001`` suppression-comment grammar;
+* :mod:`repro.lint.project` — the whole-program
+  :class:`~repro.lint.project.ProjectContext`: module graph over all
+  scanned files with intra-``repro`` imports resolved, plus the
+  declarative layering table;
+* :mod:`repro.lint.dataflow` — intra-procedural seed-taint and
+  generator def-use analysis for the seed-flow rules;
+* :mod:`repro.lint.cache` — the incremental lint cache (content-hash +
+  ruleset-fingerprint keyed; warm runs replay bit-identical results);
+* :mod:`repro.lint.output` — text and canonical-JSON
+  (``repro.lint/v1``) diagnostic rendering;
 * :mod:`repro.lint.rules_determinism` — REP001–REP004 (global RNG,
   unseeded ``default_rng``, wall clocks, set-iteration order);
 * :mod:`repro.lint.rules_contract` — REP010–REP013 (schema↔defaults
   parity, kernel↔scenario pairing, docstring coverage, bench-metric
   gating slack);
+* :mod:`repro.lint.rules_layering` — REP020–REP022 (upward imports,
+  import cycles, unregistered pack kernels);
+* :mod:`repro.lint.rules_seedflow` — REP030–REP032 (seed-arithmetic
+  stream derivation, cross-replication stream sharing, paired-arm
+  generator reuse);
 * :mod:`repro.lint.cli` — the ``repro-lint`` console script
   (exit 0 clean / 1 findings / 2 usage error).
 
@@ -33,6 +51,7 @@ from repro.lint.engine import (
     PARSE_RULE_ID,
     Diagnostic,
     LintError,
+    LintReport,
     ModuleContext,
     Rule,
     active_rules,
@@ -40,6 +59,7 @@ from repro.lint.engine import (
     collect_files,
     lint_file,
     lint_paths,
+    register_project_rule,
     register_rule,
 )
 from repro.lint.suppress import suppressed_rules
@@ -48,6 +68,7 @@ __all__ = [
     "PARSE_RULE_ID",
     "Diagnostic",
     "LintError",
+    "LintReport",
     "ModuleContext",
     "Rule",
     "active_rules",
@@ -55,6 +76,7 @@ __all__ = [
     "collect_files",
     "lint_file",
     "lint_paths",
+    "register_project_rule",
     "register_rule",
     "suppressed_rules",
 ]

@@ -1,23 +1,30 @@
 """The ``repro-lint`` command-line interface.
 
-Statically checks the determinism, RNG-stream, and pack-contract
-invariants over any set of files or directories::
+Statically checks the determinism, RNG-stream, layering, and
+pack-contract invariants over any set of files or directories::
 
-    repro-lint                        # lint src/ and benchmarks/
+    repro-lint                        # lint src/, benchmarks/, scripts/
     repro-lint src benchmarks examples/demo_pack
     repro-lint --select REP001,REP003 src
     repro-lint --ignore REP012 src
     repro-lint --packs                # + modules of discovered packs
+    repro-lint --output json          # repro.lint/v1 document on stdout
+    repro-lint --no-cache             # force a cold run
     repro-lint --list-rules
 
 Without an installed entry point the module form works identically::
 
     PYTHONPATH=src python -m repro.lint.cli
 
-Diagnostics print one per line as ``path:line:col: REPNNN message``.
-Exit codes match the other CLIs: 0 clean, 1 findings, 2 usage or
-internal errors.  Unparseable files are reported as a single ``REP000``
-diagnostic (exit 1), never a traceback.
+Diagnostics print one per line as ``path:line:col: REPNNN message`` (or,
+with ``--output json``, as one canonical-JSON ``repro.lint/v1``
+document).  Results for unchanged files are replayed from the
+incremental cache (``.repro-lint-cache.json`` by default, gitignored);
+warm and cold runs emit byte-identical stdout — the re-analyzed count in
+the stderr summary is the only difference.  Exit codes match the other
+CLIs: 0 clean, 1 findings, 2 usage or internal errors.  Unparseable
+files are reported as a single ``REP000`` diagnostic (exit 1), never a
+traceback.
 """
 
 from __future__ import annotations
@@ -26,12 +33,12 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.lint.engine import LintError, active_rules, all_rules, lint_paths
+from repro.lint.engine import LintError, all_rules, lint_paths
 
 __all__ = ["main", "build_parser", "CliError", "DEFAULT_PATHS"]
 
 #: Directories linted when no paths are given (those that exist).
-DEFAULT_PATHS = ("src", "benchmarks")
+DEFAULT_PATHS = ("src", "benchmarks", "scripts")
 
 
 class CliError(Exception):
@@ -42,8 +49,8 @@ def build_parser() -> argparse.ArgumentParser:
     """The argparse parser (exposed for docs and tests)."""
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Statically check the repo's determinism and "
-        "pack-contract invariants.",
+        description="Statically check the repo's determinism, layering, "
+        "seed-flow, and pack-contract invariants.",
     )
     parser.add_argument(
         "paths",
@@ -70,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="additionally lint the modules of every discovered scenario "
         "pack (built-in and entry-point)",
+    )
+    parser.add_argument(
+        "--output",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic format: classic text lines or one canonical-JSON "
+        "repro.lint/v1 document (default: text)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="incremental cache file (default: .repro-lint-cache.json)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (re-analyze everything)",
     )
     parser.add_argument(
         "--list-rules",
@@ -113,6 +138,9 @@ def _pack_module_files() -> list[str]:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro-lint`` console script."""
+    from repro.lint.cache import DEFAULT_CACHE_PATH
+    from repro.lint.output import render_json, render_text
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -127,28 +155,38 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"no paths given and none of the defaults "
                 f"({', '.join(DEFAULT_PATHS)}) exist here"
             )
-        diagnostics, n_files = lint_paths(
+        cache_path = None if args.no_cache else (args.cache or DEFAULT_CACHE_PATH)
+        report = lint_paths(
             paths,
             select=_split_ids(args.select) or None,
             ignore=_split_ids(args.ignore) or None,
             extra_files=extra,
+            cache_path=cache_path,
         )
-        for diag in diagnostics:
-            print(diag.format())
+        diagnostics = report.diagnostics
+        if args.output == "json":
+            print(render_json(diagnostics, report.rules))
+        elif diagnostics:
+            print(render_text(diagnostics))
         if not args.quiet:
-            n_rules = len(active_rules(_split_ids(args.select) or None,
-                                       _split_ids(args.ignore) or None))
+            # volatile stats (re-analyzed counts) go to stderr ONLY, so
+            # warm and cold stdout stay byte-identical
+            reanalyzed = (
+                f", {report.n_reanalyzed} re-analyzed"
+                if cache_path is not None
+                else ""
+            )
             if diagnostics:
                 n_bad = len({d.path for d in diagnostics})
                 print(
                     f"repro-lint: {len(diagnostics)} finding(s) in {n_bad} "
-                    f"of {n_files} file(s)",
+                    f"of {report.n_files} file(s){reanalyzed}",
                     file=sys.stderr,
                 )
             else:
                 print(
-                    f"repro-lint: {n_files} file(s) clean "
-                    f"({n_rules} rules)",
+                    f"repro-lint: {report.n_files} file(s) clean "
+                    f"({len(report.rules)} rules{reanalyzed})",
                     file=sys.stderr,
                 )
         return 1 if diagnostics else 0

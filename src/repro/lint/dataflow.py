@@ -1,0 +1,326 @@
+"""Intra-procedural def-use dataflow for the seed-flow rules (stdlib ``ast``).
+
+The REP030 family needs to answer questions one AST node cannot: *does
+this expression derive from a seed by arithmetic?*, *was this generator
+created outside the loop it is drawn in?*, *do both arms of this paired
+comparison consume the same generator?*  This module computes, per
+function, the small amount of dataflow those questions need:
+
+* **seed taint** — which local names carry a seed (parameters and loop
+  targets with seed-shaped names, iteration over seed containers) and
+  which carry a value *derived from a seed by arithmetic* (the
+  ``seed + i`` anti-idiom REP030 exists to catch);
+* **generator definitions** — names bound to ``np.random.Generator``
+  objects (``default_rng``/``Generator``/``as_generator`` calls,
+  rng-shaped parameters, one-hop aliases);
+* **replication-loop shape** — whether a ``for`` loop (or comprehension
+  generator) iterates over replications: spawned seed sequences, a seed
+  container, or ``range(n_replications)``.
+
+Everything is a pure function of one ``FunctionDef`` plus the module's
+import table — no cross-file state, so results are cacheable per file.
+The taint propagation is a fixed point over plain ``NAME = expr``
+assignments (tuple unpacking and attribute targets are skipped, never
+guessed), which matches the repo's house style of threading seeds and
+generators through simple locals.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.lint.engine import ModuleContext
+
+__all__ = [
+    "GENERATOR_CONSTRUCTORS",
+    "RNG_SEED_SINKS",
+    "SPAWN_CALLS",
+    "FunctionDataflow",
+    "function_defs",
+    "is_generator_name",
+    "is_replication_count_name",
+    "is_seed_name",
+]
+
+#: Calls that construct a single ``np.random.Generator`` from a seed.
+GENERATOR_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "repro.utils.rng.as_generator",
+    }
+)
+
+#: Calls whose *seed argument* (first positional, or ``seed=``/``entropy=``)
+#: must never be seed arithmetic — the REP030 sinks.
+RNG_SEED_SINKS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "repro.utils.rng.as_generator",
+        "repro.utils.rng.as_seed_sequence",
+        "repro.utils.rng.spawn_seed_sequences",
+        "repro.utils.rng.spawn_generators",
+        "repro.utils.rng.crn_generators",
+    }
+)
+
+#: Calls that correctly derive independent streams — iterating their
+#: result is the signature of a replication loop.
+SPAWN_CALLS = frozenset(
+    {
+        "repro.utils.rng.spawn_seed_sequences",
+        "repro.utils.rng.spawn_generators",
+        "repro.utils.rng.crn_generators",
+    }
+)
+
+
+def _tokens(name: str) -> list[str]:
+    return name.lower().split("_")
+
+
+def is_seed_name(name: str) -> bool:
+    """Whether ``name`` is seed-shaped (``seed``, ``seeds``, ``base_seed``,
+    ``seed0``, ``seed_sequences``, ...)."""
+    for token in _tokens(name):
+        if token in ("seed", "seeds", "entropy"):
+            return True
+        if token.startswith("seed") and token[4:].isdigit():
+            return True
+    return False
+
+
+def is_generator_name(name: str) -> bool:
+    """Whether ``name`` is generator-shaped (``rng``, ``arrival_rng``,
+    ``generator``, ...) — used only for *parameters*, whose defining call
+    is out of sight."""
+    return any(token in ("rng", "generator") for token in _tokens(name))
+
+
+def is_replication_count_name(name: str) -> bool:
+    """Whether ``name`` counts replications (``n_replications``,
+    ``n_reps``, ``replications``, ...)."""
+    return any(
+        token in ("rep", "reps", "replication", "replications")
+        for token in _tokens(name)
+    )
+
+
+def function_defs(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in ``tree`` (including nested ones)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _target_names(target: ast.AST) -> list[str]:
+    """Plain names bound by an assignment/loop target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    return []
+
+
+@dataclass(frozen=True)
+class GeneratorDef:
+    """One name bound to a generator: where, and whether it is a parameter
+    (parameters have no construction site inside the function)."""
+
+    name: str
+    lineno: int
+    node: ast.AST
+    from_param: bool
+
+
+class FunctionDataflow:
+    """Seed-taint, generator-definition, and loop-shape facts for one
+    function.
+
+    ``tainted`` maps a local name to ``"seed"`` (carries a seed) or
+    ``"seed-arith"`` (derived from a seed by arithmetic).  ``generators``
+    maps names to :class:`GeneratorDef`.  Both are computed by a small
+    fixed point over the function's plain assignments, so one-hop chains
+    (``s = seed + i`` ... ``default_rng(s)``) resolve.
+    """
+
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef, ctx: "ModuleContext"):
+        self.fn = fn
+        self.ctx = ctx
+        self.tainted: dict[str, str] = {}
+        self.generators: dict[str, GeneratorDef] = {}
+        self._seed_params()
+        self._fixed_point()
+
+    # -- construction -------------------------------------------------
+
+    def _seed_params(self) -> None:
+        args = self.fn.args
+        params = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *filter(None, (args.vararg, args.kwarg)),
+        ]
+        for arg in params:
+            if is_seed_name(arg.arg):
+                self.tainted[arg.arg] = "seed"
+            elif is_generator_name(arg.arg):
+                self.generators[arg.arg] = GeneratorDef(
+                    name=arg.arg, lineno=self.fn.lineno, node=arg, from_param=True
+                )
+
+    def _fixed_point(self) -> None:
+        for _ in range(10):  # chains longer than 10 hops do not occur
+            changed = False
+            for node in ast.walk(self.fn):
+                value: ast.AST | None = None
+                names: list[str] = []
+                if isinstance(node, ast.Assign):
+                    value = node.value
+                    for target in node.targets:
+                        names.extend(_target_names(target) if isinstance(target, ast.Name) else [])
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    names = _target_names(node.target)
+                    value = node.value
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    # a loop over a seed container binds seed-carrying targets
+                    if self._iterates_seeds(node.iter):
+                        for name in _target_names(node.target):
+                            if self.tainted.get(name) != "seed":
+                                self.tainted[name] = "seed"
+                                changed = True
+                    continue
+                if value is None or not names:
+                    continue
+                kind = self.seed_kind(value)
+                for name in names:
+                    if kind is not None and self.tainted.get(name) != kind:
+                        self.tainted[name] = kind
+                        changed = True
+                gen = self._generator_value(value)
+                if gen and names[0] not in self.generators:
+                    self.generators[names[0]] = GeneratorDef(
+                        name=names[0], lineno=node.lineno, node=node, from_param=False
+                    )
+                    changed = True
+            if not changed:
+                return
+
+    def _generator_value(self, value: ast.AST) -> bool:
+        """Whether ``value`` constructs (or aliases) a single generator."""
+        if isinstance(value, ast.Call):
+            return (self.ctx.resolve(value.func) or "") in GENERATOR_CONSTRUCTORS
+        if isinstance(value, ast.Name):
+            return value.id in self.generators
+        return False
+
+    # -- queries -------------------------------------------------------
+
+    def seed_kind(self, expr: ast.AST) -> str | None:
+        """``"seed"``/``"seed-arith"``/``None`` for an expression.
+
+        Arithmetic (``BinOp``/``UnaryOp``) over any seed-tainted name is
+        ``"seed-arith"``; conditional expressions take the worse branch.
+        """
+        if isinstance(expr, ast.Name):
+            return self.tainted.get(expr.id)
+        if isinstance(expr, (ast.BinOp, ast.UnaryOp)):
+            if any(
+                isinstance(sub, ast.Name) and sub.id in self.tainted
+                for sub in ast.walk(expr)
+            ):
+                return "seed-arith"
+            return None
+        if isinstance(expr, ast.IfExp):
+            kinds = {self.seed_kind(expr.body), self.seed_kind(expr.orelse)}
+            if "seed-arith" in kinds:
+                return "seed-arith"
+            if "seed" in kinds:
+                return "seed"
+        return None
+
+    def _iterates_seeds(self, it: ast.AST) -> bool:
+        """Whether iterating ``it`` yields seeds (a seed container or a
+        spawn call) — used to taint loop targets."""
+        if isinstance(it, ast.Name):
+            return it.id in self.tainted or is_seed_name(it.id)
+        if isinstance(it, ast.Call):
+            resolved = self.ctx.resolve(it.func) or ""
+            if resolved in SPAWN_CALLS:
+                return True
+            if (
+                isinstance(it.func, ast.Name)
+                and it.func.id in ("enumerate", "zip", "reversed", "sorted", "list", "tuple")
+            ):
+                return any(self._iterates_seeds(arg) for arg in it.args)
+        return False
+
+    def is_replication_loop_iter(self, it: ast.AST) -> bool:
+        """Whether ``it`` is replication-shaped: spawned streams, a seed
+        container, or ``range(<replication count>)``."""
+        if self._iterates_seeds(it):
+            return True
+        if isinstance(it, ast.Call) and isinstance(it.func, ast.Name):
+            if it.func.id == "range":
+                return any(
+                    isinstance(arg, ast.Name) and is_replication_count_name(arg.id)
+                    for arg in it.args
+                )
+            if it.func.id in ("enumerate", "zip", "reversed", "list", "tuple"):
+                return any(self.is_replication_loop_iter(arg) for arg in it.args)
+        return False
+
+    def seed_sink_argument(self, call: ast.Call) -> ast.AST | None:
+        """The seed-position argument of an RNG-constructor call, or
+        ``None`` when ``call`` is not a seed sink / passes no seed."""
+        if (self.ctx.resolve(call.func) or "") not in RNG_SEED_SINKS:
+            return None
+        for kw in call.keywords:
+            if kw.arg in ("seed", "entropy"):
+                return kw.value
+        if call.args:
+            return call.args[0]
+        return None
+
+    def generator_arguments(self, call: ast.Call) -> list[str]:
+        """Generator names passed *as arguments* to ``call`` (the
+        receiver of a method call — ``rng.normal()`` — does not count)."""
+        out: list[str] = []
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+            if isinstance(arg, ast.Name) and arg.id in self.generators:
+                out.append(arg.id)
+            elif isinstance(arg, ast.Starred) and isinstance(arg.value, ast.Name):
+                if arg.value.id in self.generators:
+                    out.append(arg.value.id)
+        return out
+
+
+def assigned_names(node: ast.AST) -> set[str]:
+    """Every plain name (re)bound anywhere inside ``node``."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                out.update(_target_names(target))
+        elif isinstance(sub, ast.AnnAssign):
+            out.update(_target_names(sub.target))
+        elif isinstance(sub, ast.AugAssign):
+            out.update(_target_names(sub.target))
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            out.update(_target_names(sub.target))
+        elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+            out.update(_target_names(sub.optional_vars))
+    return out

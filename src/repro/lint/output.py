@@ -1,0 +1,46 @@
+"""Machine-readable lint output: the ``repro.lint/v1`` document.
+
+``repro-lint --output json`` emits one canonical-JSON document on stdout
+for CI annotation tooling.  The document is a pure function of the
+diagnostics and the active ruleset — volatile run statistics (files
+re-analyzed, timings) are deliberately excluded and go to stderr only,
+so cache-warm and cache-cold runs of the same tree produce byte-identical
+stdout in both output formats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.engine import Diagnostic, Rule
+
+__all__ = ["SCHEMA", "render_json", "render_text"]
+
+SCHEMA = "repro.lint/v1"
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """The classic one-line-per-finding text format (may be empty)."""
+    return "\n".join(d.format() for d in diagnostics)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], rules: Sequence[Rule]) -> str:
+    """The ``repro.lint/v1`` document as canonical JSON (sorted keys,
+    compact separators — the repo-wide serialization convention)."""
+    payload = {
+        "schema": SCHEMA,
+        "rules": {r.rule_id: r.summary for r in rules},
+        "n_findings": len(diagnostics),
+        "findings": [
+            {
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "rule": d.rule_id,
+                "message": d.message,
+            }
+            for d in diagnostics
+        ],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

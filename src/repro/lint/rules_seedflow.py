@@ -1,0 +1,177 @@
+"""Module-scoped rules REP030-REP032: seed-flow discipline via dataflow.
+
+The repo's reproducibility contract derives independent streams with
+``spawn_seed_sequences``/``spawn_generators`` (:mod:`repro.utils.rng`),
+never with seed arithmetic — ``default_rng(seed + i)`` produces streams
+whose statistical independence is unproven and whose collision behaviour
+differs across seeds.  These rules use the per-function dataflow pass
+(:mod:`repro.lint.dataflow`) to catch the anti-idioms one AST node at a
+time cannot:
+
+* ``REP030`` — a seed-derived *arithmetic* expression flowing into the
+  seed position of an RNG constructor, directly (``default_rng(seed+i)``)
+  or through a local (``s = seed * k`` ... ``default_rng(s)``);
+* ``REP031`` — a ``Generator`` created *outside* a replication loop but
+  drawn from *inside* it: every replication shares one stream, so
+  results depend on replication order and count;
+* ``REP032`` — the same generator consumed by both arms of a paired
+  comparison (both operands of a ``-``/comparison, or twice in one
+  call): common-random-numbers pairing requires *distinct* streams from
+  ``crn_generators``, not one stream drawn twice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.dataflow import FunctionDataflow, function_defs
+from repro.lint.engine import Diagnostic, ModuleContext, register_rule
+
+__all__ = ["check_seed_arithmetic", "check_shared_stream", "check_paired_reuse"]
+
+
+@register_rule(
+    "REP030",
+    "seed arithmetic used to derive an RNG stream (use spawn_seed_sequences)",
+)
+def check_seed_arithmetic(ctx: ModuleContext) -> Iterator[Diagnostic]:
+    for fn in function_defs(ctx.tree):
+        flow = FunctionDataflow(fn, ctx)
+        if not flow.tainted:
+            continue
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            seed_arg = flow.seed_sink_argument(node)
+            if seed_arg is None:
+                continue
+            if flow.seed_kind(seed_arg) == "seed-arith":
+                yield ctx.diag(
+                    node,
+                    "REP030",
+                    "stream derived by seed arithmetic; use "
+                    "spawn_seed_sequences/spawn_generators for independent "
+                    "streams",
+                )
+
+
+def _loops(fn: ast.AST) -> Iterator[tuple[ast.AST, ast.AST, list[ast.AST]]]:
+    """Every loop-shaped construct in ``fn``: ``(loop node, iter expr,
+    body nodes)`` — ``for`` statements and comprehension generators."""
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node, node.iter, list(node.body)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if isinstance(node, ast.DictComp):
+                    body: list[ast.AST] = [node.key, node.value]
+                else:
+                    body = [node.elt]
+                yield node, gen.iter, body
+
+
+def _generator_uses(
+    flow: FunctionDataflow, body: list[ast.AST]
+) -> Iterator[tuple[str, ast.AST]]:
+    """``(generator name, node)`` for each *draw* from a known generator
+    inside ``body``: a method call on it (``rng.normal()``) or passing it
+    as an argument (``simulate(rng, ...)``)."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in flow.generators
+            ):
+                yield func.value.id, node
+            for name in flow.generator_arguments(node):
+                yield name, node
+
+
+@register_rule(
+    "REP031",
+    "Generator created outside a replication loop but drawn inside it",
+)
+def check_shared_stream(ctx: ModuleContext) -> Iterator[Diagnostic]:
+    from repro.lint.dataflow import assigned_names
+
+    for fn in function_defs(ctx.tree):
+        flow = FunctionDataflow(fn, ctx)
+        if not flow.generators:
+            continue
+        for loop, it, body in _loops(fn):
+            if not flow.is_replication_loop_iter(it):
+                continue
+            rebound = set()
+            for node in body:
+                rebound |= assigned_names(node)
+            seen: set[str] = set()
+            for name, node in _generator_uses(flow, body):
+                if name in seen or name in rebound:
+                    continue  # rebound per-iteration => fresh stream, fine
+                gen = flow.generators[name]
+                if gen.lineno >= loop.lineno and not gen.from_param:
+                    continue  # created at/after the loop header, not shared in
+                seen.add(name)
+                yield ctx.diag(
+                    node,
+                    "REP031",
+                    f"generator {name!r} is created outside this replication "
+                    f"loop but drawn inside it; replications share one stream "
+                    f"— spawn per-replication generators instead",
+                )
+
+
+@register_rule(
+    "REP032",
+    "same generator feeds both arms of a paired comparison (use crn_generators)",
+)
+def check_paired_reuse(ctx: ModuleContext) -> Iterator[Diagnostic]:
+    for fn in function_defs(ctx.tree):
+        flow = FunctionDataflow(fn, ctx)
+        if not flow.generators:
+            continue
+        for node in ast.walk(fn):
+            arms: list[ast.AST] = []
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                arms = [node.left, node.right]
+            elif isinstance(node, ast.Compare):
+                arms = [node.left, *node.comparators]
+            elif isinstance(node, ast.Call):
+                # one call consuming the same generator twice
+                names = flow.generator_arguments(node)
+                dupes = {n for n in names if names.count(n) > 1}
+                for name in sorted(dupes):
+                    yield ctx.diag(
+                        node,
+                        "REP032",
+                        f"generator {name!r} is passed twice to one call; "
+                        f"paired arms need distinct CRN streams "
+                        f"(repro.utils.rng.crn_generators)",
+                    )
+                continue
+            if len(arms) < 2:
+                continue
+            per_arm: list[set[str]] = []
+            for arm in arms:
+                used: set[str] = set()
+                for sub in ast.walk(arm):
+                    if isinstance(sub, ast.Call):
+                        used.update(flow.generator_arguments(sub))
+                per_arm.append(used)
+            shared: set[str] = set()
+            for i in range(len(per_arm)):
+                for j in range(i + 1, len(per_arm)):
+                    shared |= per_arm[i] & per_arm[j]
+            for name in sorted(shared):
+                yield ctx.diag(
+                    node,
+                    "REP032",
+                    f"generator {name!r} feeds both arms of this paired "
+                    f"comparison; use repro.utils.rng.crn_generators for "
+                    f"common-random-number pairing",
+                )

@@ -149,7 +149,9 @@ def _ensure_loaded() -> None:
     # kernel registry forever.
     global _BINDINGS_LOADED
     if not _BINDINGS_LOADED:
-        from repro.experiments.packs import load_packs
+        # deliberate upward import: the kernel registry late-binds to the
+        # pack layer by design (see comment above) and never at import time
+        from repro.experiments.packs import load_packs  # repro-lint: disable=REP020
 
         load_packs()
         _BINDINGS_LOADED = True

@@ -36,6 +36,12 @@ RULE_IDS = (
     "REP011",
     "REP012",
     "REP013",
+    "REP020",
+    "REP021",
+    "REP022",
+    "REP030",
+    "REP031",
+    "REP032",
 )
 
 
