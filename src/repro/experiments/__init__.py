@@ -86,6 +86,7 @@ from repro.experiments.runner import (
     run_scenarios,
 )
 from repro.experiments.report import (
+    canonical_sweep_document,
     generate_markdown,
     generate_sweep_markdown,
     load_results,
@@ -93,12 +94,13 @@ from repro.experiments.report import (
     results_to_json,
     sweep_to_json,
 )
-from repro.experiments.store import SampleStore
+from repro.experiments.store import MemoryStore, SampleStore, StoreBackend
 from repro.experiments.sweeps import (
     SweepPoint,
     SweepResult,
     SweepSpec,
     run_sweep,
+    sweep_run_config,
 )
 from repro.sim.sequential import PrecisionTarget
 
@@ -126,16 +128,20 @@ __all__ = [
     "ScenarioResult",
     "run_scenario",
     "run_scenarios",
+    "canonical_sweep_document",
     "generate_markdown",
     "generate_sweep_markdown",
     "load_results",
     "results_to_document",
     "results_to_json",
     "sweep_to_json",
+    "MemoryStore",
     "SampleStore",
+    "StoreBackend",
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
     "run_sweep",
+    "sweep_run_config",
     "PrecisionTarget",
 ]

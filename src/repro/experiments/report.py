@@ -35,6 +35,7 @@ __all__ = [
     "results_to_json",
     "load_results",
     "generate_markdown",
+    "canonical_sweep_document",
     "sweep_to_json",
     "generate_sweep_markdown",
 ]
@@ -243,6 +244,45 @@ def sweep_to_json(document: Mapping[str, Any], *, indent: int | None = 2) -> str
     document serialiser: ``NaN``/``inf`` become ``null`` so the output
     stays valid RFC 8259 for strict parsers."""
     return json.dumps(_json_safe(dict(document)), indent=indent, allow_nan=False)
+
+
+#: document keys whose values depend on the run, not on the experiment:
+#: wall-clock timings, cache-hit bookkeeping, and the store location.
+_VOLATILE_KEYS = {
+    "elapsed_seconds": 0.0,
+    "cached_replications": 0,
+    "cache_dir": None,
+}
+
+
+def canonical_sweep_document(document: Mapping[str, Any]) -> dict[str, Any]:
+    """The run-independent projection of a sweep document.
+
+    Replaces every *volatile* field — ``elapsed_seconds`` (wall-clock),
+    ``cached_replications`` (how much of the run happened to be served by
+    a sample store), and ``config.cache_dir`` (where that store lives) —
+    with a fixed neutral value, recursively, wherever it appears (the
+    document top level, each point's embedded scenario result, and each
+    long-form table row).  Everything that remains is a pure function of
+    ``(spec, run configuration, root seed)``: the samples themselves are
+    bit-identical across backends, worker counts, cache states, and
+    execution orders, so two canonical documents for the same request are
+    **byte-identical** however they were produced.  This is the form the
+    serving daemon (:mod:`repro.serve`) stores and serves, and the form
+    ``repro-sweep run --canonical`` emits.
+    """
+
+    def canon(value: Any) -> Any:
+        if isinstance(value, Mapping):
+            return {
+                k: _VOLATILE_KEYS[k] if k in _VOLATILE_KEYS else canon(v)
+                for k, v in value.items()
+            }
+        if isinstance(value, (list, tuple)):
+            return [canon(v) for v in value]
+        return value
+
+    return canon(dict(document))
 
 
 def _axes_cell(axis_values: Mapping[str, Any], names: Sequence[str]) -> list[str]:

@@ -50,7 +50,7 @@ from repro.experiments.backends import (
     simulate_scenario_batch,
 )
 from repro.experiments.registry import Scenario, get_scenario, is_registered
-from repro.experiments.store import SampleStore
+from repro.experiments.store import SampleStore, StoreBackend
 from repro.sim.replication import map_seed_chunks
 from repro.sim.sequential import PrecisionTarget, run_sequential_replications
 from repro.utils.rng import spawn_seed_sequences
@@ -211,7 +211,7 @@ def run_scenario(
     target_precision: PrecisionTarget | float | None = None,
     min_reps: int | None = None,
     max_reps: int | None = None,
-    cache_dir: str | os.PathLike | SampleStore | None = None,
+    cache_dir: str | os.PathLike | StoreBackend | None = None,
 ) -> ScenarioResult:
     """Run one scenario for a fixed or adaptively chosen replication count.
 
@@ -298,9 +298,9 @@ def run_scenario(
                 "never be reused; pass an integer seed to use cache_dir"
             )
         store = (
-            cache_dir
-            if isinstance(cache_dir, SampleStore)
-            else SampleStore(cache_dir)
+            SampleStore(cache_dir)
+            if isinstance(cache_dir, (str, os.PathLike))
+            else cache_dir  # any StoreBackend (SampleStore, MemoryStore, …)
         )
     # Registered scenarios ship only their id (workers re-resolve it, which
     # survives the spawn start method); ad-hoc Scenario objects ship their
@@ -389,7 +389,7 @@ def run_scenarios(
     target_precision: PrecisionTarget | float | None = None,
     min_reps: int | None = None,
     max_reps: int | None = None,
-    cache_dir: str | os.PathLike | SampleStore | None = None,
+    cache_dir: str | os.PathLike | StoreBackend | None = None,
     progress: Callable[[ScenarioResult], None] | None = None,
 ) -> list[ScenarioResult]:
     """Run several scenarios in sequence with a shared configuration.

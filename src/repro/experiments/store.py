@@ -39,6 +39,18 @@ matrix, a boolean presence mask (metrics reported by only some
 replications), and a JSON metadata blob.  Writes are atomic
 (temp file + ``os.replace``) and monotone: an entry is only replaced by
 one with strictly more replications.
+
+Pluggable backends
+------------------
+:class:`SampleStore` is the on-disk reference implementation of the
+:class:`StoreBackend` protocol — the five-method contract (``payload`` /
+``key`` / ``load`` / ``length`` / ``save``) every layer above codes
+against.  The runner accepts any backend object for ``cache_dir``, the
+serving daemon (:mod:`repro.serve`) shares one backend across all of its
+workers, and :class:`MemoryStore` is a process-local dict-backed backend
+with identical monotone/prefix semantics — the conformance suite in
+``tests/test_store.py`` is parametrized over backends so a future remote
+implementation plugs into the same tests.
 """
 
 from __future__ import annotations
@@ -48,14 +60,21 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro.utils.rng import as_seed_sequence
 from repro.utils.serialization import canonical_json, jsonable
 
-__all__ = ["SampleStore", "STORE_SCHEMA"]
+__all__ = [
+    "MemoryStore",
+    "SampleStore",
+    "StoreBackend",
+    "STORE_SCHEMA",
+    "store_key",
+    "store_payload",
+]
 
 STORE_SCHEMA = 2
 
@@ -80,6 +99,115 @@ def _seed_fingerprint(seed: int | np.random.SeedSequence) -> dict[str, Any]:
     }
 
 
+def store_payload(
+    scenario_id: str,
+    params: Mapping[str, Any],
+    seed: int | np.random.SeedSequence,
+) -> dict[str, Any]:
+    """The identity a cache entry is keyed on (and verified against).
+
+    Shared by every :class:`StoreBackend` implementation so the content
+    address is backend-independent: samples written through one backend
+    are addressable through any other pointed at the same data.
+    """
+    if seed is None:
+        raise ValueError(
+            "seed=None draws fresh OS entropy and has no stable cache "
+            "identity; pass an integer root seed to use the sample store"
+        )
+    from repro.experiments.registry import pack_info
+
+    pack_name, pack_version = pack_info(scenario_id)
+    return {
+        "store_schema": STORE_SCHEMA,
+        "pack": {"name": pack_name, "version": pack_version},
+        "scenario_id": scenario_id,
+        "params": jsonable(params),
+        "seed": _seed_fingerprint(seed),
+    }
+
+
+def store_key(
+    scenario_id: str,
+    params: Mapping[str, Any],
+    seed: int | np.random.SeedSequence,
+) -> str:
+    """Content address (hex digest) for one experiment identity."""
+    text = canonical_json(store_payload(scenario_id, params, seed))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """The contract a sample-store backend implements.
+
+    Implementations key per-replication sample rows on the canonical
+    ``(pack@version, scenario_id, params, root seed)`` identity of
+    :func:`store_payload` and obey three semantic rules the layers above
+    rely on:
+
+    * **prefix** — ``load`` returns rows in replication order, so a
+      caller needing ``n`` rows uses the first ``n`` and simulates only
+      the remainder;
+    * **monotone** — ``save`` never shrinks an entry: an existing entry
+      with at least as many rows is kept;
+    * **degrade to miss** — an unreadable, corrupt, or
+      identity-mismatched entry loads as ``None`` (and counts 0 in
+      ``length``), never as wrong samples.
+
+    :class:`SampleStore` (on-disk ``.npz``, the default) and
+    :class:`MemoryStore` (process-local) both satisfy the protocol; the
+    runner's ``cache_dir`` and the serving daemon accept any
+    implementation.
+    """
+
+    def payload(
+        self,
+        scenario_id: str,
+        params: Mapping[str, Any],
+        seed: int | np.random.SeedSequence,
+    ) -> dict[str, Any]:
+        """The identity an entry is keyed on (and verified against)."""
+        ...
+
+    def key(
+        self,
+        scenario_id: str,
+        params: Mapping[str, Any],
+        seed: int | np.random.SeedSequence,
+    ) -> str:
+        """Content address (hex digest) for one experiment identity."""
+        ...
+
+    def load(
+        self,
+        scenario_id: str,
+        params: Mapping[str, Any],
+        seed: int | np.random.SeedSequence,
+    ) -> list[dict[str, float]] | None:
+        """All cached replication rows for this identity, or ``None``."""
+        ...
+
+    def length(
+        self,
+        scenario_id: str,
+        params: Mapping[str, Any],
+        seed: int | np.random.SeedSequence,
+    ) -> int:
+        """Cached replication count for this identity (0 when absent)."""
+        ...
+
+    def save(
+        self,
+        scenario_id: str,
+        params: Mapping[str, Any],
+        seed: int | np.random.SeedSequence,
+        rows: Sequence[Mapping[str, float]],
+    ) -> bool:
+        """Persist the full row list; returns whether a write happened."""
+        ...
+
+
 class SampleStore:
     """A directory of per-replication sample matrices, content-addressed
     by ``(scenario_id, canonical params, root seed)``.
@@ -100,21 +228,7 @@ class SampleStore:
         seed: int | np.random.SeedSequence,
     ) -> dict[str, Any]:
         """The identity a cache entry is keyed on (and verified against)."""
-        if seed is None:
-            raise ValueError(
-                "seed=None draws fresh OS entropy and has no stable cache "
-                "identity; pass an integer root seed to use the sample store"
-            )
-        from repro.experiments.registry import pack_info
-
-        pack_name, pack_version = pack_info(scenario_id)
-        return {
-            "store_schema": STORE_SCHEMA,
-            "pack": {"name": pack_name, "version": pack_version},
-            "scenario_id": scenario_id,
-            "params": jsonable(params),
-            "seed": _seed_fingerprint(seed),
-        }
+        return store_payload(scenario_id, params, seed)
 
     def key(
         self,
@@ -123,8 +237,7 @@ class SampleStore:
         seed: int | np.random.SeedSequence,
     ) -> str:
         """Content address (hex digest) for one experiment identity."""
-        text = canonical_json(self.payload(scenario_id, params, seed))
-        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+        return store_key(scenario_id, params, seed)
 
     def path(
         self,
@@ -256,4 +369,85 @@ class SampleStore:
             except OSError:
                 pass
             raise
+        return True
+
+
+class MemoryStore:
+    """A process-local, dict-backed :class:`StoreBackend`.
+
+    Same identity scheme and monotone/prefix semantics as
+    :class:`SampleStore`, with entries held in memory: the natural
+    backend for tests, for short-lived daemons that should not touch
+    disk, and as the protocol-conformance counterpart proving the layers
+    above never depend on ``SampleStore`` specifics.  Rows are copied on
+    both save and load, so callers can never mutate a cached entry in
+    place.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[dict[str, Any], list[dict[str, float]]]] = {}
+
+    def payload(
+        self,
+        scenario_id: str,
+        params: Mapping[str, Any],
+        seed: int | np.random.SeedSequence,
+    ) -> dict[str, Any]:
+        """The identity a cache entry is keyed on (and verified against)."""
+        return store_payload(scenario_id, params, seed)
+
+    def key(
+        self,
+        scenario_id: str,
+        params: Mapping[str, Any],
+        seed: int | np.random.SeedSequence,
+    ) -> str:
+        """Content address (hex digest) for one experiment identity."""
+        return store_key(scenario_id, params, seed)
+
+    def load(
+        self,
+        scenario_id: str,
+        params: Mapping[str, Any],
+        seed: int | np.random.SeedSequence,
+    ) -> list[dict[str, float]] | None:
+        """All cached replication rows for this identity, or ``None``."""
+        entry = self._entries.get(self.key(scenario_id, params, seed))
+        if entry is None:
+            return None
+        payload, rows = entry
+        if payload != self.payload(scenario_id, params, seed):
+            return None
+        return [dict(row) for row in rows]
+
+    def length(
+        self,
+        scenario_id: str,
+        params: Mapping[str, Any],
+        seed: int | np.random.SeedSequence,
+    ) -> int:
+        """Cached replication count for this identity (0 when absent)."""
+        entry = self._entries.get(self.key(scenario_id, params, seed))
+        if entry is None or entry[0] != self.payload(scenario_id, params, seed):
+            return 0
+        return len(entry[1])
+
+    def save(
+        self,
+        scenario_id: str,
+        params: Mapping[str, Any],
+        seed: int | np.random.SeedSequence,
+        rows: Sequence[Mapping[str, float]],
+    ) -> bool:
+        """Persist ``rows`` (monotone: a shorter list never replaces a
+        longer cached entry); returns whether a write happened."""
+        if not rows:
+            return False
+        payload = self.payload(scenario_id, params, seed)
+        if self.length(scenario_id, params, seed) >= len(rows):
+            return False
+        self._entries[self.key(scenario_id, params, seed)] = (
+            payload,
+            [{k: float(v) for k, v in row.items()} for row in rows],
+        )
         return True

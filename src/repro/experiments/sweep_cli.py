@@ -49,8 +49,17 @@ from repro.experiments.cli import (
     _validate_run_args as _validate_shared_run_args,
 )
 from repro.experiments.registry import get_scenario, list_scenarios, pack_info
-from repro.experiments.report import generate_sweep_markdown, sweep_to_json
-from repro.experiments.sweeps import SWEEP_MODES, SweepSpec, run_sweep
+from repro.experiments.report import (
+    canonical_sweep_document,
+    generate_sweep_markdown,
+    sweep_to_json,
+)
+from repro.experiments.sweeps import (
+    SWEEP_MODES,
+    SweepSpec,
+    run_sweep,
+    sweep_run_config,
+)
 from repro.sim.sequential import DEFAULT_MAX_REPS, DEFAULT_MIN_REPS
 
 __all__ = ["main", "build_parser"]
@@ -250,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="embed raw per-replication samples in the JSON output",
     )
     run.add_argument(
+        "--canonical",
+        action="store_true",
+        help="emit the run-independent document projection (timings, "
+        "cache-hit counts and store location neutralised) — byte-identical "
+        "across re-runs and to documents served by repro-serve",
+    )
+    run.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress"
     )
     return parser
@@ -364,23 +380,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (MissingKernelError, KeyError, ValueError) as exc:
         raise CliError(str(exc.args[0]) if exc.args else str(exc)) from exc
 
-    config = {
-        "replications": args.replications,
-        "seed": args.seed,
-        "workers": args.workers,
-        "backend_requested": args.backend,
-        "resolved_backends": sorted({r.backend for r in sweep.results}),
-        "level": args.level,
-        "target_precision": args.target_precision,
-        "min_reps": args.min_reps,
-        "max_reps": args.max_reps,
-        "cache_dir": cache_dir,
-    }
+    config = sweep_run_config(
+        replications=args.replications,
+        seed=args.seed,
+        workers=args.workers,
+        backend=args.backend,
+        resolved_backends=[r.backend for r in sweep.results],
+        level=args.level,
+        target_precision=args.target_precision,
+        min_reps=args.min_reps,
+        max_reps=args.max_reps,
+        cache_dir=cache_dir,
+    )
     if args.json or args.markdown:
         # built once; the Markdown renderer ignores embedded samples
         document = sweep.to_document(
             config=config, include_samples=args.include_samples
         )
+        if args.canonical:
+            document = canonical_sweep_document(document)
         if args.json:
             _emit(args.json, sweep_to_json(document))
         if args.markdown:

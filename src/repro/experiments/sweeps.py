@@ -54,7 +54,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.experiments.registry import Scenario, get_scenario
 from repro.experiments.runner import ScenarioResult, run_scenarios
-from repro.experiments.store import SampleStore
+from repro.experiments.store import SampleStore, StoreBackend
 from repro.sim.sequential import PrecisionTarget
 from repro.utils.serialization import jsonable
 
@@ -67,6 +67,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "run_sweep",
+    "sweep_run_config",
 ]
 
 SWEEP_MODES = ("grid", "zip", "list")
@@ -267,6 +268,46 @@ class SweepSpec:
             "base": jsonable(dict(self.base)),
         }
 
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "SweepSpec":
+        """Rebuild a spec from its :meth:`to_dict` form.
+
+        The inverse used by the serving layer to accept
+        ``repro.sweeps/v1``-shaped submissions over the wire; unknown
+        keys raise so a malformed document fails loudly instead of
+        silently dropping configuration.
+        """
+        if not isinstance(obj, Mapping):
+            raise ValueError(f"sweep spec must be a mapping, got {type(obj).__name__}")
+        known = {"scenario_id", "mode", "axes", "points", "base"}
+        unknown = sorted(set(obj) - known)
+        if unknown:
+            raise ValueError(f"sweep spec has unknown key(s) {unknown}")
+        if "scenario_id" not in obj:
+            raise ValueError("sweep spec needs a scenario_id")
+        scenario_id = obj["scenario_id"]
+        if not isinstance(scenario_id, str):
+            raise ValueError("sweep spec scenario_id must be a string")
+        axes = obj.get("axes") or {}
+        base = obj.get("base") or {}
+        points = obj.get("points")
+        if not isinstance(axes, Mapping):
+            raise ValueError("sweep spec axes must be a mapping of name -> values")
+        if not isinstance(base, Mapping):
+            raise ValueError("sweep spec base must be a mapping")
+        if points is not None and (
+            isinstance(points, (str, Mapping))
+            or not all(isinstance(p, Mapping) for p in points)
+        ):
+            raise ValueError("sweep spec points must be a sequence of mappings")
+        return cls(
+            scenario_id,
+            axes=axes,
+            mode=obj.get("mode", "grid"),
+            points=points,
+            base=base,
+        )
+
 
 @dataclass(frozen=True)
 class SweepResult:
@@ -413,7 +454,7 @@ def run_sweep(
     target_precision: PrecisionTarget | float | None = None,
     min_reps: int | None = None,
     max_reps: int | None = None,
-    cache_dir: str | os.PathLike | SampleStore | None = None,
+    cache_dir: str | os.PathLike | StoreBackend | None = None,
     where: Mapping[str, Any] | None = None,
     progress: Callable[[SweepPoint, ScenarioResult], None] | None = None,
 ) -> SweepResult:
@@ -492,3 +533,43 @@ def run_sweep(
         elapsed_seconds=elapsed,
         where=dict(where or {}),
     )
+
+
+def sweep_run_config(
+    *,
+    replications: int,
+    seed: int | None,
+    workers: int | None,
+    backend: str,
+    resolved_backends: Sequence[str],
+    level: float,
+    target_precision: float | None,
+    min_reps: int | None,
+    max_reps: int | None,
+    cache_dir: Any,
+) -> dict[str, Any]:
+    """The ``config`` mapping embedded in a sweep document.
+
+    One shared constructor — used by the ``repro-sweep`` CLI and the
+    serving daemon (:mod:`repro.serve`) — so documents produced by both
+    paths carry an identical ``config`` block (same keys, same order) and
+    the serving layer's byte-identity contract can hold.
+    """
+    return {
+        "replications": replications,
+        "seed": seed,
+        "workers": workers,
+        "backend_requested": backend,
+        "resolved_backends": sorted(set(resolved_backends)),
+        "level": level,
+        "target_precision": target_precision,
+        "min_reps": min_reps,
+        "max_reps": max_reps,
+        "cache_dir": (
+            os.fspath(cache_dir)
+            if isinstance(cache_dir, (str, os.PathLike))
+            else None
+            if cache_dir is None
+            else type(cache_dir).__name__
+        ),
+    }

@@ -62,7 +62,8 @@ LAYER_TABLE: tuple[tuple[str, tuple[str, ...]], ...] = (
     ),
     (
         "interface",
-        ("repro", "repro.bench", "repro.experiments", "repro.lint"),
+        ("repro", "repro.bench", "repro.experiments", "repro.lint",
+         "repro.serve"),
     ),
 )
 

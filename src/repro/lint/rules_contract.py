@@ -32,7 +32,8 @@ from repro.lint.engine import Diagnostic, ModuleContext, dotted_name, register_r
 
 __all__: list[str] = []
 
-_DOCSTRING_PACKAGES = ("repro.experiments", "repro.sim", "repro.bench")
+_DOCSTRING_PACKAGES = ("repro.experiments", "repro.sim", "repro.bench",
+                       "repro.serve")
 
 
 # ---------------------------------------------------------------------------
@@ -239,7 +240,7 @@ def _has_doc(node: ast.AST) -> bool:
 
 @register_rule(
     "REP012",
-    "public definitions in repro.experiments/sim/bench and pack modules "
+    "public definitions in repro.experiments/sim/bench/serve and pack modules "
     "need docstrings",
 )
 def check_docstrings(ctx: ModuleContext) -> Iterator[Diagnostic]:

@@ -1,0 +1,235 @@
+"""Blocking client for the sweep-serving daemon.
+
+:class:`ServeClient` speaks the daemon's small HTTP surface through
+stdlib ``http.client`` — submit a sweep, poll status, follow the NDJSON
+event stream, fetch the canonical finished document.  It is the
+transport layer shared by the ``repro-serve`` CLI, the test suites, and
+the serving benchmark; anything the daemon refuses surfaces as a
+:class:`ServeError` carrying the structured error payload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator, Mapping
+from urllib.parse import urlsplit
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A request the daemon rejected (or could not be reached).
+
+    ``status`` is the HTTP status (0 for transport failures) and
+    ``payload`` the parsed ``{"error": {code, message}}`` body when the
+    daemon sent one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 0,
+        payload: Mapping[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = dict(payload) if payload is not None else None
+
+    @property
+    def code(self) -> str | None:
+        """The daemon's machine-readable error code, when present."""
+        if self.payload and isinstance(self.payload.get("error"), dict):
+            return self.payload["error"].get("code")
+        return None
+
+
+class ServeClient:
+    """One daemon endpoint, e.g. ``ServeClient("http://127.0.0.1:8631")``.
+
+    Each call opens a fresh connection (the daemon answers one request
+    per connection and closes), so a client object is cheap, stateless,
+    and safe to share across threads.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 60.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http") or not parts.hostname:
+            raise ValueError(f"unsupported daemon url {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    @property
+    def url(self) -> str:
+        """The daemon base URL this client talks to."""
+        return f"http://{self.host}:{self.port}"
+
+    # -- transport -------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        """One request/response cycle; returns ``(status, body bytes)``."""
+        conn = self._connect()
+        try:
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = conn.getresponse()
+            return response.status, response.read()
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.url}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def _request_json(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> dict[str, Any]:
+        """A JSON request/response; non-2xx raises :class:`ServeError`."""
+        status, raw = self._request(method, path, body)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"daemon sent invalid JSON ({status}): {raw[:200]!r}",
+                status=status,
+            ) from exc
+        if status >= 400:
+            error = (
+                payload.get("error", {}) if isinstance(payload, dict) else {}
+            )
+            raise ServeError(
+                f"[{error.get('code', 'error')}] "
+                f"{error.get('message', f'daemon returned {status}')}",
+                status=status,
+                payload=payload if isinstance(payload, dict) else None,
+            )
+        return payload
+
+    # -- endpoints -------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """``GET /v1/health``: daemon liveness, schema, and version."""
+        return self._request_json("GET", "/v1/health")
+
+    def submit(self, submission: Mapping[str, Any]) -> dict[str, Any]:
+        """``POST /v1/jobs``: submit a wire-form submission document.
+
+        Returns ``{"job_id", "created", "state", "n_points"}``;
+        ``created`` is ``False`` when the daemon deduplicated the
+        submission onto an existing job.  Invalid submissions raise
+        :class:`ServeError` with the structured payload.
+        """
+        body = json.dumps(submission).encode("utf-8")
+        return self._request_json("POST", "/v1/jobs", body)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """``GET /v1/jobs``: status documents for every known job."""
+        return self._request_json("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/<id>``: one job's status document."""
+        return self._request_json("GET", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """``GET /v1/jobs/<id>/events``: iterate the NDJSON stream.
+
+        Replays history, then follows live until the terminal ``end``
+        event (inclusive).  Abandoning the iterator just closes the
+        connection — the job is unaffected.
+        """
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    payload = None
+                raise ServeError(
+                    f"event stream refused ({response.status})",
+                    status=response.status,
+                    payload=payload,
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.url}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def fetch(
+        self,
+        job_id: str,
+        *,
+        wait: bool = False,
+        poll_seconds: float = 0.05,
+        timeout: float | None = None,
+    ) -> bytes:
+        """``GET /v1/jobs/<id>/document``: the canonical finished bytes.
+
+        With ``wait=True`` the call polls status until the job reaches a
+        final state first (a failed job raises :class:`ServeError`);
+        without it, an unfinished job raises immediately (409).
+        """
+        if wait:
+            deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            while True:
+                status = self.status(job_id)
+                if status["state"] == "done":
+                    break
+                if status["state"] == "failed":
+                    raise ServeError(
+                        f"job {job_id} failed: {status.get('error')}",
+                        status=409,
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ServeError(
+                        f"timed out waiting for job {job_id} "
+                        f"(state {status['state']!r})"
+                    )
+                time.sleep(poll_seconds)
+        status_code, raw = self._request("GET", f"/v1/jobs/{job_id}/document")
+        if status_code >= 400:
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = None
+            error = (
+                payload.get("error", {}) if isinstance(payload, dict) else {}
+            )
+            raise ServeError(
+                f"[{error.get('code', 'error')}] "
+                f"{error.get('message', f'daemon returned {status_code}')}",
+                status=status_code,
+                payload=payload,
+            )
+        return raw
+
+    def shutdown(self) -> dict[str, Any]:
+        """``POST /v1/shutdown``: ask the daemon to stop serving."""
+        return self._request_json("POST", "/v1/shutdown")

@@ -10,8 +10,13 @@ import numpy as np
 import pytest
 
 import repro.experiments.runner as runner_mod
-from repro.experiments import Scenario, SampleStore, run_scenario
-from repro.experiments.store import STORE_SCHEMA
+from repro.experiments import MemoryStore, Scenario, SampleStore, run_scenario
+from repro.experiments.store import (
+    STORE_SCHEMA,
+    StoreBackend,
+    store_key,
+    store_payload,
+)
 
 
 ROWS = [
@@ -247,3 +252,100 @@ def test_runner_accepts_a_store_instance(tmp_path, count_simulated):
     res = run_scenario("E5", replications=3, seed=0, workers=1, cache_dir=store)
     assert count_simulated["n"] == 0
     assert res.cached_replications == 3
+
+
+# ---------------------------------------------------------------------------
+# StoreBackend protocol conformance, parametrized over every backend
+# ---------------------------------------------------------------------------
+
+
+def _corrupt_sample(store, scenario_id, params, seed):
+    store.path(scenario_id, params, seed).write_bytes(b"not a zip archive")
+
+
+def _corrupt_memory(store, scenario_id, params, seed):
+    key = store.key(scenario_id, params, seed)
+    payload, rows = store._entries[key]
+    store._entries[key] = ({**payload, "scenario_id": "TAMPERED"}, rows)
+
+
+# backend name -> (factory(tmp_path), corrupt(store, scenario, params, seed));
+# every backend must pass every conformance test below unchanged
+BACKENDS = {
+    "sample": (lambda tmp_path: SampleStore(tmp_path / "disk"), _corrupt_sample),
+    "memory": (lambda tmp_path: MemoryStore(), _corrupt_memory),
+}
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request, tmp_path):
+    factory, _ = BACKENDS[request.param]
+    return factory(tmp_path)
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend_with_corruptor(request, tmp_path):
+    factory, corrupt = BACKENDS[request.param]
+    return factory(tmp_path), corrupt
+
+
+def test_backend_satisfies_the_runtime_protocol(backend):
+    assert isinstance(backend, StoreBackend)
+
+
+def test_backend_keying_matches_the_module_functions(backend):
+    # every backend addresses the same shared identity space
+    assert backend.key("E1", {"p": 1}, 0) == store_key("E1", {"p": 1}, 0)
+    assert backend.payload("E1", {"p": 1}, 0) == store_payload("E1", {"p": 1}, 0)
+
+
+def test_backend_round_trip(backend):
+    assert backend.save("E1", {"p": 1}, 0, ROWS)
+    assert _rows_equal(backend.load("E1", {"p": 1}, 0), ROWS)
+    assert backend.length("E1", {"p": 1}, 0) == len(ROWS)
+
+
+def test_backend_miss_is_none_and_length_zero(backend):
+    assert backend.load("E1", {"p": 99}, 0) is None
+    assert backend.length("E1", {"p": 99}, 0) == 0
+
+
+def test_backend_saves_are_monotone(backend):
+    assert backend.save("E1", {}, 0, ROWS)
+    assert not backend.save("E1", {}, 0, ROWS[:2])  # shorter: kept
+    assert _rows_equal(backend.load("E1", {}, 0), ROWS)
+    longer = ROWS + [{"a": 9.0}]
+    assert backend.save("E1", {}, 0, longer)
+    assert _rows_equal(backend.load("E1", {}, 0), longer)
+
+
+def test_backend_rejects_empty_rows(backend):
+    assert not backend.save("E1", {}, 0, [])
+    assert backend.load("E1", {}, 0) is None
+
+
+def test_backend_load_copies_are_isolated(backend):
+    backend.save("E1", {}, 0, [{"a": 1.0}])
+    loaded = backend.load("E1", {}, 0)
+    loaded[0]["a"] = 777.0
+    assert backend.load("E1", {}, 0)[0]["a"] == 1.0
+
+
+def test_backend_corrupt_entry_degrades_to_miss(backend_with_corruptor):
+    backend, corrupt = backend_with_corruptor
+    backend.save("E1", {}, 0, ROWS)
+    corrupt(backend, "E1", {}, 0)
+    assert backend.load("E1", {}, 0) is None
+    assert backend.length("E1", {}, 0) == 0
+
+
+def test_backend_runner_integration_reuses_prefix(backend, count_simulated):
+    first = run_scenario("E5", replications=4, seed=0, workers=1, cache_dir=backend)
+    assert count_simulated["n"] == 4
+    count_simulated["n"] = 0
+    again = run_scenario("E5", replications=6, seed=0, workers=1, cache_dir=backend)
+    assert count_simulated["n"] == 2  # only the suffix
+    assert again.cached_replications == 4
+    cold = run_scenario("E5", replications=6, seed=0, workers=1)
+    assert again.samples == cold.samples
+    assert first.samples == {k: v[:4] for k, v in cold.samples.items()}
